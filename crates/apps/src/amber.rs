@@ -1,0 +1,377 @@
+//! The Amber/PMEMD-like molecular dynamics workload (paper §IV-E, Fig. 11).
+//!
+//! Models the pre-release CUDA version of PMEMD on the JAC/DHFR benchmark
+//! (23,558 atoms, 10,000 steps, 16 GPUs with MPI): a per-timestep loop
+//! that launches ~12 kernels from a 39-kernel inventory, updates device
+//! constants via `cudaMemcpyToSymbol`, synchronizes with
+//! `cudaThreadSynchronize`, fetches small results with synchronous
+//! `cudaMemcpy`, and communicates sparsely over MPI. Rank 0 additionally
+//! runs the PME grid FFTs through CUFFT (the paper's profile shows CUFFT
+//! time concentrated on one task: min 0.00, max 0.86 s).
+//!
+//! Reproduced observations (Fig. 11):
+//! * kernel share ranking: `CalculatePMEOrthogonalNonbondForces` (~37%) >
+//!   `ReduceForces` (~18%) > `PMEShake` (~10%) > `ClearForces` (~8%) >
+//!   `PMEUpdate` (~7%), the remaining 34 kernels ~20% together;
+//! * GPU utilization ≈ 36% of wallclock; `cudaThreadSynchronize` ≈ 22%;
+//! * `@CUDA_HOST_IDLE` tiny (~0.1%) despite synchronous transfers —
+//!   because they happen right after explicit synchronization;
+//! * `ReduceForces`/`ClearForces` imbalanced across ranks by up to 55%,
+//!   the others well balanced;
+//! * MPI is a trivial fraction (%comm ≈ 0.6).
+
+use crate::cluster::RankCtx;
+use ipm_gpu_sim::{launch_kernel, CudaResult, Kernel, KernelArg, KernelCost, LaunchConfig};
+use ipm_mpi_sim::ReduceOp;
+use ipm_numlib::{FftDirection, FftType};
+
+/// The 33 minor kernels of the PMEMD inventory. With the 5 major kernels
+/// and the CUFFT radix kernel on the grid-owning rank, the device runs the
+/// paper's 39 distinct kernels.
+const MINOR_KERNELS: [&str; 33] = [
+    "kNLGenerateSpatialHash",
+    "kNLRadixSortCells",
+    "kNLBuildNeighborList",
+    "kNLSkinTest",
+    "kCalculatePMEFillChargeGrid",
+    "kCalculatePMEGradSum",
+    "kCalculatePMEScalarSum",
+    "kCalculateBondedForces",
+    "kCalculateAngleForces",
+    "kCalculateDihedralForces",
+    "kCalculate14Forces",
+    "kCalculateUreyBradley",
+    "kCalculateImproperForces",
+    "kCalculateCMAPForces",
+    "kOrientWater",
+    "kResetVelocities",
+    "kRecenterMolecules",
+    "kCalculateKineticEnergy",
+    "kCalculateCOM",
+    "kCalculateMolecularVirial",
+    "kPressureScaleCoordinates",
+    "kLocalToGlobal",
+    "kGlobalToLocal",
+    "kReduceSoluteKE",
+    "kClearVirial",
+    "kTransposeForces",
+    "kPackExchangeBuffer",
+    "kUnpackExchangeBuffer",
+    "kRandomNumberGen",
+    "kLangevinUpdate",
+    "kCheckOverlap",
+    "kImageAtoms",
+    "kMapAtomsToCells",
+];
+
+/// Amber/PMEMD workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AmberConfig {
+    /// Timesteps to simulate.
+    pub steps: usize,
+    /// Atom count (sets data sizes; JAC/DHFR has 23,558).
+    pub atoms: usize,
+    /// Average device time per step per rank across all kernels (seconds).
+    /// JAC/DHFR on 16 C2050s: ~1.65 ms.
+    pub gpu_step_seconds: f64,
+    /// Host compute before the kernel burst (integration bookkeeping).
+    pub host_pre_seconds: f64,
+    /// Host compute overlapping the kernel burst.
+    pub host_overlap_seconds: f64,
+    /// Peak-to-trough imbalance of the imbalanced kernels
+    /// (`ReduceForces`, `ClearForces`): paper reports up to 55%.
+    pub imbalance: f64,
+}
+
+impl AmberConfig {
+    /// The paper's JAC/DHFR setup (10,000 steps, 16 ranks).
+    pub fn jac_dhfr() -> Self {
+        Self {
+            steps: 10_000,
+            atoms: 23_558,
+            gpu_step_seconds: 1.65e-3,
+            host_pre_seconds: 2.55e-3,
+            host_overlap_seconds: 0.62e-3,
+            imbalance: 0.55,
+        }
+    }
+
+    /// A short run for tests (same per-step structure).
+    pub fn tiny() -> Self {
+        Self { steps: 120, ..Self::jac_dhfr() }
+    }
+}
+
+/// The five dominant kernels and their share of per-step GPU time.
+/// `ReduceForces`/`ClearForces` carry *pre-imbalance* bases: after the
+/// per-rank imbalance multiplier (mean 0.725 at the paper's 55% spread)
+/// their cluster-wide shares land on the paper's 18% and 8%.
+const MAJOR_SHARES: [(&str, f64); 5] = [
+    ("CalculatePMEOrthogonalNonbondForces", 0.37),
+    ("ReduceForces", 0.248),
+    ("PMEShake", 0.10),
+    ("ClearForces", 0.110),
+    ("PMEUpdate", 0.07),
+];
+
+/// Minor kernels launched per step (rotating through the inventory).
+const MINORS_PER_STEP: usize = 7;
+
+/// Per-rank outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct AmberResult {
+    /// Accumulated "energy" observable (deterministic).
+    pub energy: f64,
+    /// Virtual runtime.
+    pub seconds: f64,
+}
+
+/// Run the PMEMD-like MD loop on one rank.
+pub fn run_amber(ctx: &mut RankCtx, cfg: AmberConfig) -> CudaResult<AmberResult> {
+    let p = ctx.nranks;
+    let rank = ctx.rank;
+    let start = ctx.clock.now();
+
+    // startup: device discovery (the expensive first CUDA call — the
+    // paper's profile shows cudaGetDeviceCount absorbing context init)
+    ctx.cuda.cuda_get_device_count()?;
+    ctx.cuda.cuda_get_device_count()?;
+    ctx.cuda.cuda_set_device(0)?;
+
+    // atom data upload + initial exchange of atom ownership
+    let atoms_local = cfg.atoms / p + 1;
+    let d_crd = ctx.cuda.cuda_malloc(atoms_local * 3 * 8)?;
+    let d_frc = ctx.cuda.cuda_malloc(atoms_local * 3 * 8)?;
+    ctx.cuda.cuda_memcpy_h2d(d_crd, &vec![0u8; atoms_local * 3 * 8])?;
+    ctx.mpi.mpi_allgather(&vec![0u8; atoms_local * 4]).expect("atom ids");
+
+    // rank 0 owns the PME grid FFT (CUFFT)
+    let fft_plan = if rank == 0 {
+        let plan = ctx.fft.cufft_plan_1d(4096, FftType::Z2Z, 1)?;
+        Some((plan, ctx.cuda.cuda_malloc(4096 * 16)?))
+    } else {
+        None
+    };
+
+    // per-rank multiplier for the imbalanced kernels
+    let imb = |base: f64| -> f64 {
+        if p == 1 {
+            base
+        } else {
+            base * (1.0 - cfg.imbalance * rank as f64 / (p - 1) as f64)
+        }
+    };
+    // minor kernels contribute the paper's ~20% of GPU time; the majors'
+    // pre-imbalance bases overshoot 80% by design (see MAJOR_SHARES) and
+    // come back down once the imbalance multiplier applies
+    let minor_each = cfg.gpu_step_seconds * 0.20 / MINORS_PER_STEP as f64;
+
+    let mut energy = 0.0f64;
+    let mut result_buf = vec![0u8; 1024];
+    for step in 0..cfg.steps {
+        // integration bookkeeping on the host
+        ctx.compute(cfg.host_pre_seconds);
+
+        // update device constants (synchronous, but the device is idle
+        // here so no implicit blocking is incurred)
+        ctx.cuda.cuda_memcpy_to_symbol("cSim", &vec![0u8; 1 << 12])?;
+        ctx.cuda.cuda_memcpy_to_symbol("cNTPData", &vec![0u8; 256])?;
+
+        // the kernel burst: 5 majors + a rotating set of minors
+        for (name, share) in MAJOR_SHARES {
+            let base = cfg.gpu_step_seconds * share;
+            let dur = match name {
+                "ReduceForces" | "ClearForces" => imb(base),
+                _ => base,
+            };
+            let k = Kernel::timed(name, KernelCost::Fixed(dur));
+            launch_kernel(
+                ctx.cuda.as_ref(),
+                &k,
+                LaunchConfig::simple((atoms_local / 128 + 1) as u32, 128u32),
+                &[KernelArg::Ptr(d_crd)],
+            )?;
+        }
+        for j in 0..MINORS_PER_STEP {
+            let name = MINOR_KERNELS[(step * MINORS_PER_STEP + j) % MINOR_KERNELS.len()];
+            let k = Kernel::timed(name, KernelCost::Fixed(minor_each));
+            launch_kernel(
+                ctx.cuda.as_ref(),
+                &k,
+                LaunchConfig::simple((atoms_local / 256 + 1) as u32, 256u32),
+                &[KernelArg::Ptr(d_frc)],
+            )?;
+        }
+        ctx.cuda.cuda_get_last_error();
+
+        // PME grid FFT on the grid-owning rank
+        if let Some((plan, d_grid)) = fft_plan {
+            ctx.fft.cufft_exec_z2z(plan, d_grid, d_grid, FftDirection::Forward)?;
+            ctx.fft.cufft_exec_z2z(plan, d_grid, d_grid, FftDirection::Inverse)?;
+        }
+
+        // host work overlapping the GPU burst
+        ctx.compute(cfg.host_overlap_seconds);
+        ctx.cuda.cuda_get_last_error();
+
+        // wait for the step's kernels (the 22% of Fig. 11)
+        ctx.cuda.cuda_thread_synchronize()?;
+
+        // ranks with lighter Reduce/Clear kernels own more of the host-side
+        // bookkeeping (PMEMD balances *total* load, not GPU share): without
+        // this, imbalance would pile up as MPI wait — the paper's %comm is
+        // only 0.6%, so the slack is absorbed on the host
+        let imbalanced_base = cfg.gpu_step_seconds * (0.248 + 0.110);
+        let slack = imbalanced_base - (imb(cfg.gpu_step_seconds * 0.248) + imb(cfg.gpu_step_seconds * 0.110));
+        ctx.compute(slack);
+
+        // fetch per-step results (synchronous D2H right after the sync:
+        // this is why host idle stays tiny despite blocking transfers)
+        ctx.cuda.cuda_memcpy_d2h(&mut result_buf, d_frc)?;
+        ctx.cuda.cuda_memcpy_d2h(&mut result_buf[..256], d_crd)?;
+        energy += result_buf[0] as f64 + step as f64 * 1e-9;
+
+        // sparse communication: energies every 16 steps, neighbor
+        // exchange alongside, a parameter broadcast every 200 steps
+        if step % 16 == 15 {
+            let e = ctx.mpi.mpi_allreduce_f64(&[energy; 13], ReduceOp::Sum).expect("energies");
+            energy = e[0] / p as f64;
+            let nbr = (rank + 1) % p;
+            if p > 1 {
+                if rank % 2 == 0 {
+                    ctx.mpi.mpi_send(nbr, 3, &vec![0u8; 8192]).expect("exchange send");
+                    ctx.mpi.mpi_recv(None, 3).expect("exchange recv");
+                } else {
+                    ctx.mpi.mpi_recv(None, 3).expect("exchange recv");
+                    ctx.mpi.mpi_send(nbr, 3, &vec![0u8; 8192]).expect("exchange send");
+                }
+            }
+        }
+        if step % 200 == 199 {
+            ctx.mpi.mpi_bcast(0, vec![0u8; 4096]).expect("param bcast");
+        }
+
+        // trajectory output: the master rank appends a frame every 100
+        // steps (IPM's file-I/O domain shows up in the profile)
+        if rank == 0 && step % 100 == 99 {
+            use ipm_sim_core::fsio::OpenMode;
+            let frame = vec![0u8; cfg.atoms * 12];
+            let h = ctx.io.fopen("/scratch/mdcrd", OpenMode::Append).expect("traj open");
+            ctx.io.fwrite(h, &frame).expect("traj write");
+            ctx.io.fclose(h).expect("traj close");
+        }
+    }
+
+    if let Some((plan, d_grid)) = fft_plan {
+        ctx.fft.cufft_destroy(plan)?;
+        ctx.cuda.cuda_free(d_grid)?;
+    }
+    ctx.cuda.cuda_free(d_crd)?;
+    ctx.cuda.cuda_free(d_frc)?;
+    ctx.mpi.mpi_barrier().expect("final barrier");
+
+    Ok(AmberResult { energy, seconds: ctx.clock.now() - start })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, ClusterConfig};
+    use ipm_core::ClusterReport;
+
+    fn run(ranks: usize) -> ClusterReport {
+        let cfg = ClusterConfig::dirac(ranks, ranks).with_command("pmemd.cuda.MPI");
+        let run = run_cluster(&cfg, |ctx| run_amber(ctx, AmberConfig::tiny()).expect("md"));
+        ClusterReport::from_profiles(run.profiles, ranks)
+    }
+
+    /// Like `run`, but with zero context-init cost: short test runs would
+    /// otherwise be dominated by the 1.29 s startup (the full 10,000-step
+    /// configuration amortizes it as the paper's does).
+    fn run_steady(ranks: usize) -> ClusterReport {
+        let mut cfg = ClusterConfig::dirac(ranks, ranks).with_command("pmemd.cuda.MPI");
+        cfg.gpu = cfg.gpu.with_context_init(0.0);
+        let run = run_cluster(&cfg, |ctx| run_amber(ctx, AmberConfig::tiny()).expect("md"));
+        ClusterReport::from_profiles(run.profiles, ranks)
+    }
+
+    #[test]
+    fn kernel_inventory_is_39_deep() {
+        let report = run(2);
+        let shares = report.kernel_shares();
+        assert_eq!(shares.len(), 39, "kernel inventory: {}", shares.len());
+    }
+
+    #[test]
+    fn fig11_kernel_ranking() {
+        let report = run(2);
+        let shares = report.kernel_shares();
+        assert_eq!(shares[0].0, "CalculatePMEOrthogonalNonbondForces");
+        assert!((shares[0].1 - 0.37).abs() < 0.06, "nonbond share {}", shares[0].1);
+        // ReduceForces second (imbalance shrinks it slightly below 18%)
+        assert_eq!(shares[1].0, "ReduceForces");
+        let shake = shares.iter().find(|(k, _)| k == "PMEShake").unwrap();
+        assert!((shake.1 - 0.10).abs() < 0.03);
+    }
+
+    #[test]
+    fn imbalanced_kernels_show_55_percent_spread() {
+        let report = run(4);
+        let imb = report.kernel_imbalance();
+        let reduce = imb.iter().find(|(k, _)| k == "ReduceForces").unwrap().1;
+        let clear = imb.iter().find(|(k, _)| k == "ClearForces").unwrap().1;
+        let nonbond =
+            imb.iter().find(|(k, _)| k == "CalculatePMEOrthogonalNonbondForces").unwrap().1;
+        assert!((reduce - 0.55).abs() < 0.08, "ReduceForces imbalance {reduce}");
+        assert!((clear - 0.55).abs() < 0.08, "ClearForces imbalance {clear}");
+        assert!(nonbond < 0.05, "Nonbond should be balanced: {nonbond}");
+    }
+
+    #[test]
+    fn gpu_utilization_and_sync_fractions_match_fig11() {
+        let report = run_steady(2);
+        let util = report.gpu_utilization();
+        assert!((0.25..0.48).contains(&util), "gpu utilization {util}");
+        let sync_frac = report.time_of("cudaThreadSynchronize") / report.wallclock_total;
+        assert!((0.10..0.35).contains(&sync_frac), "threadsync fraction {sync_frac}");
+    }
+
+    #[test]
+    fn host_idle_is_tiny_despite_sync_transfers() {
+        let report = run(2);
+        let idle = report.host_idle_fraction();
+        assert!(idle < 0.01, "host idle fraction {idle}");
+        // yet there *are* plenty of synchronous transfers
+        assert!(report.count_of("cudaMemcpy(D2H)") > 100);
+    }
+
+    #[test]
+    fn mpi_fraction_is_small() {
+        let report = run(2);
+        let comm = report.comm_fraction();
+        assert!(comm < 0.05, "comm fraction {comm}");
+        assert!(report.count_of("MPI_Allreduce") > 0);
+        assert!(report.count_of("MPI_Bcast") == 0 || report.count_of("MPI_Bcast") % 2 == 0);
+    }
+
+    #[test]
+    fn cufft_time_is_concentrated_on_rank_zero() {
+        let report = run(4);
+        let per_rank: Vec<f64> = report
+            .profiles()
+            .iter()
+            .map(|p| p.family_time(ipm_core::EventFamily::Cufft))
+            .collect();
+        assert!(per_rank[0] > 0.0, "rank 0 ran no FFTs");
+        for (r, t) in per_rank.iter().enumerate().skip(1) {
+            assert_eq!(*t, 0.0, "rank {r} unexpectedly ran FFTs");
+        }
+    }
+
+    #[test]
+    fn memcpy_to_symbol_present_in_profile() {
+        let report = run(2);
+        assert!(report.count_of("cudaMemcpyToSymbol") >= 2 * 120);
+        assert!(report.count_of("cudaGetLastError") > 0);
+    }
+}

@@ -1,0 +1,427 @@
+//! The GPU-cluster harness.
+//!
+//! Ties the substrates together the way a Dirac job does: `nranks` MPI
+//! ranks (OS threads) spread block-wise over `nodes` nodes, one simulated
+//! Tesla C2050 per node (shared by the node's ranks), CUBLAS/CUFFT library
+//! contexts per rank, and — when monitoring is enabled — a per-rank IPM
+//! context whose facades wrap every API the application touches.
+//!
+//! Applications receive a [`RankCtx`] and program against the `*Api`
+//! traits only, so the same application code runs monitored and
+//! unmonitored (the paper's no-relink deployment property).
+
+use ipm_core::{Ipm, IpmConfig, IpmBlas, IpmCuda, IpmFft, IpmIo, IpmMpi, RankProfile};
+use ipm_gpu_sim::{CudaApi, Device, GpuConfig, GpuRuntime};
+use ipm_mpi_sim::{MpiApi, World, WorldConfig};
+use ipm_numlib::{
+    BlasApi, CublasContext, CufftConfig, CufftContext, DeviceLibConfig, FftApi, HostBlas,
+    HostLibConfig,
+};
+use ipm_sim_core::fsio::{FsConfig, IoApi, RankFs, SimFs};
+use ipm_sim_core::{NoiseModel, SimClock, SimRng};
+use std::sync::Arc;
+
+/// Cluster-run configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// MPI ranks.
+    pub nranks: usize,
+    /// Nodes; ranks are block-mapped, one GPU per node.
+    pub nodes: usize,
+    /// Per-node GPU configuration.
+    pub gpu: GpuConfig,
+    /// IPM configuration; `None` runs unmonitored (the Fig. 8 baseline).
+    pub ipm: Option<IpmConfig>,
+    /// Command string for the report metadata.
+    pub command: String,
+    /// Run-level noise (applied to each rank's finished wallclock).
+    pub noise: NoiseModel,
+    /// Seed for the run-noise draw.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A Dirac-like run: `nranks` over `nodes` nodes, monitored with IPM
+    /// defaults, no noise.
+    pub fn dirac(nranks: usize, nodes: usize) -> Self {
+        assert!(nodes > 0 && nranks >= nodes, "need at least one rank per node");
+        Self {
+            nranks,
+            nodes,
+            gpu: GpuConfig::dirac_node(),
+            ipm: Some(IpmConfig::default()),
+            command: "<app>".to_owned(),
+            noise: NoiseModel::QUIET,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Disable monitoring (baseline runs of the dilatation study).
+    pub fn unmonitored(mut self) -> Self {
+        self.ipm = None;
+        self
+    }
+
+    /// Override the IPM configuration.
+    pub fn with_ipm(mut self, cfg: IpmConfig) -> Self {
+        self.ipm = Some(cfg);
+        self
+    }
+
+    /// Set the command metadata.
+    pub fn with_command(mut self, cmd: &str) -> Self {
+        self.command = cmd.to_owned();
+        self
+    }
+
+    /// Enable run-level noise with a seed.
+    pub fn with_noise(mut self, noise: NoiseModel, seed: u64) -> Self {
+        self.noise = noise;
+        self.seed = seed;
+        self
+    }
+
+    fn ranks_per_node(&self) -> usize {
+        self.nranks.div_ceil(self.nodes)
+    }
+}
+
+/// Everything one rank's application code gets to touch.
+pub struct RankCtx {
+    pub rank: usize,
+    pub nranks: usize,
+    pub node: usize,
+    pub clock: SimClock,
+    /// The (possibly monitored) CUDA runtime API.
+    pub cuda: Arc<dyn CudaApi>,
+    /// The (possibly monitored) MPI API.
+    pub mpi: Arc<dyn MpiApi>,
+    /// The (possibly monitored) CUBLAS API, built over `cuda`.
+    pub blas: Arc<dyn BlasApi>,
+    /// The (possibly monitored) CUFFT API, built over `cuda`.
+    pub fft: Arc<dyn FftApi>,
+    /// The host "MKL" BLAS (unaccelerated baseline).
+    pub host_blas: HostBlas,
+    /// The (possibly monitored) file-I/O API over the shared scratch FS.
+    pub io: Arc<dyn IoApi>,
+    /// Deterministic per-rank RNG for workload generation.
+    pub rng: SimRng,
+    /// The IPM context (None when unmonitored).
+    pub ipm: Option<Arc<Ipm>>,
+    cuda_mon: Option<Arc<IpmCuda>>,
+}
+
+impl RankCtx {
+    /// Enter a named IPM region (no-op when unmonitored).
+    pub fn region_enter(&self, name: &str) {
+        if let Some(ipm) = &self.ipm {
+            ipm.region_enter(name);
+        }
+    }
+
+    /// Exit the current IPM region.
+    pub fn region_exit(&self) {
+        if let Some(ipm) = &self.ipm {
+            ipm.region_exit();
+        }
+    }
+
+    /// Model host-side computation for `dt` virtual seconds.
+    pub fn compute(&self, dt: f64) {
+        self.clock.advance(dt);
+    }
+
+    fn finalize(&self) -> Option<RankProfile> {
+        if let Some(mon) = &self.cuda_mon {
+            mon.finalize();
+        }
+        self.ipm.as_ref().map(|ipm| ipm.profile())
+    }
+}
+
+/// The outcome of a cluster run.
+pub struct ClusterRun<R> {
+    /// Per-rank application return values (rank order).
+    pub outputs: Vec<R>,
+    /// Per-rank wallclock, after run-level noise (rank order).
+    pub wallclocks: Vec<f64>,
+    /// Per-rank IPM profiles (empty when unmonitored).
+    pub profiles: Vec<RankProfile>,
+}
+
+impl<R> ClusterRun<R> {
+    /// Max wallclock over ranks — the job's runtime.
+    pub fn runtime(&self) -> f64 {
+        self.wallclocks.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Run `app` on a simulated cluster. One OS thread per rank.
+pub fn run_cluster<R: Send>(
+    config: &ClusterConfig,
+    app: impl Fn(&mut RankCtx) -> R + Send + Sync,
+) -> ClusterRun<R> {
+    let rpn = config.ranks_per_node();
+    let devices: Vec<Arc<Device>> = (0..config.nodes)
+        .map(|node| {
+            let d = Device::new(config.gpu.clone());
+            // ranks are block-mapped; the last node may hold fewer
+            let lo = node * rpn;
+            let hi = ((node + 1) * rpn).min(config.nranks);
+            d.set_expected_contexts(hi.saturating_sub(lo));
+            d
+        })
+        .collect();
+    let world_cfg = WorldConfig::dirac(config.nranks, rpn);
+    let world = World::new(world_cfg);
+    let scratch_fs = SimFs::new(FsConfig::default());
+
+    let results: Vec<(R, f64, Option<RankProfile>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.nranks)
+            .map(|r| {
+                let world = world.clone();
+                let scratch_fs = scratch_fs.clone();
+                let device = devices[(r / rpn).min(config.nodes - 1)].clone();
+                let app = &app;
+                let config = &config;
+                s.spawn(move || {
+                    let clock = SimClock::new();
+                    let rank = world.rank_with_clock(r, clock.clone());
+                    let node = rank.node();
+                    let gpu = Arc::new(GpuRuntime::new(device, clock.clone()));
+                    let mut rng = SimRng::new(config.seed).fork(r as u64);
+
+                    let (cuda, mpi, ipm, cuda_mon): (
+                        Arc<dyn CudaApi>,
+                        Arc<dyn MpiApi>,
+                        Option<Arc<Ipm>>,
+                        Option<Arc<IpmCuda>>,
+                    ) = match config.ipm {
+                        Some(ipm_cfg) => {
+                            let ipm = Ipm::new(clock.clone(), ipm_cfg);
+                            ipm.set_metadata(
+                                r,
+                                config.nranks,
+                                &format!("dirac{node:02}"),
+                                &config.command,
+                            );
+                            let mon = Arc::new(IpmCuda::new(ipm.clone(), gpu));
+                            let mpi: Arc<dyn MpiApi> = Arc::new(IpmMpi::new(ipm.clone(), rank));
+                            (mon.clone() as Arc<dyn CudaApi>, mpi, Some(ipm), Some(mon))
+                        }
+                        None => (gpu as Arc<dyn CudaApi>, Arc::new(rank), None, None),
+                    };
+
+                    let blas_inner =
+                        CublasContext::init(cuda.clone(), DeviceLibConfig::default());
+                    let fft_inner =
+                        Arc::new(CufftContext::new(cuda.clone(), CufftConfig::default()));
+                    let (blas, fft): (Arc<dyn BlasApi>, Arc<dyn FftApi>) = match &ipm {
+                        Some(ipm) => (
+                            Arc::new(IpmBlas::new(ipm.clone(), blas_inner)),
+                            Arc::new(IpmFft::new(ipm.clone(), fft_inner)),
+                        ),
+                        None => (Arc::new(blas_inner), Arc::new(IpmFftLess(fft_inner))),
+                    };
+
+                    let rank_fs = RankFs { fs: scratch_fs, clock: clock.clone() };
+                    let io: Arc<dyn IoApi> = match &ipm {
+                        Some(ipm) => Arc::new(IpmIo::new(ipm.clone(), rank_fs)),
+                        None => Arc::new(rank_fs),
+                    };
+                    let mut ctx = RankCtx {
+                        rank: r,
+                        nranks: config.nranks,
+                        node,
+                        clock: clock.clone(),
+                        cuda,
+                        mpi,
+                        blas,
+                        fft,
+                        host_blas: HostBlas::new(clock.clone(), HostLibConfig::default()),
+                        io,
+                        rng: rng.fork(0xA99),
+                        ipm,
+                        cuda_mon,
+                    };
+                    let out = app(&mut ctx);
+                    let profile = ctx.finalize();
+                    let wall = clock.now() * config.noise.run_multiplier(&mut rng);
+                    (out, wall, profile)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    });
+
+    let mut outputs = Vec::with_capacity(results.len());
+    let mut wallclocks = Vec::with_capacity(results.len());
+    let mut profiles = Vec::new();
+    for (out, wall, profile) in results {
+        outputs.push(out);
+        wallclocks.push(wall);
+        if let Some(p) = profile {
+            profiles.push(p);
+        }
+    }
+    ClusterRun { outputs, wallclocks, profiles }
+}
+
+/// Adapter exposing an unmonitored `CufftContext` as `FftApi` behind an
+/// `Arc` (the context itself implements the trait; this just forwards).
+struct IpmFftLess(Arc<CufftContext>);
+
+impl FftApi for IpmFftLess {
+    fn cufft_plan_1d(
+        &self,
+        n: usize,
+        ty: ipm_numlib::FftType,
+        batch: usize,
+    ) -> ipm_gpu_sim::CudaResult<ipm_numlib::PlanId> {
+        self.0.plan_1d(n, ty, batch)
+    }
+    fn cufft_set_stream(
+        &self,
+        plan: ipm_numlib::PlanId,
+        stream: ipm_gpu_sim::StreamId,
+    ) -> ipm_gpu_sim::CudaResult<()> {
+        self.0.set_stream(plan, stream)
+    }
+    fn cufft_exec_z2z(
+        &self,
+        plan: ipm_numlib::PlanId,
+        idata: ipm_gpu_sim::DevicePtr,
+        odata: ipm_gpu_sim::DevicePtr,
+        dir: ipm_numlib::FftDirection,
+    ) -> ipm_gpu_sim::CudaResult<()> {
+        self.0.exec_z2z(plan, idata, odata, dir)
+    }
+    fn cufft_destroy(&self, plan: ipm_numlib::PlanId) -> ipm_gpu_sim::CudaResult<()> {
+        self.0.destroy(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_gpu_sim::{launch_kernel, Kernel, KernelArg, KernelCost, LaunchConfig};
+    use ipm_mpi_sim::ReduceOp;
+
+    #[test]
+    fn monitored_run_produces_profiles() {
+        let cfg = ClusterConfig::dirac(4, 2).with_command("test-app");
+        let run = run_cluster(&cfg, |ctx| {
+            let d = ctx.cuda.cuda_malloc(1024).unwrap();
+            let k = Kernel::timed("work", KernelCost::Fixed(0.1));
+            launch_kernel(ctx.cuda.as_ref(), &k, LaunchConfig::simple(8u32, 32u32), &[
+                KernelArg::Ptr(d),
+            ])
+            .unwrap();
+            let mut out = vec![0u8; 1024];
+            ctx.cuda.cuda_memcpy_d2h(&mut out, d).unwrap();
+            ctx.mpi.mpi_allreduce_f64(&[1.0], ReduceOp::Sum).unwrap()[0]
+        });
+        assert_eq!(run.outputs, vec![4.0; 4]);
+        assert_eq!(run.profiles.len(), 4);
+        for p in &run.profiles {
+            assert_eq!(p.count_of("cudaLaunch"), 1);
+            assert_eq!(p.count_of("MPI_Allreduce"), 1);
+            assert!(p.time_of("@CUDA_EXEC_STRM00") > 0.09);
+            assert_eq!(p.command, "test-app");
+        }
+        assert!(run.runtime() > 0.1);
+    }
+
+    #[test]
+    fn unmonitored_run_has_no_profiles_and_is_faster() {
+        let app = |ctx: &mut RankCtx| {
+            for _ in 0..100 {
+                let d = ctx.cuda.cuda_malloc(64).unwrap();
+                ctx.cuda.cuda_free(d).unwrap();
+            }
+        };
+        let mon = run_cluster(&ClusterConfig::dirac(2, 1), app);
+        let bare = run_cluster(&ClusterConfig::dirac(2, 1).unmonitored(), app);
+        assert!(bare.profiles.is_empty());
+        assert_eq!(mon.profiles.len(), 2);
+        // monitoring dilates the runtime slightly, never shrinks it
+        assert!(mon.runtime() >= bare.runtime());
+        let dilatation = (mon.runtime() - bare.runtime()) / bare.runtime();
+        assert!(dilatation < 0.05, "dilatation {dilatation}");
+    }
+
+    #[test]
+    fn ranks_on_one_node_share_the_gpu() {
+        // two ranks, one node: device kernels serialize across contexts
+        let app = |ctx: &mut RankCtx| {
+            let k = Kernel::timed("spin", KernelCost::Fixed(0.5));
+            launch_kernel(ctx.cuda.as_ref(), &k, LaunchConfig::simple(1u32, 1u32), &[]).unwrap();
+            ctx.cuda.cuda_thread_synchronize().unwrap();
+            ctx.clock.now()
+        };
+        let shared = run_cluster(&ClusterConfig::dirac(2, 1).unmonitored(), app);
+        let exclusive = run_cluster(&ClusterConfig::dirac(2, 2).unmonitored(), app);
+        // with a shared GPU at least one rank waits for the other's kernel
+        assert!(
+            shared.runtime() >= exclusive.runtime() + 0.4,
+            "shared {} vs exclusive {}",
+            shared.runtime(),
+            exclusive.runtime()
+        );
+    }
+
+    #[test]
+    fn noise_spreads_wallclocks() {
+        let cfg = ClusterConfig::dirac(4, 4)
+            .unmonitored()
+            .with_noise(NoiseModel { run_sigma: 0.01, event_jitter: 0.0 }, 42);
+        let run = run_cluster(&cfg, |ctx| ctx.compute(100.0));
+        let min = run.wallclocks.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = run.runtime();
+        assert!(max > min, "noise produced identical wallclocks");
+        assert!((max - 100.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn regions_work_through_the_ctx() {
+        let run = run_cluster(&ClusterConfig::dirac(1, 1), |ctx| {
+            ctx.region_enter("phase1");
+            ctx.mpi.mpi_barrier().unwrap();
+            ctx.region_exit();
+        });
+        let p = &run.profiles[0];
+        assert!(p.regions.contains(&"phase1".to_owned()));
+    }
+
+    #[test]
+    fn blas_and_fft_are_wired_through_monitoring() {
+        let run = run_cluster(&ClusterConfig::dirac(1, 1), |ctx| {
+            let d = ctx.blas.cublas_alloc(16, 8).unwrap();
+            ctx.blas
+                .cublas_dgemm(
+                    ipm_numlib::Transpose::N,
+                    ipm_numlib::Transpose::N,
+                    4,
+                    4,
+                    4,
+                    1.0,
+                    d,
+                    4,
+                    d,
+                    4,
+                    0.0,
+                    d,
+                    4,
+                )
+                .unwrap();
+            let plan = ctx.fft.cufft_plan_1d(64, ipm_numlib::FftType::Z2Z, 1).unwrap();
+            let dd = ctx.cuda.cuda_malloc(64 * 16).unwrap();
+            ctx.fft.cufft_exec_z2z(plan, dd, dd, ipm_numlib::FftDirection::Forward).unwrap();
+        });
+        let p = &run.profiles[0];
+        assert_eq!(p.count_of("cublasDgemm"), 1);
+        assert_eq!(p.count_of("cufftExecZ2Z"), 1);
+        // library-internal launches intercepted too
+        assert!(p.count_of("cudaLaunch") >= 2);
+    }
+}

@@ -1,0 +1,292 @@
+//! The HPL-like CUDA-accelerated Linpack workload.
+//!
+//! Models Fatica's CUDA-accelerated High Performance Linpack (paper
+//! §IV-B/C, Figs. 8 and 9): a right-looking blocked LU factorization,
+//! 1-D column-block distributed over the ranks, with the panel factored
+//! on the CPU, broadcast, and the trailing update offloaded to the GPU
+//! through the four kernels the paper observes in Fig. 9
+//! (`dgemm_nn_e_kernel`, `dgemm_nt_tex_kernel`, `dtrsm_gpu_64_mm`,
+//! `transpose`). Matching the paper's observations:
+//!
+//! * transfers are **asynchronous** (pinned rate) → `@CUDA_HOST_IDLE ≈ 0`;
+//! * the host overlaps panel work with the GPU update and synchronizes
+//!   manually via the event API → a few seconds per rank in
+//!   `cudaEventSynchronize`;
+//! * computation is well balanced across ranks.
+
+use crate::cluster::RankCtx;
+use ipm_gpu_sim::{
+    launch_kernel, CudaResult, Dim3, Kernel, KernelArg, KernelCost, LaunchConfig,
+};
+use ipm_sim_core::model::{CpuComputeModel, GpuComputeModel};
+
+/// HPL workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HplConfig {
+    /// Global matrix order.
+    pub n: usize,
+    /// Panel width.
+    pub nb: usize,
+    /// Fraction of the GPU update the host overlaps with its own panel
+    /// work before `cudaEventSynchronize` (0.97 reproduces the paper's
+    /// 2–5 s of event-sync time per rank over a ~126 s run).
+    pub overlap: f64,
+}
+
+impl HplConfig {
+    /// The paper's Fig. 8 configuration: 16 nodes of Dirac, ~126 s mean
+    /// runtime.
+    pub fn dirac16() -> Self {
+        Self { n: 97_280, nb: 512, overlap: 0.97 }
+    }
+
+    /// A small, fast instance for tests.
+    pub fn tiny() -> Self {
+        Self { n: 4_096, nb: 256, overlap: 0.9 }
+    }
+
+    fn iterations(&self) -> usize {
+        self.n / self.nb
+    }
+}
+
+/// Per-rank result summary.
+#[derive(Clone, Copy, Debug)]
+pub struct HplResult {
+    /// Flops this rank executed on its GPU.
+    pub gpu_flops: f64,
+    /// Virtual runtime of this rank.
+    pub seconds: f64,
+}
+
+impl HplResult {
+    /// Achieved GFLOP/s on this rank.
+    pub fn gflops(&self) -> f64 {
+        self.gpu_flops / self.seconds / 1e9
+    }
+}
+
+/// Run the HPL-like solver on one rank of a cluster.
+pub fn run_hpl(ctx: &mut RankCtx, cfg: HplConfig) -> CudaResult<HplResult> {
+    let p = ctx.nranks;
+    let rank = ctx.rank;
+    let gpu_model = GpuComputeModel::tesla_c2050();
+    let cpu_model = CpuComputeModel::xeon_5530_core();
+    let gemm_eff = 0.6;
+    let start = ctx.clock.now();
+
+    // device working set: panel + local trailing matrix tile
+    let panel_bytes = (self::buf_cap(cfg.nb * cfg.nb * 8)).max(4096);
+    let d_panel = ctx.cuda.cuda_malloc(panel_bytes)?;
+    let d_tile = ctx.cuda.cuda_malloc(panel_bytes)?;
+    let stream = ctx.cuda.cuda_stream_create()?;
+    let ev = ctx.cuda.cuda_event_create()?;
+    let panel_host = vec![0u8; panel_bytes];
+    let mut swap_buf = vec![0u8; cfg.nb * 8];
+
+    let mut gpu_flops = 0.0f64;
+    let iters = cfg.iterations();
+    for k in 0..iters {
+        let rows = cfg.n - (k + 1) * cfg.nb;
+        // columns this rank still owns in the trailing submatrix
+        let trailing_cols = cfg.n - (k + 1) * cfg.nb;
+        let my_cols = trailing_cols / p + usize::from(rank < trailing_cols % p);
+        let owner = k % p;
+
+        // 1. the panel for step k was factored during step k-1's GPU
+        //    update (HPL's lookahead) — only the pivoting epilogue sits on
+        //    the critical path here
+        if rank == owner {
+            ctx.compute(cpu_model.compute_time(cfg.nb as f64 * cfg.nb as f64, 0.8));
+        }
+
+        // 2. broadcast the factored panel
+        let bcast_bytes = (rows.min(8192) + cfg.nb) * cfg.nb / 64 * 8; // compressed panel slice
+        ctx.mpi
+            .mpi_bcast(owner, vec![0u8; bcast_bytes.max(64)])
+            .expect("panel bcast");
+
+        if rows == 0 || my_cols == 0 {
+            continue;
+        }
+
+        // 3. upload panel asynchronously (pinned) and update on the GPU
+        ctx.cuda.cuda_memcpy_h2d_async(d_panel, &panel_host, stream)?;
+
+        let transpose = Kernel::timed(
+            "transpose",
+            KernelCost::Fixed(gpu_model.kernel_time(0.0, (cfg.nb * cfg.nb * 16) as f64, 0.5)),
+        );
+        launch_kernel(
+            ctx.cuda.as_ref(),
+            &transpose,
+            LaunchConfig::simple(Dim3::xy(cfg.nb as u32 / 16, cfg.nb as u32 / 16), Dim3::xy(16, 16))
+                .on_stream(stream),
+            &[KernelArg::Ptr(d_panel)],
+        )?;
+
+        let trsm_flops = cfg.nb as f64 * cfg.nb as f64 * my_cols as f64;
+        let dtrsm = Kernel::timed(
+            "dtrsm_gpu_64_mm",
+            KernelCost::Fixed(gpu_model.kernel_time(trsm_flops, 0.0, gemm_eff * 0.6)),
+        );
+        launch_kernel(
+            ctx.cuda.as_ref(),
+            &dtrsm,
+            LaunchConfig::simple((my_cols.max(64) / 64) as u32, 64u32).on_stream(stream),
+            &[KernelArg::Ptr(d_panel), KernelArg::Ptr(d_tile)],
+        )?;
+
+        let gemm_flops = 2.0 * rows as f64 * my_cols as f64 * cfg.nb as f64;
+        let gemm_time = gpu_model.kernel_time(gemm_flops, 0.0, gemm_eff);
+        let gemm_name = if k % 4 == 3 { "dgemm_nt_tex_kernel" } else { "dgemm_nn_e_kernel" };
+        let dgemm = Kernel::timed(gemm_name, KernelCost::Fixed(gemm_time));
+        launch_kernel(
+            ctx.cuda.as_ref(),
+            &dgemm,
+            LaunchConfig::simple(
+                Dim3::xy((rows / 64).max(1) as u32, (my_cols / 16).max(1) as u32),
+                Dim3::xy(16, 16),
+            )
+            .on_stream(stream),
+            &[KernelArg::Ptr(d_panel), KernelArg::Ptr(d_tile)],
+        )?;
+        gpu_flops += gemm_flops + trsm_flops;
+
+        ctx.cuda.cuda_event_record(ev, stream)?;
+
+        // 4. overlap (lookahead): the next panel's factorization runs on
+        //    the host while the GPU updates the trailing matrix, capped at
+        //    `overlap` of the GPU time so the event sync below keeps the
+        //    residual the paper observes (2-5 s per rank over the run)
+        let next_panel_flops = cfg.nb as f64 * cfg.nb as f64 * rows as f64;
+        let lookahead = cpu_model
+            .compute_time(next_panel_flops, 0.8)
+            .min(gemm_time * cfg.overlap);
+        ctx.compute(lookahead.max(gemm_time * (cfg.overlap - 0.05)));
+        let partner = rank ^ 1;
+        if partner < p {
+            if rank < partner {
+                ctx.mpi.mpi_send(partner, k as i32, &swap_buf).expect("swap send");
+                let (_, data) = ctx.mpi.mpi_recv(Some(partner), k as i32).expect("swap recv");
+                swap_buf.copy_from_slice(&data);
+            } else {
+                let (_, data) = ctx.mpi.mpi_recv(Some(partner), k as i32).expect("swap recv");
+                ctx.mpi.mpi_send(partner, k as i32, &data).expect("swap send");
+            }
+        }
+
+        // 5. manual synchronization via the event API (HPL's style: the
+        //    residual, non-overlapped GPU time lands here)
+        ctx.cuda.cuda_event_synchronize(ev)?;
+
+        // 6. occasionally fetch factored data back (async + stream sync)
+        if k % 8 == 7 {
+            let mut out = vec![0u8; 4096];
+            ctx.cuda.cuda_memcpy_d2h_async(&mut out, d_tile, stream)?;
+            ctx.cuda.cuda_stream_synchronize(stream)?;
+        }
+    }
+
+    // final result fetch
+    let mut out = vec![0u8; panel_bytes];
+    ctx.cuda.cuda_memcpy_d2h_async(&mut out, d_tile, stream)?;
+    ctx.cuda.cuda_stream_synchronize(stream)?;
+    ctx.cuda.cuda_event_destroy(ev)?;
+    ctx.cuda.cuda_stream_destroy(stream)?;
+    ctx.cuda.cuda_free(d_panel)?;
+    ctx.cuda.cuda_free(d_tile)?;
+    ctx.mpi.mpi_barrier().expect("final barrier");
+
+    Ok(HplResult { gpu_flops, seconds: ctx.clock.now() - start })
+}
+
+/// Clamp device buffer sizes to something the 3 GiB heap holds comfortably
+/// even with many ranks per node.
+fn buf_cap(bytes: usize) -> usize {
+    bytes.min(64 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, ClusterConfig};
+    use ipm_core::{ClusterReport, EventFamily};
+
+    fn run_tiny(ranks: usize) -> (ClusterReport, Vec<HplResult>) {
+        let cfg = ClusterConfig::dirac(ranks, ranks).with_command("xhpl.cuda");
+        let run = run_cluster(&cfg, |ctx| run_hpl(ctx, HplConfig::tiny()).expect("hpl"));
+        let report = ClusterReport::from_profiles(run.profiles.clone(), ranks);
+        (report, run.outputs)
+    }
+
+    #[test]
+    fn fig9_kernel_inventory() {
+        let (report, _) = run_tiny(4);
+        let kernels: Vec<String> =
+            report.kernel_shares().into_iter().map(|(k, _)| k).collect();
+        // the four kernels the paper observes in Fig. 9
+        for expected in
+            ["dgemm_nn_e_kernel", "dgemm_nt_tex_kernel", "dtrsm_gpu_64_mm", "transpose"]
+        {
+            assert!(kernels.contains(&expected.to_owned()), "missing kernel {expected}");
+        }
+        // dgemm_nn dominates
+        assert_eq!(report.kernel_shares()[0].0, "dgemm_nn_e_kernel");
+    }
+
+    #[test]
+    fn host_idle_is_negligible_thanks_to_async_transfers() {
+        let (report, _) = run_tiny(4);
+        let idle = report.host_idle_fraction();
+        assert!(idle < 0.01, "host idle fraction {idle}");
+    }
+
+    #[test]
+    fn event_synchronize_absorbs_residual_gpu_time() {
+        let (report, _) = run_tiny(4);
+        let sync = report.time_of("cudaEventSynchronize");
+        assert!(sync > 0.0, "no manual synchronization observed");
+        // it is a visible but modest fraction of the run, like the paper's
+        // 2-5 s per task out of ~126 s
+        let frac = sync / report.wallclock_total;
+        assert!(frac < 0.2, "event sync fraction {frac}");
+    }
+
+    #[test]
+    fn computation_is_well_balanced() {
+        let (report, _) = run_tiny(4);
+        for (kernel, imb) in report.kernel_imbalance() {
+            if kernel.starts_with("dgemm_nn") {
+                assert!(imb < 0.25, "kernel {kernel} imbalance {imb}");
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_does_most_of_the_flops() {
+        let (report, results) = run_tiny(2);
+        let total_flops: f64 = results.iter().map(|r| r.gpu_flops).sum();
+        // 2/3 n^3 for LU; the GPU executes the trailing updates (the bulk)
+        let lu_flops = 2.0 / 3.0 * (4096.0f64).powi(3);
+        assert!(total_flops > 0.5 * lu_flops, "gpu flops {total_flops} vs LU {lu_flops}");
+        assert!(report.family_spread(EventFamily::GpuExec).total > 0.0);
+        for r in &results {
+            assert!(r.gflops() > 1.0, "implausibly slow: {} GF/s", r.gflops());
+        }
+    }
+
+    #[test]
+    fn unmonitored_run_matches_monitored_within_fraction_of_percent() {
+        let cfg = HplConfig::tiny();
+        let mon = run_cluster(&ClusterConfig::dirac(2, 2), |ctx| {
+            run_hpl(ctx, cfg).expect("hpl").seconds
+        });
+        let bare = run_cluster(&ClusterConfig::dirac(2, 2).unmonitored(), |ctx| {
+            run_hpl(ctx, cfg).expect("hpl").seconds
+        });
+        let dil = (mon.runtime() - bare.runtime()) / bare.runtime();
+        assert!(dil >= 0.0, "monitoring made the run faster? {dil}");
+        assert!(dil < 0.02, "dilatation {dil} too large");
+    }
+}

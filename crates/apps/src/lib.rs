@@ -1,0 +1,27 @@
+//! # ipm-apps
+//!
+//! Workloads for the IPM reproduction's evaluation — the applications the
+//! paper profiles, rebuilt over the simulated substrates:
+//!
+//! * [`cluster`] — the Dirac-like cluster harness: MPI ranks as threads,
+//!   one GPU per node, IPM facades installed per rank.
+//! * [`square`] — the Fig. 3 microbenchmark (the Figs. 4–6 profiles).
+//! * [`sdk`] — the eight CUDA-SDK-style samples of Table I.
+//! * [`hpl`] — the CUDA-accelerated Linpack of Figs. 8 and 9.
+//! * [`paratec`] — the plane-wave DFT code of Fig. 10 (host MKL vs
+//!   thunking CUBLAS).
+//! * [`amber`] — the PMEMD-like molecular dynamics code of Fig. 11.
+
+pub mod amber;
+pub mod cluster;
+pub mod hpl;
+pub mod paratec;
+pub mod sdk;
+pub mod square;
+
+pub use amber::{run_amber, AmberConfig, AmberResult};
+pub use cluster::{run_cluster, ClusterConfig, ClusterRun, RankCtx};
+pub use hpl::{run_hpl, HplConfig, HplResult};
+pub use paratec::{run_paratec, BlasBackend, ParatecConfig, ParatecResult};
+pub use sdk::{table1_suite, SdkBenchmark};
+pub use square::{run_square, SquareConfig};

@@ -1,0 +1,332 @@
+//! The PARATEC-like plane-wave DFT workload (paper §IV-D, Fig. 10).
+//!
+//! PARATEC performs ab-initio DFT total-energy calculations with
+//! pseudopotentials and a plane-wave basis; computationally it is
+//! dominated by `zgemm` (double-complex GEMM) on wavefunction blocks,
+//! 3-D FFTs, and MPI reductions/gathers. The paper links it against the
+//! **thunking** CUBLAS wrappers — every `zgemm` pays blocking
+//! `cublasSetMatrix`/`cublasGetMatrix` transfers, which is exactly what
+//! IPM's profile exposes (transfer time dwarfing compute).
+//!
+//! Reproduced observations (Fig. 10):
+//! * CUBLAS accelerates the whole application by ~35% over host MKL;
+//! * transfer time (`cublasSetMatrix`/`GetMatrix`) ≫ `zgemm` kernel time;
+//! * scaling is good to 128 ranks, then `MPI_Gather` (linear in ranks)
+//!   starts to dominate;
+//! * CUBLAS time per rank stays roughly constant as ranks increase
+//!   (shared GPUs, but shrinking per-rank datasets).
+
+use crate::cluster::RankCtx;
+use ipm_gpu_sim::CudaResult;
+use ipm_mpi_sim::ReduceOp;
+use ipm_numlib::{Complex64, Transpose};
+
+/// Which BLAS backs the wavefunction updates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlasBackend {
+    /// Sequential host "MKL" — the unaccelerated baseline.
+    HostMkl,
+    /// CUBLAS through the Fortran thunking wrappers (alloc + transfer +
+    /// kernel + transfer + free per call).
+    CublasThunking,
+}
+
+/// PARATEC workload parameters (the NERSC-6 "medium" shape, scaled).
+#[derive(Clone, Copy, Debug)]
+pub struct ParatecConfig {
+    /// Number of electronic bands (GEMM dimension m = n).
+    pub nbands: usize,
+    /// Plane-wave coefficients per band, global (GEMM k dimension is
+    /// `npw / nranks` — the per-rank dataset shrinks with scale).
+    pub npw: usize,
+    /// SCF iterations.
+    pub iterations: usize,
+    /// zgemm calls per iteration.
+    pub gemms_per_iter: usize,
+    /// FFT batches per iteration (host FFTW-style, stays on the CPU).
+    pub ffts_per_iter: usize,
+    /// Bytes each rank contributes to each `MPI_Gather`
+    /// (fixed per rank → root cost grows linearly with ranks).
+    pub gather_bytes: usize,
+    /// Gathers per iteration (coefficient collection to the root).
+    pub gathers_per_iter: usize,
+    /// Non-BLAS DFT work per iteration, in *total rank-seconds across the
+    /// job* (each rank gets `1/nranks` of it — strong scaling).
+    pub other_work_per_iter: f64,
+    /// BLAS backend.
+    pub backend: BlasBackend,
+}
+
+impl ParatecConfig {
+    /// The Fig. 10 configuration (medium problem, 32 Dirac nodes).
+    /// Calibrated so that at 32 ranks the MKL run takes ~1976 s and the
+    /// thunking-CUBLAS run ~1285 s (the paper's numbers), with transfer
+    /// time dwarfing zgemm compute.
+    pub fn nersc6_medium(backend: BlasBackend) -> Self {
+        Self {
+            nbands: 160,
+            npw: 1 << 22,
+            iterations: 25,
+            gemms_per_iter: 10,
+            ffts_per_iter: 8,
+            gather_bytes: 1 << 20,
+            gathers_per_iter: 64,
+            other_work_per_iter: 1446.0,
+            backend,
+        }
+    }
+
+    /// A small, fast instance whose numerics are verified exactly.
+    pub fn tiny(backend: BlasBackend) -> Self {
+        Self {
+            nbands: 8,
+            npw: 256,
+            iterations: 2,
+            gemms_per_iter: 2,
+            ffts_per_iter: 1,
+            gather_bytes: 512,
+            gathers_per_iter: 1,
+            other_work_per_iter: 0.0,
+            backend,
+        }
+    }
+}
+
+/// Per-rank outcome.
+#[derive(Clone, Debug)]
+pub struct ParatecResult {
+    /// Final "total energy" (a deterministic reduction over the
+    /// wavefunction products; identical on all ranks).
+    pub energy: f64,
+    /// Virtual runtime of this rank.
+    pub seconds: f64,
+}
+
+/// Run the PARATEC-like SCF loop on one rank.
+pub fn run_paratec(ctx: &mut RankCtx, cfg: ParatecConfig) -> CudaResult<ParatecResult> {
+    let p = ctx.nranks;
+    let m = cfg.nbands;
+    let k = (cfg.npw / p).max(1);
+    // physical wavefunction extent: full at verification scale, a prefix
+    // at paper scale (transfers/kernels are then timing-modeled)
+    let k_phys = k.min(4096.max(m));
+    let start = ctx.clock.now();
+
+    // wavefunction block: k plane waves x m bands (column-major), complex
+    let mut psi: Vec<Complex64> = (0..k_phys * m)
+        .map(|i| {
+            let x = ((i * 2654435761usize) % 1000) as f64 / 1000.0 - 0.5;
+            Complex64::new(x, -x / 3.0)
+        })
+        .collect();
+    let hpsi: Vec<Complex64> =
+        (0..k_phys * m).map(|i| Complex64::new(((i % 31) as f64) / 31.0, 0.1)).collect();
+    let mut overlap = vec![Complex64::ZERO; m * m];
+    let mut energy = 0.0f64;
+
+    for _iter in 0..cfg.iterations {
+        ctx.region_enter("scf");
+        // 1. subspace overlap matrices: zgemm (C = psi^H * hpsi), the
+        //    dominant BLAS call, through the configured backend
+        for _g in 0..cfg.gemms_per_iter {
+            match cfg.backend {
+                BlasBackend::HostMkl => {
+                    ctx.host_blas.zgemm(
+                        Transpose::C,
+                        Transpose::N,
+                        m,
+                        m,
+                        k,
+                        Complex64::ONE,
+                        &psi,
+                        k,
+                        &hpsi,
+                        k,
+                        Complex64::ZERO,
+                        &mut overlap,
+                        m,
+                    );
+                }
+                BlasBackend::CublasThunking => {
+                    thunking_zgemm(ctx, m, k, k_phys, &psi, &hpsi, &mut overlap)?;
+                }
+            }
+        }
+
+        // 2. FFTs between reciprocal and real space (host FFTW)
+        for _f in 0..cfg.ffts_per_iter {
+            let fft_len = k.min(16 * 1024).next_power_of_two().min(psi.len());
+            let mut scratch: Vec<Complex64> = psi[..fft_len].to_vec();
+            if scratch.len().is_power_of_two() && scratch.len() > 1 {
+                let host_fft = ipm_numlib::HostFft::new(
+                    ctx.clock.clone(),
+                    ipm_numlib::HostLibConfig::default(),
+                );
+                host_fft.execute(&mut scratch, ipm_numlib::FftDirection::Forward);
+            }
+        }
+
+        // 3. nonblocking halo exchange with neighbors, completed by
+        //    MPI_Wait (a visible chunk of the paper's MPI time)
+        let left = (ctx.rank + p - 1) % p;
+        let right = (ctx.rank + 1) % p;
+        let halo = vec![0u8; 32 * 1024];
+        let mut sreq = ctx.mpi.mpi_isend(right, 7, &halo).expect("halo isend");
+        let mut rreq = ctx.mpi.mpi_irecv(Some(left), 7).expect("halo irecv");
+        ctx.mpi.mpi_wait(&mut rreq).expect("halo wait");
+        ctx.mpi.mpi_wait(&mut sreq).expect("halo wait");
+
+        // 4. energy reduction (allreduce over band energies)
+        let local: f64 = overlap.iter().take(m).map(|c| c.re).sum::<f64>() / m as f64
+            + psi[0].re * 1e-3;
+        let summed = ctx
+            .mpi
+            .mpi_allreduce_f64(&[local], ReduceOp::Sum)
+            .expect("energy allreduce");
+        energy = summed[0];
+
+        // 5. wavefunction coefficients gathered to the root for I/O —
+        //    fixed bytes per rank, so the root cost is linear in ranks:
+        //    this is what blows up at 256 processes in Fig. 10
+        for _g in 0..cfg.gathers_per_iter {
+            ctx.mpi.mpi_gather(0, &vec![0u8; cfg.gather_bytes]).expect("gather");
+        }
+
+        // 5b. the remaining DFT machinery (pseudopotentials, density
+        //     mixing, ...) — strong-scaled CPU work
+        ctx.compute(cfg.other_work_per_iter / p as f64);
+
+        // 6. small orthonormalization update on the CPU
+        for (i, v) in psi.iter_mut().enumerate().take(m.min(64)) {
+            *v = *v + overlap[i % overlap.len()].scale(1e-6);
+        }
+        ctx.compute(1e-4);
+        ctx.region_exit();
+    }
+
+    ctx.mpi.mpi_barrier().expect("final barrier");
+    Ok(ParatecResult { energy, seconds: ctx.clock.now() - start })
+}
+
+/// One thunking zgemm: device alloc, blocking set/get transfers, kernel,
+/// free — the Fortran wrapper the paper links PARATEC against. When the
+/// virtual operand extent `k` exceeds the physical extent `k_phys`, the
+/// transfers use the modeled (sized) path: full virtual time and byte
+/// accounting, prefix-only data staging.
+fn thunking_zgemm(
+    ctx: &RankCtx,
+    m: usize,
+    k: usize,
+    k_phys: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    c: &mut [Complex64],
+) -> CudaResult<()> {
+    const Z: usize = 16;
+    let blas = ctx.blas.as_ref();
+    let da = blas.cublas_alloc(k * m, Z)?;
+    let db = blas.cublas_alloc(k * m, Z)?;
+    let dc = blas.cublas_alloc(m * m, Z)?;
+    let bytes = |xs: &[Complex64]| -> Vec<u8> {
+        xs.iter().flat_map(|z| [z.re.to_le_bytes(), z.im.to_le_bytes()].concat()).collect()
+    };
+    if k_phys < k {
+        // paper scale: stage a 64 KiB prefix, model the full transfer
+        let prefix = &bytes(&a[..(4096).min(a.len())]);
+        blas.cublas_set_matrix_modeled(k, m, Z, prefix, da)?;
+        let prefix_b = &bytes(&b[..(4096).min(b.len())]);
+        blas.cublas_set_matrix_modeled(k, m, Z, prefix_b, db)?;
+    } else {
+        blas.cublas_set_matrix(k, m, Z, &bytes(a), da)?;
+        blas.cublas_set_matrix(k, m, Z, &bytes(b), db)?;
+    }
+    blas.cublas_zgemm(
+        Transpose::C,
+        Transpose::N,
+        m,
+        m,
+        k,
+        Complex64::ONE,
+        da,
+        k,
+        db,
+        k,
+        Complex64::ZERO,
+        dc,
+        m,
+    )?;
+    let mut out = vec![0u8; m * m * Z];
+    blas.cublas_get_matrix(m, m, Z, dc, &mut out)?;
+    for (i, chunk) in out.chunks_exact(16).enumerate() {
+        c[i] = Complex64::new(
+            f64::from_le_bytes(chunk[..8].try_into().expect("re")),
+            f64::from_le_bytes(chunk[8..].try_into().expect("im")),
+        );
+    }
+    blas.cublas_free(da)?;
+    blas.cublas_free(db)?;
+    blas.cublas_free(dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, ClusterConfig};
+    use ipm_core::ClusterReport;
+
+    fn run(backend: BlasBackend, ranks: usize) -> (ClusterReport, Vec<ParatecResult>) {
+        let cfg = ClusterConfig::dirac(ranks, ranks.min(4)).with_command("paratec");
+        let run =
+            run_cluster(&cfg, |ctx| run_paratec(ctx, ParatecConfig::tiny(backend)).expect("scf"));
+        (ClusterReport::from_profiles(run.profiles.clone(), ranks.min(4)), run.outputs)
+    }
+
+    #[test]
+    fn both_backends_compute_the_same_energy() {
+        let (_, host) = run(BlasBackend::HostMkl, 2);
+        let (_, dev) = run(BlasBackend::CublasThunking, 2);
+        assert!(
+            (host[0].energy - dev[0].energy).abs() < 1e-9 * host[0].energy.abs().max(1.0),
+            "host {} vs cublas {}",
+            host[0].energy,
+            dev[0].energy
+        );
+        // and all ranks agree (it came out of an allreduce)
+        assert_eq!(host[0].energy, host[1].energy);
+    }
+
+    #[test]
+    fn thunking_profile_shows_transfers_and_zgemm() {
+        let (report, _) = run(BlasBackend::CublasThunking, 2);
+        assert!(report.count_of("cublasSetMatrix") > 0);
+        assert!(report.count_of("cublasGetMatrix") > 0);
+        assert!(report.count_of("cublasZgemm") > 0);
+        // internal kernel launches intercepted through the stack
+        assert!(report.count_of("cudaLaunch") > 0);
+    }
+
+    #[test]
+    fn host_backend_emits_no_cublas_events() {
+        let (report, _) = run(BlasBackend::HostMkl, 2);
+        assert_eq!(report.count_of("cublasZgemm"), 0);
+        assert_eq!(report.count_of("cublasSetMatrix"), 0);
+        // but MPI is still monitored
+        assert!(report.count_of("MPI_Allreduce") > 0);
+        assert!(report.count_of("MPI_Gather") > 0);
+        assert!(report.count_of("MPI_Wait") > 0);
+    }
+
+    #[test]
+    fn gather_time_grows_superlinearly_with_ranks() {
+        // per-rank gather cost must grow roughly linearly in rank count
+        // (the Fig. 10 cliff); compare average per-rank MPI_Gather time
+        let (r4, _) = run(BlasBackend::HostMkl, 4);
+        let (r8, _) = run(BlasBackend::HostMkl, 8);
+        let per_rank4 = r4.time_of("MPI_Gather") / 4.0;
+        let per_rank8 = r8.time_of("MPI_Gather") / 8.0;
+        assert!(
+            per_rank8 > 1.5 * per_rank4,
+            "gather did not grow: {per_rank4} -> {per_rank8}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Ablation: lazy vs eager kernel-completion checking.
+//!
+//! The paper chooses to sweep the kernel timing table only in D2H transfer
+//! wrappers, noting that checking "on each subsequent CUDA runtime call
+//! ... could cause high overheads". This bench quantifies that choice: a
+//! launch-heavy workload (many kernels, sporadic transfers) monitored
+//! under `KttCheckPolicy::D2hOnly` vs `KttCheckPolicy::EveryCall`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipm_core::{Ipm, IpmConfig, IpmCuda, KttCheckPolicy};
+use ipm_gpu_sim::{
+    launch_kernel, CudaApi, GpuConfig, GpuRuntime, Kernel, KernelCost, LaunchConfig,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn workload(cuda: &IpmCuda) {
+    let kernel = Kernel::timed("k", KernelCost::Fixed(5e-6));
+    let dev = cuda.cuda_malloc(4096).unwrap();
+    let mut out = vec![0u8; 4096];
+    for burst in 0..20 {
+        for _ in 0..16 {
+            launch_kernel(cuda, &kernel, LaunchConfig::simple(32u32, 128u32), &[]).unwrap();
+        }
+        // interleave cheap calls — under EveryCall each one sweeps the KTT
+        for _ in 0..16 {
+            cuda.cuda_stream_query(ipm_gpu_sim::StreamId::DEFAULT).ok();
+        }
+        if burst % 4 == 3 {
+            cuda.cuda_memcpy_d2h(&mut out, dev).unwrap();
+        }
+    }
+    cuda.cuda_thread_synchronize().unwrap();
+    cuda.cuda_free(dev).unwrap();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ktt_policy");
+    for (label, policy) in
+        [("d2h_only", KttCheckPolicy::D2hOnly), ("every_call", KttCheckPolicy::EveryCall)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            b.iter(|| {
+                let rt =
+                    Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+                let ipm =
+                    Ipm::new(rt.clock().clone(), IpmConfig { ktt_policy: policy, ..IpmConfig::default() });
+                let cuda = IpmCuda::new(ipm.clone(), rt);
+                workload(&cuda);
+                cuda.finalize();
+                black_box(ipm.profile().entries.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenchmark: per-call monitoring overhead.
+//!
+//! The paper reports application perturbation of ~0.2% for fully monitored
+//! HPL; that hinges on each wrapper costing well under a microsecond on
+//! top of the wrapped call. This bench measures the real wall-clock cost
+//! of the monitored vs bare CUDA facade on a cheap call
+//! (`cudaStreamQuery`), and the raw `wrap_call` plumbing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipm_core::{Ipm, IpmConfig, IpmCuda};
+use ipm_gpu_sim::{CudaApi, GpuConfig, GpuRuntime, StreamId};
+use ipm_interpose::{wrap_call, NullSink};
+use ipm_sim_core::SimClock;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_facades(c: &mut Criterion) {
+    let bare = GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0));
+    bare.get_device_count().unwrap(); // init outside the timing loop
+    c.bench_function("bare_stream_query", |b| {
+        b.iter(|| black_box(bare.cuda_stream_query(StreamId::DEFAULT)))
+    });
+
+    let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+    let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
+    let monitored = IpmCuda::new(ipm, rt);
+    monitored.cuda_get_device_count().unwrap();
+    c.bench_function("monitored_stream_query", |b| {
+        b.iter(|| black_box(monitored.cuda_stream_query(StreamId::DEFAULT)))
+    });
+}
+
+fn bench_wrap_call(c: &mut Criterion) {
+    let clock = SimClock::new();
+    let sink = NullSink;
+    c.bench_function("wrap_call_null_sink", |b| {
+        b.iter(|| wrap_call(&clock, &sink, "cudaLaunch", 0, 0.0, || black_box(42)))
+    });
+}
+
+criterion_group!(benches, bench_facades, bench_wrap_call);
+criterion_main!(benches);

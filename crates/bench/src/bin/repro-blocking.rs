@@ -1,0 +1,15 @@
+//! Regenerate the §III-C discovery microbenchmark: which CUDA operations
+//! block implicitly on outstanding kernels? (All synchronous memory
+//! operations — with the notable exception of `cudaMemset`.)
+
+use ipm_core::{discover_blocking_set, render_probe_table};
+
+fn main() {
+    println!("§III-C — implicit-blocking discovery microbenchmark\n");
+    println!("{}", render_probe_table(&discover_blocking_set()));
+    println!(
+        "each candidate runs after a 50 ms asynchronous kernel, once\n\
+         directly and once after cudaStreamSynchronize; a call is classified\n\
+         as implicitly blocking when the unsynced variant is >5x slower."
+    );
+}

@@ -1,0 +1,39 @@
+//! The paper's §VI future work, demonstrated: GPU hardware counters as an
+//! IPM component. Runs a mixed compute-/memory-bound kernel workload with
+//! counters enabled and prints the roofline-style component report.
+
+use ipm_core::GpuCounterReport;
+use ipm_gpu_sim::{launch_kernel, GpuConfig, GpuRuntime, Kernel, KernelCost, LaunchConfig};
+
+fn main() {
+    let rt = GpuRuntime::single(
+        GpuConfig::dirac_node().with_context_init(0.0).with_counters(),
+    );
+    let workloads = [
+        ("dgemm_like", 50_000.0, 16.0, 0.6, 200u32),
+        ("stencil_like", 60.0, 48.0, 0.55, 400u32),
+        ("stream_triad", 2.0, 24.0, 0.75, 800u32),
+        ("reduction", 8.0, 8.0, 0.4, 100u32),
+    ];
+    for (name, flops, bytes, eff, blocks) in workloads {
+        let k = Kernel::timed(
+            name,
+            KernelCost::Roofline { flops_per_thread: flops, bytes_per_thread: bytes, efficiency: eff },
+        );
+        for _ in 0..8 {
+            launch_kernel(&rt, &k, LaunchConfig::simple(blocks, 256u32), &[]).unwrap();
+        }
+    }
+    // a timing-only kernel, like one profiled without an arithmetic model
+    let opaque = Kernel::timed("opaque_kernel", KernelCost::Fixed(1e-3));
+    launch_kernel(&rt, &opaque, LaunchConfig::simple(64u32, 128u32), &[]).unwrap();
+    rt.thread_synchronize().unwrap();
+
+    println!("§VI future work — the GPU counter component (CUPTI/PAPI-CUDA analogue)\n");
+    println!("{}", GpuCounterReport::collect(&rt).render());
+    println!(
+        "the paper could only wish for this interface in 2011 (\"no documented\n\
+         interface to access the counters\"); the simulated device exposes it,\n\
+         so IPM's component model extends to roofline attribution per kernel."
+    );
+}

@@ -1,0 +1,49 @@
+//! Regenerate Fig. 10: the scaling of PARATEC — 32/64/128/256 MPI
+//! processes on 32 nodes, host MKL BLAS vs thunking CUBLAS, with the
+//! time breakdown into MPI (Allreduce/Wait/Gather) and CUBLAS
+//! (SetMatrix/GetMatrix/zgemm).
+//!
+//! `--quick` runs a reduced sweep (4/8/16 ranks, small problem).
+
+use ipm_apps::{BlasBackend, ParatecConfig};
+use ipm_bench::fig10::{render, run_fig10};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let only32 = std::env::args().any(|a| a == "--only32");
+    let rows = if only32 {
+        // the paper's headline 32-process comparison at full medium scale
+        run_fig10(&[32], ParatecConfig::nersc6_medium)
+    } else if quick {
+        let cfg = |backend| ParatecConfig {
+            nbands: 64,
+            npw: 1 << 17,
+            iterations: 4,
+            gemms_per_iter: 6,
+            ffts_per_iter: 2,
+            gather_bytes: 64 * 1024,
+            gathers_per_iter: 8,
+            other_work_per_iter: 16.0,
+            backend,
+        };
+        run_fig10(&[4, 8, 16], cfg)
+    } else {
+        run_fig10(&[32, 64, 128, 256], ParatecConfig::nersc6_medium)
+    };
+    println!("Fig. 10 — the scaling of PARATEC (per-rank seconds; wallclock is job max)\n");
+    println!("{}", render(&rows));
+    if !quick {
+        let mkl32 = rows.iter().find(|r| r.procs == 32 && r.backend == BlasBackend::HostMkl);
+        let dev32 =
+            rows.iter().find(|r| r.procs == 32 && r.backend == BlasBackend::CublasThunking);
+        if let (Some(m), Some(d)) = (mkl32, dev32) {
+            println!(
+                "paper @32 procs: 1976 s (MKL) -> 1285 s (CUBLAS), ~35% faster\n\
+                 here  @32 procs: {:.0} s (MKL) -> {:.0} s (CUBLAS), {:.0}% faster",
+                m.wallclock,
+                d.wallclock,
+                100.0 * (m.wallclock - d.wallclock) / m.wallclock,
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerate Fig. 11: the Amber/PMEMD profile — 16 ranks, JAC/DHFR,
+//! 10,000 timesteps — as the IPM cluster banner plus a paper-vs-measured
+//! comparison of the headline metrics.
+//!
+//! `--quick` runs 600 steps on 4 ranks.
+
+use ipm_apps::AmberConfig;
+use ipm_bench::fig11::{render_comparison, run_fig11};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (nranks, cfg) = if quick {
+        let mut c = AmberConfig::jac_dhfr();
+        c.steps = 600;
+        (4, c)
+    } else {
+        (16, AmberConfig::jac_dhfr())
+    };
+    println!("Fig. 11 — profile of Amber (PMEMD) on {nranks} ranks, {} steps\n", cfg.steps);
+    let result = run_fig11(nranks, cfg);
+    println!("{}", result.banner());
+    println!("{}", render_comparison(&result));
+    let shares = result.report.kernel_shares();
+    println!("GPU kernel inventory: {} kernels; top 5:", shares.len());
+    for (k, s) in shares.iter().take(5) {
+        println!("  {:<42} {:>5.1}% of GPU time", k, s * 100.0);
+    }
+}

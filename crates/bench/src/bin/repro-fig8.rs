@@ -1,0 +1,24 @@
+//! Regenerate Fig. 8: the runtime-dilatation ensemble study — HPL on 16
+//! nodes, 120 runs with and 120 without IPM, under cluster noise.
+//!
+//! `--quick` runs a reduced ensemble (12+12 runs of a small HPL).
+
+use ipm_bench::fig8::{run_fig8, Fig8Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { Fig8Config::quick() } else { Fig8Config::paper() };
+    println!(
+        "Fig. 8 — HPL runtime histograms, {} ranks, {}+{} runs\n",
+        cfg.nranks, cfg.runs, cfg.runs
+    );
+    let result = run_fig8(&cfg);
+    println!("{}", result.render_histograms(16));
+    println!(
+        "paper: mean 126.40 s -> 126.67 s, dilatation +0.21%\n\
+         here : mean {:.2} s -> {:.2} s, dilatation {:+.2}%",
+        result.mean_without(),
+        result.mean_with(),
+        result.dilatation() * 100.0,
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerate Figs. 4, 5, and 6: the IPM banner for the `square`
+//! microbenchmark under the three monitoring configurations.
+
+use ipm_apps::SquareConfig;
+use ipm_bench::square_fig::{run_square_fig, SquareMode};
+
+fn main() {
+    let cfg = SquareConfig::default();
+    for (fig, mode) in [
+        ("Fig. 4 — host-side timing only", SquareMode::HostOnly),
+        ("Fig. 5 — + GPU kernel timing", SquareMode::GpuTiming),
+        ("Fig. 6 — + host idle identification", SquareMode::HostIdle),
+    ] {
+        println!("================ {fig} ================");
+        let result = run_square_fig(mode, cfg);
+        println!("{}", result.banner());
+    }
+}

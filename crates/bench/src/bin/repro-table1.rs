@@ -1,0 +1,16 @@
+//! Regenerate Table I: IPM vs CUDA-profiler kernel timing accuracy over
+//! the eight SDK-style benchmarks. Pass `--corrected` to also apply the
+//! paper's proposed event-overhead correction (their "future work",
+//! implemented here as an ablation).
+
+use ipm_bench::table1::{render, run_table1};
+
+fn main() {
+    let corrected = std::env::args().any(|a| a == "--corrected");
+    println!("Table I — GPU kernel timing accuracy (IPM vs CUDA profiler)\n");
+    println!("{}", render(&run_table1(None)));
+    if corrected {
+        println!("\nWith per-invocation event-overhead correction (8.5 µs):\n");
+        println!("{}", render(&run_table1(Some(8.5e-6))));
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerate Fig. 7: the monitoring timeline of the `square` run —
+//! H2D transfer, asynchronous kernel, implicitly blocking D2H.
+
+use ipm_apps::SquareConfig;
+use ipm_bench::square_fig::{run_square_fig, SquareMode};
+
+fn main() {
+    let result = run_square_fig(SquareMode::HostIdle, SquareConfig::default());
+    println!("Fig. 7 — the square run as a device timeline\n");
+    println!("{}", result.timeline(100));
+    println!(
+        "host view: the blocking cudaMemcpy(D2H) posted right after the\n\
+         asynchronous launch waits for the kernel; IPM books that wait as\n\
+         @CUDA_HOST_IDLE = {:.3} s (kernel itself: {:.3} s).",
+        result.profile.host_idle_time(),
+        result.profile.time_of("@CUDA_EXEC_STRM00"),
+    );
+}

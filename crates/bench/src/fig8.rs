@@ -1,0 +1,153 @@
+//! Fig. 8 — application-level runtime dilatation (ensemble study).
+//!
+//! "To account for variations in runtime caused by varying system load,
+//! noise and jitter, we performed an ensemble study, repeatedly running
+//! the same application with the same inputs, both with and without IPM
+//! monitoring enabled." The paper runs HPL 120+120 times on 16 nodes: the
+//! mean grows from 126.40 s to 126.67 s (+0.21%), well below the natural
+//! run-to-run variation.
+
+use ipm_apps::{run_cluster, run_hpl, ClusterConfig, HplConfig};
+use ipm_sim_core::stats::{mean, sample_std_dev};
+use ipm_sim_core::{Histogram, NoiseModel};
+
+/// Parameters of the ensemble study.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig8Config {
+    /// Runs per arm (paper: 120 + 120).
+    pub runs: usize,
+    /// Ranks / nodes (paper: 16 / 16).
+    pub nranks: usize,
+    /// HPL problem.
+    pub hpl: HplConfig,
+    /// Noise model (log-normal run-level jitter).
+    pub noise: NoiseModel,
+    /// Base RNG seed; each run derives its own.
+    pub seed: u64,
+}
+
+impl Fig8Config {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self {
+            runs: 120,
+            nranks: 16,
+            hpl: HplConfig::dirac16(),
+            noise: NoiseModel::DIRAC,
+            seed: 0xF18_8,
+        }
+    }
+
+    /// A reduced configuration for tests (same structure, fewer/smaller
+    /// runs).
+    pub fn quick() -> Self {
+        Self { runs: 12, nranks: 4, hpl: HplConfig::tiny(), ..Self::paper() }
+    }
+}
+
+/// The study's outcome.
+#[derive(Clone, Debug)]
+pub struct Fig8Result {
+    pub with_ipm: Vec<f64>,
+    pub without_ipm: Vec<f64>,
+}
+
+impl Fig8Result {
+    /// Mean runtime with monitoring.
+    pub fn mean_with(&self) -> f64 {
+        mean(&self.with_ipm)
+    }
+
+    /// Mean runtime without monitoring.
+    pub fn mean_without(&self) -> f64 {
+        mean(&self.without_ipm)
+    }
+
+    /// Relative dilatation (the paper's 0.21%).
+    pub fn dilatation(&self) -> f64 {
+        (self.mean_with() - self.mean_without()) / self.mean_without()
+    }
+
+    /// Pooled run-to-run standard deviation (the "natural variability").
+    pub fn noise_sigma(&self) -> f64 {
+        0.5 * (sample_std_dev(&self.with_ipm) + sample_std_dev(&self.without_ipm))
+    }
+
+    /// Render the two histograms side by side (the Fig. 8 plot, in text).
+    pub fn render_histograms(&self, bins: usize) -> String {
+        let all: Vec<f64> =
+            self.with_ipm.iter().chain(&self.without_ipm).copied().collect();
+        let lo = all.iter().copied().fold(f64::INFINITY, f64::min) * 0.999;
+        let hi = all.iter().copied().fold(0.0f64, f64::max) * 1.001;
+        let mut h_with = Histogram::new(lo, hi, bins);
+        let mut h_without = Histogram::new(lo, hi, bins);
+        for &v in &self.with_ipm {
+            h_with.record(v);
+        }
+        for &v in &self.without_ipm {
+            h_without.record(v);
+        }
+        format!(
+            "without IPM (mean {:.2} s):\n{}\nwith IPM (mean {:.2} s):\n{}\n\
+             dilatation: {:+.3}%   run-to-run sigma: {:.3} s\n",
+            self.mean_without(),
+            h_without.render_ascii(40),
+            self.mean_with(),
+            h_with.render_ascii(40),
+            self.dilatation() * 100.0,
+            self.noise_sigma(),
+        )
+    }
+}
+
+/// Run the ensemble.
+pub fn run_fig8(cfg: &Fig8Config) -> Fig8Result {
+    let one = |monitored: bool, run_idx: usize| -> f64 {
+        let mut cluster = ClusterConfig::dirac(cfg.nranks, cfg.nranks)
+            .with_command("xhpl.cuda")
+            .with_noise(cfg.noise, cfg.seed ^ (run_idx as u64 * 2 + monitored as u64));
+        if !monitored {
+            cluster = cluster.unmonitored();
+        }
+        let run = run_cluster(&cluster, |ctx| run_hpl(ctx, cfg.hpl).expect("hpl"));
+        run.runtime()
+    };
+    Fig8Result {
+        with_ipm: (0..cfg.runs).map(|i| one(true, i)).collect(),
+        without_ipm: (0..cfg.runs).map(|i| one(false, i)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dilatation_is_small_and_below_noise() {
+        let result = run_fig8(&Fig8Config::quick());
+        let d = result.dilatation();
+        // monitoring costs something but well under 1%
+        assert!(d > -0.005, "negative dilatation {d}");
+        assert!(d < 0.01, "dilatation {d} too large");
+        // and it is smaller than the run-to-run spread (the paper's point)
+        let sigma_rel = result.noise_sigma() / result.mean_without();
+        assert!(d.abs() < sigma_rel * 3.0, "dilatation {d} vs rel sigma {sigma_rel}");
+    }
+
+    #[test]
+    fn histograms_render_both_arms() {
+        let result = run_fig8(&Fig8Config::quick());
+        let text = result.render_histograms(10);
+        assert!(text.contains("without IPM"));
+        assert!(text.contains("with IPM"));
+        assert!(text.contains("dilatation"));
+    }
+
+    #[test]
+    fn ensemble_runs_differ_due_to_noise() {
+        let result = run_fig8(&Fig8Config::quick());
+        let min = result.without_ipm.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = result.without_ipm.iter().copied().fold(0.0f64, f64::max);
+        assert!(max > min, "noise produced identical runtimes");
+    }
+}

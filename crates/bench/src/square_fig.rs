@@ -1,0 +1,119 @@
+//! Figs. 4–7 — the `square` microbenchmark under the three monitoring
+//! configurations, plus the monitoring timeline.
+//!
+//! Fig. 4: host-side timing only (the big `cudaMalloc` is context init,
+//! the D2H transfer absorbs the kernel wait). Fig. 5: + GPU kernel timing
+//! (`@CUDA_EXEC_STRM00 ≈ 1.15 s`). Fig. 6: + host-idle identification
+//! (the wait moves from `cudaMemcpy(D2H)` into `@CUDA_HOST_IDLE`).
+//! Fig. 7: the run rendered as a timeline.
+
+use ipm_apps::{run_square, SquareConfig};
+use ipm_core::{render_banner, render_timeline, Ipm, IpmConfig, IpmCuda, RankProfile};
+use ipm_gpu_sim::{GpuConfig, GpuRuntime};
+use std::sync::Arc;
+
+/// Which figure's monitoring configuration to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SquareMode {
+    /// Fig. 4: host timing only.
+    HostOnly,
+    /// Fig. 5: + GPU kernel timing.
+    GpuTiming,
+    /// Fig. 6: + host idle identification.
+    HostIdle,
+}
+
+impl SquareMode {
+    fn ipm_config(self) -> IpmConfig {
+        match self {
+            SquareMode::HostOnly => IpmConfig::host_timing_only(),
+            SquareMode::GpuTiming => IpmConfig::with_gpu_timing_only(),
+            SquareMode::HostIdle => IpmConfig::default(),
+        }
+    }
+}
+
+/// Result: the profile plus the device trace (for the timeline).
+pub struct SquareResult {
+    pub profile: RankProfile,
+    pub trace: Vec<ipm_gpu_sim::ProfRecord>,
+}
+
+/// Run Fig. 3's program under the given monitoring mode.
+pub fn run_square_fig(mode: SquareMode, cfg: SquareConfig) -> SquareResult {
+    let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_profiler()));
+    let ipm = Ipm::new(rt.clock().clone(), mode.ipm_config());
+    ipm.set_metadata(0, 1, "dirac15", "./cuda.ipm");
+    let cuda = IpmCuda::new(ipm.clone(), rt.clone());
+    run_square(&cuda, cfg).expect("square");
+    cuda.finalize();
+    SquareResult { profile: ipm.profile(), trace: rt.profiler_records() }
+}
+
+impl SquareResult {
+    /// The banner (Figs. 4/5/6 depending on the mode used).
+    pub fn banner(&self) -> String {
+        render_banner(&self.profile, 10)
+    }
+
+    /// The timeline rendering (Fig. 7).
+    pub fn timeline(&self, width: usize) -> String {
+        render_timeline(&self.trace, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_to_fig6_progression() {
+        let cfg = SquareConfig::default();
+        let fig4 = run_square_fig(SquareMode::HostOnly, cfg);
+        let fig5 = run_square_fig(SquareMode::GpuTiming, cfg);
+        let fig6 = run_square_fig(SquareMode::HostIdle, cfg);
+
+        // Fig. 4: no pseudo entries; D2H carries the wait
+        assert_eq!(fig4.profile.time_of("@CUDA_EXEC_STRM00"), 0.0);
+        assert!(fig4.profile.time_of("cudaMemcpy(D2H)") > 1.0);
+
+        // Fig. 5: exec entry appears, D2H unchanged
+        let exec5 = fig5.profile.time_of("@CUDA_EXEC_STRM00");
+        assert!(exec5 > 1.0, "exec {exec5}");
+        assert!(fig5.profile.time_of("cudaMemcpy(D2H)") > 1.0);
+
+        // Fig. 6: wait moves into @CUDA_HOST_IDLE, and the two GPU-side
+        // numbers agree (the paper shows 1.15 vs 1.15)
+        let idle = fig6.profile.host_idle_time();
+        let exec6 = fig6.profile.time_of("@CUDA_EXEC_STRM00");
+        assert!(idle > 1.0, "idle {idle}");
+        assert!(fig6.profile.time_of("cudaMemcpy(D2H)") < 0.05);
+        assert!((exec6 - idle).abs() / exec6 < 0.02, "exec {exec6} vs idle {idle}");
+    }
+
+    #[test]
+    fn banners_have_the_expected_leading_rows() {
+        let fig6 = run_square_fig(SquareMode::HostIdle, SquareConfig::default());
+        let banner = fig6.banner();
+        let lines: Vec<&str> = banner.lines().collect();
+        // find the first table row (right after the [time] column header):
+        // cudaMalloc leads, as in the paper's Figs. 4-6
+        let header_idx =
+            lines.iter().position(|l| l.contains("[time]")).expect("column header");
+        let first_row = lines[header_idx + 1];
+        assert!(first_row.contains("cudaMalloc"), "first row: {first_row}");
+        assert!(banner.contains("@CUDA_EXEC_STRM00"));
+        assert!(banner.contains("@CUDA_HOST_IDLE"));
+    }
+
+    #[test]
+    fn timeline_shows_kernel_between_transfers() {
+        let r = run_square_fig(SquareMode::HostIdle, SquareConfig::default());
+        let text = r.timeline(72);
+        assert!(text.contains("STRM00"));
+        assert!(text.contains("square"));
+        let pos = |s: &str| text.find(s).unwrap();
+        assert!(pos("memcpyHtoD") < pos("square"));
+        assert!(pos("square") < pos("memcpyDtoH"));
+    }
+}

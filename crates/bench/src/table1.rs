@@ -1,0 +1,163 @@
+//! Table I — GPU kernel timing accuracy.
+//!
+//! "We selected a number of small benchmarks from the CUDA SDK and
+//! compared the timing results obtained from IPM with the data delivered
+//! by the CUDA profiler." Both measurements come from **one run**: the
+//! simulated device logs ground truth (`CUDA_PROFILE`) while IPM times the
+//! same kernels through event bracketing. The paper's headline findings,
+//! which the tests at the bottom assert:
+//!
+//! * IPM ≥ profiler, always (events bracket the kernel, they don't measure
+//!   it);
+//! * the relative difference is larger for shorter kernels (a small
+//!   constant per-invocation overhead);
+//! * everything agrees to within ~2%.
+
+use ipm_apps::sdk::{table1_suite, SdkBenchmark};
+use ipm_core::{EventFamily, Ipm, IpmConfig, IpmCuda};
+use ipm_gpu_sim::{GpuConfig, GpuRuntime};
+use std::sync::Arc;
+
+/// One row of the accuracy table.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    pub benchmark: &'static str,
+    pub invocations: usize,
+    /// CUDA-profiler total (ground truth).
+    pub profiler_s: f64,
+    /// IPM's event-bracketed total.
+    pub ipm_s: f64,
+}
+
+impl Table1Row {
+    /// Relative difference in percent, as the paper reports it.
+    pub fn difference_pct(&self) -> f64 {
+        100.0 * (self.ipm_s - self.profiler_s) / self.profiler_s
+    }
+}
+
+/// Run one benchmark under simultaneous profiler + IPM observation.
+pub fn measure(bench: &SdkBenchmark, correction: Option<f64>) -> Table1Row {
+    let rt = Arc::new(GpuRuntime::single(
+        GpuConfig::dirac_node().with_context_init(0.0).with_profiler(),
+    ));
+    let ipm = Ipm::new(
+        rt.clock().clone(),
+        IpmConfig { exec_time_correction: correction, ..IpmConfig::default() },
+    );
+    let cuda = IpmCuda::new(ipm.clone(), rt.clone());
+    bench.run(&cuda).expect("benchmark run");
+    cuda.finalize();
+    let profile = ipm.profile();
+    Table1Row {
+        benchmark: bench.name,
+        invocations: bench.invocations,
+        profiler_s: rt.with_profiler(|p| p.kernel_time_total(bench.kernel)),
+        ipm_s: profile.family_time(EventFamily::GpuExec),
+    }
+}
+
+/// Regenerate the full Table I.
+pub fn run_table1(correction: Option<f64>) -> Vec<Table1Row> {
+    table1_suite().iter().map(|b| measure(b, correction)).collect()
+}
+
+/// Render the table in the paper's layout.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "                        Kernel        GPU Kernel Execution Time (sec)\n\
+         Benchmark               Invocations   CUDA Profiler      IPM   Difference (%)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24}{:>11} {:>15.6} {:>8.6} {:>10.2}\n",
+            r.benchmark,
+            r.invocations,
+            r.profiler_s,
+            r.ipm_s,
+            r.difference_pct(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipm_always_over_reports() {
+        for row in run_table1(None) {
+            assert!(
+                row.ipm_s >= row.profiler_s,
+                "{}: IPM {} < profiler {}",
+                row.benchmark,
+                row.ipm_s,
+                row.profiler_s
+            );
+        }
+    }
+
+    #[test]
+    fn differences_are_small() {
+        for row in run_table1(None) {
+            let d = row.difference_pct();
+            assert!(d < 2.5, "{}: difference {d}%", row.benchmark);
+        }
+    }
+
+    #[test]
+    fn shorter_kernels_have_larger_relative_error() {
+        let rows = run_table1(None);
+        // compare the shortest-kernel benchmark (MonteCarlo, ~1 ms per
+        // invocation) with the longest (concurrentKernels, ~68 ms)
+        let mc = rows.iter().find(|r| r.benchmark == "MonteCarlo").unwrap();
+        let ck = rows.iter().find(|r| r.benchmark == "concurrentKernels").unwrap();
+        assert!(
+            mc.difference_pct() > ck.difference_pct(),
+            "short-kernel error {} <= long-kernel error {}",
+            mc.difference_pct(),
+            ck.difference_pct()
+        );
+    }
+
+    #[test]
+    fn profiler_totals_match_the_paper() {
+        // ground truth is calibrated directly from Table I
+        for row in run_table1(None) {
+            let paper = table1_suite()
+                .into_iter()
+                .find(|b| b.name == row.benchmark)
+                .unwrap()
+                .paper_total();
+            let rel = (row.profiler_s - paper).abs() / paper;
+            assert!(rel < 1e-9, "{}: {} vs paper {}", row.benchmark, row.profiler_s, paper);
+        }
+    }
+
+    #[test]
+    fn correction_reduces_the_bias() {
+        // the paper's "future work": correcting for the event overhead
+        let raw = run_table1(None);
+        let corrected = run_table1(Some(8.5e-6));
+        let mean_err = |rows: &[Table1Row]| {
+            rows.iter().map(|r| r.difference_pct().abs()).sum::<f64>() / rows.len() as f64
+        };
+        assert!(
+            mean_err(&corrected) < mean_err(&raw),
+            "correction did not help: {} vs {}",
+            mean_err(&corrected),
+            mean_err(&raw)
+        );
+    }
+
+    #[test]
+    fn rendered_table_lists_all_benchmarks() {
+        let rows = run_table1(None);
+        let text = render(&rows);
+        for b in table1_suite() {
+            assert!(text.contains(b.name));
+        }
+        assert!(text.contains("Difference"));
+    }
+}

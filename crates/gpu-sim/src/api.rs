@@ -1,0 +1,220 @@
+//! The interposable CUDA API surface.
+//!
+//! [`CudaApi`] is the seam that plays the role of dynamic library
+//! interposition (`LD_PRELOAD` / `ld --wrap`) in the paper: applications
+//! program against this trait, and the process can install either the bare
+//! runtime ([`GpuRuntime`] implements the trait directly — the "unmonitored"
+//! link) or IPM's monitoring layer (`ipm-core`'s `IpmCuda`, which wraps a
+//! `GpuRuntime` and forwards every call — the "`LD_PRELOAD`ed" link). The
+//! application source is identical in both cases, which is the paper's
+//! headline deployment property: *no source changes, recompilation, or
+//! re-linking*.
+
+use crate::device::{DeviceProperties, EventId, StreamId};
+use crate::error::CudaResult;
+use crate::kernel::{Kernel, KernelArg, LaunchConfig};
+use crate::memory::DevicePtr;
+use crate::runtime::GpuRuntime;
+
+/// The CUDA runtime API as seen by applications (object-safe).
+///
+/// Method names follow the `cuda*` entry points they model; see
+/// [`GpuRuntime`] for the timing semantics of each.
+pub trait CudaApi: Send + Sync {
+    fn cuda_malloc(&self, size: usize) -> CudaResult<DevicePtr>;
+    fn cuda_free(&self, ptr: DevicePtr) -> CudaResult<()>;
+    fn cuda_memcpy_h2d(&self, dst: DevicePtr, src: &[u8]) -> CudaResult<()>;
+    fn cuda_memcpy_d2h(&self, dst: &mut [u8], src: DevicePtr) -> CudaResult<()>;
+    /// Scale adapter: a synchronous H2D copy of `total_bytes` virtual
+    /// bytes of which only the `src` prefix is physically transferred
+    /// (see `GpuRuntime::memcpy_h2d_sized`).
+    fn cuda_memcpy_h2d_sized(&self, dst: DevicePtr, src: &[u8], total_bytes: u64) -> CudaResult<()>;
+    /// Scale adapter: the D2H counterpart of `cuda_memcpy_h2d_sized`.
+    fn cuda_memcpy_d2h_sized(&self, dst: &mut [u8], src: DevicePtr, total_bytes: u64) -> CudaResult<()>;
+    fn cuda_memcpy_d2d(&self, dst: DevicePtr, src: DevicePtr, len: usize) -> CudaResult<()>;
+    fn cuda_memcpy_h2d_async(&self, dst: DevicePtr, src: &[u8], stream: StreamId) -> CudaResult<()>;
+    fn cuda_memcpy_d2h_async(&self, dst: &mut [u8], src: DevicePtr, stream: StreamId) -> CudaResult<()>;
+    fn cuda_memcpy_to_symbol(&self, symbol: &str, src: &[u8]) -> CudaResult<()>;
+    fn cuda_memset(&self, dst: DevicePtr, value: u8, len: usize) -> CudaResult<()>;
+    fn cuda_configure_call(&self, config: LaunchConfig) -> CudaResult<()>;
+    fn cuda_setup_argument(&self, arg: KernelArg) -> CudaResult<()>;
+    fn cuda_launch(&self, kernel: &Kernel) -> CudaResult<()>;
+    fn cuda_stream_create(&self) -> CudaResult<StreamId>;
+    fn cuda_stream_destroy(&self, stream: StreamId) -> CudaResult<()>;
+    fn cuda_stream_synchronize(&self, stream: StreamId) -> CudaResult<()>;
+    fn cuda_stream_query(&self, stream: StreamId) -> CudaResult<()>;
+    fn cuda_event_create(&self) -> CudaResult<EventId>;
+    fn cuda_event_destroy(&self, event: EventId) -> CudaResult<()>;
+    fn cuda_event_record(&self, event: EventId, stream: StreamId) -> CudaResult<()>;
+    fn cuda_event_query(&self, event: EventId) -> CudaResult<()>;
+    fn cuda_event_synchronize(&self, event: EventId) -> CudaResult<()>;
+    fn cuda_event_elapsed_time(&self, start: EventId, stop: EventId) -> CudaResult<f64>;
+    fn cuda_thread_synchronize(&self) -> CudaResult<()>;
+    fn cuda_get_device_count(&self) -> CudaResult<i32>;
+    fn cuda_set_device(&self, ordinal: i32) -> CudaResult<()>;
+    fn cuda_get_device_properties(&self) -> CudaResult<DeviceProperties>;
+    /// `cudaGetLastError`: returns and clears the sticky error.
+    fn cuda_get_last_error(&self) -> Option<crate::error::CudaError>;
+}
+
+impl CudaApi for GpuRuntime {
+    fn cuda_malloc(&self, size: usize) -> CudaResult<DevicePtr> {
+        self.malloc(size)
+    }
+    fn cuda_free(&self, ptr: DevicePtr) -> CudaResult<()> {
+        self.free(ptr)
+    }
+    fn cuda_memcpy_h2d(&self, dst: DevicePtr, src: &[u8]) -> CudaResult<()> {
+        self.memcpy_h2d(dst, src)
+    }
+    fn cuda_memcpy_d2h(&self, dst: &mut [u8], src: DevicePtr) -> CudaResult<()> {
+        self.memcpy_d2h(dst, src)
+    }
+    fn cuda_memcpy_h2d_sized(&self, dst: DevicePtr, src: &[u8], total_bytes: u64) -> CudaResult<()> {
+        self.memcpy_h2d_sized(dst, src, total_bytes)
+    }
+    fn cuda_memcpy_d2h_sized(&self, dst: &mut [u8], src: DevicePtr, total_bytes: u64) -> CudaResult<()> {
+        self.memcpy_d2h_sized(dst, src, total_bytes)
+    }
+    fn cuda_memcpy_d2d(&self, dst: DevicePtr, src: DevicePtr, len: usize) -> CudaResult<()> {
+        self.memcpy_d2d(dst, src, len)
+    }
+    fn cuda_memcpy_h2d_async(&self, dst: DevicePtr, src: &[u8], stream: StreamId) -> CudaResult<()> {
+        self.memcpy_h2d_async(dst, src, stream)
+    }
+    fn cuda_memcpy_d2h_async(&self, dst: &mut [u8], src: DevicePtr, stream: StreamId) -> CudaResult<()> {
+        self.memcpy_d2h_async(dst, src, stream)
+    }
+    fn cuda_memcpy_to_symbol(&self, symbol: &str, src: &[u8]) -> CudaResult<()> {
+        self.memcpy_to_symbol(symbol, src)
+    }
+    fn cuda_memset(&self, dst: DevicePtr, value: u8, len: usize) -> CudaResult<()> {
+        self.memset(dst, value, len)
+    }
+    fn cuda_configure_call(&self, config: LaunchConfig) -> CudaResult<()> {
+        self.configure_call(config)
+    }
+    fn cuda_setup_argument(&self, arg: KernelArg) -> CudaResult<()> {
+        self.setup_argument(arg)
+    }
+    fn cuda_launch(&self, kernel: &Kernel) -> CudaResult<()> {
+        self.launch(kernel)
+    }
+    fn cuda_stream_create(&self) -> CudaResult<StreamId> {
+        self.stream_create()
+    }
+    fn cuda_stream_destroy(&self, stream: StreamId) -> CudaResult<()> {
+        self.stream_destroy(stream)
+    }
+    fn cuda_stream_synchronize(&self, stream: StreamId) -> CudaResult<()> {
+        self.stream_synchronize(stream)
+    }
+    fn cuda_stream_query(&self, stream: StreamId) -> CudaResult<()> {
+        self.stream_query(stream)
+    }
+    fn cuda_event_create(&self) -> CudaResult<EventId> {
+        self.event_create()
+    }
+    fn cuda_event_destroy(&self, event: EventId) -> CudaResult<()> {
+        self.event_destroy(event)
+    }
+    fn cuda_event_record(&self, event: EventId, stream: StreamId) -> CudaResult<()> {
+        self.event_record(event, stream)
+    }
+    fn cuda_event_query(&self, event: EventId) -> CudaResult<()> {
+        self.event_query(event)
+    }
+    fn cuda_event_synchronize(&self, event: EventId) -> CudaResult<()> {
+        self.event_synchronize(event)
+    }
+    fn cuda_event_elapsed_time(&self, start: EventId, stop: EventId) -> CudaResult<f64> {
+        self.event_elapsed_time(start, stop)
+    }
+    fn cuda_thread_synchronize(&self) -> CudaResult<()> {
+        self.thread_synchronize()
+    }
+    fn cuda_get_device_count(&self) -> CudaResult<i32> {
+        self.get_device_count()
+    }
+    fn cuda_set_device(&self, ordinal: i32) -> CudaResult<()> {
+        self.set_device(ordinal)
+    }
+    fn cuda_get_device_properties(&self) -> CudaResult<DeviceProperties> {
+        self.get_device_properties()
+    }
+    fn cuda_get_last_error(&self) -> Option<crate::error::CudaError> {
+        self.get_last_error()
+    }
+}
+
+/// Launch `kernel` via the canonical `cudaConfigureCall` →
+/// `cudaSetupArgument`* → `cudaLaunch` sequence, as `nvcc`-generated host
+/// stubs do. Going through the trio means an interposition layer sees the
+/// same three calls the paper's IPM wrappers see.
+pub fn launch_kernel(
+    api: &dyn CudaApi,
+    kernel: &Kernel,
+    config: LaunchConfig,
+    args: &[KernelArg],
+) -> CudaResult<()> {
+    api.cuda_configure_call(config)?;
+    for &arg in args {
+        api.cuda_setup_argument(arg)?;
+    }
+    api.cuda_launch(kernel)
+}
+
+/// Typed convenience: synchronous H2D copy of an `f64` slice.
+pub fn memcpy_h2d_f64(api: &dyn CudaApi, dst: DevicePtr, src: &[f64]) -> CudaResult<()> {
+    let bytes: Vec<u8> = src.iter().flat_map(|v| v.to_le_bytes()).collect();
+    api.cuda_memcpy_h2d(dst, &bytes)
+}
+
+/// Typed convenience: synchronous D2H copy into an `f64` slice.
+pub fn memcpy_d2h_f64(api: &dyn CudaApi, dst: &mut [f64], src: DevicePtr) -> CudaResult<()> {
+    let mut bytes = vec![0u8; dst.len() * 8];
+    api.cuda_memcpy_d2h(&mut bytes, src)?;
+    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+        dst[i] = f64::from_le_bytes(chunk.try_into().unwrap());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::kernel::KernelCost;
+
+    fn rt() -> GpuRuntime {
+        GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0))
+    }
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        let rt = rt();
+        let api: &dyn CudaApi = &rt;
+        let p = api.cuda_malloc(64).unwrap();
+        api.cuda_memset(p, 0, 64).unwrap();
+        api.cuda_free(p).unwrap();
+    }
+
+    #[test]
+    fn launch_helper_uses_the_trio() {
+        let rt = rt();
+        let k = Kernel::timed("k", KernelCost::Fixed(0.01));
+        launch_kernel(&rt, &k, LaunchConfig::simple(4u32, 64u32), &[KernelArg::I32(7)]).unwrap();
+        rt.cuda_thread_synchronize().unwrap();
+        assert!(rt.clock().now() >= 0.01);
+    }
+
+    #[test]
+    fn typed_f64_copies_roundtrip() {
+        let rt = rt();
+        let p = rt.cuda_malloc(32).unwrap();
+        memcpy_h2d_f64(&rt, p, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut out = [0.0f64; 4];
+        memcpy_d2h_f64(&rt, &mut out, p).unwrap();
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulator configuration.
+//!
+//! A [`GpuConfig`] fixes the performance model of one simulated device and
+//! the behavioral switches that the paper's experiments toggle
+//! (`CUDA_LAUNCH_BLOCKING`, the built-in profiler, event-record overhead).
+//! The default is calibrated to the paper's testbed: a Tesla C2050 behind
+//! PCIe gen2 in a Dirac node, running CUDA 3.1.
+
+use ipm_sim_core::model::{GpuComputeModel, TransferModel};
+use ipm_sim_core::noise::NoiseModel;
+
+/// Configuration of a simulated GPU device and its host link.
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Compute roofline of the device.
+    pub compute: GpuComputeModel,
+    /// Host→device transfer model (pageable host memory).
+    pub h2d: TransferModel,
+    /// Device→host transfer model (pageable host memory).
+    pub d2h: TransferModel,
+    /// Device→device copy model.
+    pub d2d: TransferModel,
+    /// Pinned-memory transfer model (both directions).
+    pub pinned: TransferModel,
+    /// One-time context/runtime initialization charged to the first API
+    /// call of each context (seconds). Fig. 4 of the paper shows this cost
+    /// surfacing inside the first `cudaMalloc`.
+    pub context_init: f64,
+    /// Host-side cost of an asynchronous kernel launch (driver call,
+    /// command buffer write).
+    pub launch_overhead: f64,
+    /// Host-side cost of a trivial API call (`cudaSetupArgument`,
+    /// `cudaConfigureCall`, attribute queries, ...).
+    pub api_overhead: f64,
+    /// Host-side cost of `cudaMalloc`/`cudaFree` after initialization.
+    pub alloc_overhead: f64,
+    /// Bounds of the device-side duration of an event-record operation.
+    /// IPM's event-bracketing kernel timing over-reports by roughly one of
+    /// these per invocation — the paper's Table I shows 2–19 µs.
+    pub event_record_overhead: (f64, f64),
+    /// Device memory capacity in bytes (3 GiB on the C2050).
+    pub device_memory: u64,
+    /// Maximum concurrently executing kernels (16 under CUDA 3.1,
+    /// Programming Guide §3.2.7.3 — quoted in the paper).
+    pub max_concurrent_kernels: usize,
+    /// When true, kernel launches block like `CUDA_LAUNCH_BLOCKING=1`.
+    pub launch_blocking: bool,
+    /// When true, the device logs a ground-truth execution trace, like
+    /// `CUDA_PROFILE=1` does for the real runtime (the Table I comparator).
+    pub profile: bool,
+    /// When true, accumulate per-kernel hardware counters (flops, DRAM
+    /// traffic, threads) — the paper's §VI future-work interface, which the
+    /// simulated device can expose.
+    pub counters: bool,
+    /// Per-event jitter / run-level noise model.
+    pub noise: NoiseModel,
+    /// RNG seed for jitter draws (per-runtime streams are forked from it).
+    pub seed: u64,
+    /// Physical backing bytes per device allocation (see
+    /// `DeviceHeap::with_fidelity`): capacity/timing use full logical
+    /// sizes, but only this many bytes are really stored per allocation.
+    /// Keeps paper-scale workloads (tens of MB per transfer, 1e5+ calls)
+    /// from swamping wall time; numerics-verifying tests stay below it.
+    pub data_fidelity_limit: usize,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::dirac_node()
+    }
+}
+
+impl GpuConfig {
+    /// A Dirac-node device: Tesla C2050, PCIe gen2, CUDA 3.1 behavior.
+    pub fn dirac_node() -> Self {
+        Self {
+            compute: GpuComputeModel::tesla_c2050(),
+            h2d: TransferModel::pcie_h2d_pageable(),
+            d2h: TransferModel::pcie_d2h_pageable(),
+            d2d: TransferModel::device_local(),
+            pinned: TransferModel::pcie_pinned(),
+            context_init: 1.29,
+            launch_overhead: 5.0e-6,
+            api_overhead: 0.3e-6,
+            alloc_overhead: 60.0e-6,
+            event_record_overhead: (2.0e-6, 15.0e-6),
+            device_memory: 3 * 1024 * 1024 * 1024,
+            max_concurrent_kernels: 16,
+            launch_blocking: false,
+            profile: false,
+            counters: false,
+            noise: NoiseModel::QUIET,
+            seed: 0xD1AC_2011,
+            data_fidelity_limit: 16 << 20,
+        }
+    }
+
+    /// Same hardware, with the ground-truth profiler enabled
+    /// (`CUDA_PROFILE=1`).
+    pub fn with_profiler(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
+    /// Same hardware, with per-kernel hardware counters enabled.
+    pub fn with_counters(mut self) -> Self {
+        self.counters = true;
+        self
+    }
+
+    /// Same hardware with `CUDA_LAUNCH_BLOCKING=1` semantics.
+    pub fn with_launch_blocking(mut self) -> Self {
+        self.launch_blocking = true;
+        self
+    }
+
+    /// Replace the noise model (e.g. [`NoiseModel::DIRAC`] for ensemble
+    /// studies).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Replace the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the context-initialization cost.
+    pub fn with_context_init(mut self, secs: f64) -> Self {
+        self.context_init = secs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_dirac() {
+        let c = GpuConfig::default();
+        assert_eq!(c.max_concurrent_kernels, 16);
+        assert_eq!(c.device_memory, 3 * 1024 * 1024 * 1024);
+        assert!(!c.profile);
+        assert!(!c.launch_blocking);
+    }
+
+    #[test]
+    fn builder_toggles() {
+        let c = GpuConfig::dirac_node().with_profiler().with_launch_blocking().with_seed(7);
+        assert!(c.profile);
+        assert!(c.launch_blocking);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn event_overhead_bounds_ordered() {
+        let c = GpuConfig::default();
+        assert!(c.event_record_overhead.0 <= c.event_record_overhead.1);
+        assert!(c.event_record_overhead.0 > 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! GPU hardware performance counters.
+//!
+//! The paper's first item of future work (§VI): "the integration of GPU
+//! hardware performance counters would be useful for gaining more insight
+//! into kernel behavior than is possible from timing information only.
+//! Unfortunately there is currently no documented interface to access the
+//! counters" — in 2011. Our simulated device *can* expose them: when
+//! [`crate::GpuConfig::counters`] is set, every kernel execution
+//! accumulates per-kernel counters (invocations, flops, DRAM traffic,
+//! thread count, device time), the data a CUPTI/PAPI-CUDA component would
+//! deliver. `ipm-core`'s `papi` module reads these as IPM's "GPU counter
+//! component".
+//!
+//! Roofline-cost kernels report exact modeled flops/bytes; fixed-cost
+//! kernels report only time and launch geometry (their arithmetic content
+//! is unknown to the model, as it would be to a timing-only tool).
+
+use std::collections::HashMap;
+
+/// Accumulated counters for one kernel symbol.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelCounters {
+    /// Number of launches.
+    pub invocations: u64,
+    /// Floating-point operations executed (0 for kernels whose cost model
+    /// does not specify arithmetic).
+    pub flops: f64,
+    /// Device-memory bytes moved.
+    pub dram_bytes: f64,
+    /// Total CUDA threads launched.
+    pub threads: u64,
+    /// Device time occupied, seconds.
+    pub device_time: f64,
+}
+
+impl KernelCounters {
+    /// Achieved flops per second over the kernel's device time.
+    pub fn achieved_flops(&self) -> f64 {
+        if self.device_time > 0.0 {
+            self.flops / self.device_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Achieved DRAM bandwidth over the kernel's device time.
+    pub fn achieved_bandwidth(&self) -> f64 {
+        if self.device_time > 0.0 {
+            self.dram_bytes / self.device_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Arithmetic intensity (flops per DRAM byte); 0 when no traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.dram_bytes > 0.0 {
+            self.flops / self.dram_bytes
+        } else {
+            0.0
+        }
+    }
+
+    fn add(&mut self, flops: f64, bytes: f64, threads: u64, time: f64) {
+        self.invocations += 1;
+        self.flops += flops;
+        self.dram_bytes += bytes;
+        self.threads += threads;
+        self.device_time += time;
+    }
+}
+
+/// The per-context counter store.
+#[derive(Clone, Debug, Default)]
+pub struct CounterStore {
+    enabled: bool,
+    per_kernel: HashMap<String, KernelCounters>,
+}
+
+impl CounterStore {
+    /// A store in the given state; disabled stores drop events.
+    pub fn new(enabled: bool) -> Self {
+        Self { enabled, per_kernel: HashMap::new() }
+    }
+
+    /// Whether counting is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one kernel execution.
+    pub fn record(&mut self, name: &str, flops: f64, bytes: f64, threads: u64, time: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.per_kernel.entry(name.to_owned()).or_default().add(flops, bytes, threads, time);
+    }
+
+    /// Counters for one kernel symbol.
+    pub fn get(&self, name: &str) -> Option<KernelCounters> {
+        self.per_kernel.get(name).copied()
+    }
+
+    /// Snapshot of all counters, sorted by device time descending.
+    pub fn snapshot(&self) -> Vec<(String, KernelCounters)> {
+        let mut out: Vec<_> =
+            self.per_kernel.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort_by(|a, b| {
+            b.1.device_time.partial_cmp(&a.1.device_time).expect("finite device time")
+        });
+        out
+    }
+
+    /// Aggregate over all kernels.
+    pub fn total(&self) -> KernelCounters {
+        let mut acc = KernelCounters::default();
+        for c in self.per_kernel.values() {
+            acc.invocations += c.invocations;
+            acc.flops += c.flops;
+            acc.dram_bytes += c.dram_bytes;
+            acc.threads += c.threads;
+            acc.device_time += c.device_time;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_store_drops_records() {
+        let mut s = CounterStore::new(false);
+        s.record("k", 100.0, 50.0, 32, 1e-3);
+        assert!(s.get("k").is_none());
+        assert_eq!(s.total(), KernelCounters::default());
+    }
+
+    #[test]
+    fn records_accumulate_per_kernel() {
+        let mut s = CounterStore::new(true);
+        s.record("k", 100.0, 50.0, 32, 1e-3);
+        s.record("k", 300.0, 150.0, 32, 3e-3);
+        s.record("other", 10.0, 0.0, 1, 1e-6);
+        let k = s.get("k").unwrap();
+        assert_eq!(k.invocations, 2);
+        assert_eq!(k.flops, 400.0);
+        assert_eq!(k.dram_bytes, 200.0);
+        assert_eq!(k.threads, 64);
+        let total = s.total();
+        assert_eq!(total.invocations, 3);
+        assert!((total.flops - 410.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let mut c = KernelCounters::default();
+        c.add(2e9, 1e9, 1024, 1.0);
+        assert!((c.achieved_flops() - 2e9).abs() < 1.0);
+        assert!((c.achieved_bandwidth() - 1e9).abs() < 1.0);
+        assert!((c.arithmetic_intensity() - 2.0).abs() < 1e-12);
+        // zero-time kernels don't divide by zero
+        let z = KernelCounters::default();
+        assert_eq!(z.achieved_flops(), 0.0);
+        assert_eq!(z.arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_device_time() {
+        let mut s = CounterStore::new(true);
+        s.record("small", 1.0, 1.0, 1, 1e-6);
+        s.record("big", 1.0, 1.0, 1, 1.0);
+        let snap = s.snapshot();
+        assert_eq!(snap[0].0, "big");
+        assert_eq!(snap[1].0, "small");
+    }
+}

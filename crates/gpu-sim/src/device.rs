@@ -1,0 +1,234 @@
+//! Shared device state.
+//!
+//! One [`Device`] models one physical GPU. Several contexts (MPI ranks, in
+//! the paper's shared-GPU configurations) may attach to the same device; the
+//! device then owns the state they contend for:
+//!
+//! * the **device heap** (real backing bytes, capacity-limited),
+//! * the **compute timeline** used to serialize kernels from *different*
+//!   contexts (Fermi-era GPUs time-slice contexts; concurrent kernels are
+//!   only possible within one context),
+//! * the **device symbol table** for `cudaMemcpyToSymbol`.
+//!
+//! Per-context state (streams, events, launch-config stack) lives in
+//! [`crate::runtime::GpuRuntime`].
+
+use crate::config::GpuConfig;
+use crate::memory::{DeviceHeap, DevicePtr};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a CUDA stream within one context. Stream 0 is the default
+/// stream with legacy synchronization semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The default (legacy, synchronizing) stream.
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+/// Identifier of a CUDA event within one context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventId(pub u64);
+
+/// Static properties reported by `cudaGetDeviceProperties`.
+#[derive(Clone, Debug)]
+pub struct DeviceProperties {
+    pub name: String,
+    pub total_global_mem: u64,
+    pub multi_processor_count: u32,
+    pub clock_rate_khz: u32,
+    pub compute_capability: (u32, u32),
+    pub concurrent_kernels: bool,
+    pub ecc_enabled: bool,
+}
+
+impl DeviceProperties {
+    /// The Dirac GPU: NVIDIA Tesla C2050 (Fermi, CC 2.0, ECC on).
+    pub fn tesla_c2050(memory: u64) -> Self {
+        Self {
+            name: "Tesla C2050".to_owned(),
+            total_global_mem: memory,
+            multi_processor_count: 14,
+            clock_rate_khz: 1_147_000,
+            compute_capability: (2, 0),
+            concurrent_kernels: true,
+            ecc_enabled: true,
+        }
+    }
+}
+
+/// One physical GPU, shareable between contexts (rank threads).
+pub struct Device {
+    config: GpuConfig,
+    props: DeviceProperties,
+    heap: Mutex<DeviceHeap>,
+    /// Earliest virtual time at which the next cross-context kernel may
+    /// start. Only consulted when more than one context is attached.
+    compute_free: Mutex<f64>,
+    /// Device symbols (`__device__`/`__constant__` variables) addressable
+    /// by name through `cudaMemcpyToSymbol`.
+    symbols: Mutex<HashMap<String, DevicePtr>>,
+    contexts: AtomicUsize,
+    /// Contexts expected to attach (set by cluster harnesses up-front so
+    /// cross-context serialization is in force from the first kernel,
+    /// independent of attach order).
+    expected_contexts: AtomicUsize,
+}
+
+impl Device {
+    /// Create a device from a configuration.
+    pub fn new(config: GpuConfig) -> Arc<Self> {
+        let props = DeviceProperties::tesla_c2050(config.device_memory);
+        Arc::new(Self {
+            heap: Mutex::new(DeviceHeap::with_fidelity(
+                config.device_memory,
+                config.data_fidelity_limit,
+            )),
+            compute_free: Mutex::new(0.0),
+            symbols: Mutex::new(HashMap::new()),
+            contexts: AtomicUsize::new(0),
+            expected_contexts: AtomicUsize::new(1),
+            props,
+            config,
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Static device properties.
+    pub fn properties(&self) -> &DeviceProperties {
+        &self.props
+    }
+
+    /// Run `f` with the device heap locked.
+    pub fn with_heap<R>(&self, f: impl FnOnce(&mut DeviceHeap) -> R) -> R {
+        f(&mut self.heap.lock())
+    }
+
+    /// Register a context attaching to this device; returns the number of
+    /// attached contexts afterwards.
+    pub(crate) fn attach_context(&self) -> usize {
+        self.contexts.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Number of contexts currently attached (ranks sharing this GPU).
+    pub fn attached_contexts(&self) -> usize {
+        self.contexts.load(Ordering::Acquire)
+    }
+
+    /// Declare how many contexts will share this device (cluster harness:
+    /// ranks per node). Serialization applies as soon as more than one is
+    /// expected, regardless of attach order.
+    pub fn set_expected_contexts(&self, n: usize) {
+        self.expected_contexts.store(n.max(1), Ordering::Release);
+    }
+
+    fn sharing(&self) -> bool {
+        self.attached_contexts().max(self.expected_contexts.load(Ordering::Acquire)) > 1
+    }
+
+    /// Reserve the cross-context compute timeline for a kernel proposing to
+    /// start at `proposed` and run for `duration`. Returns the actual start
+    /// time. When only one context is attached this is a no-op (within-
+    /// context concurrency is handled by the runtime's concurrency window).
+    pub(crate) fn reserve_compute(&self, proposed: f64, duration: f64) -> f64 {
+        if !self.sharing() {
+            return proposed;
+        }
+        let mut free = self.compute_free.lock();
+        let start = proposed.max(*free);
+        *free = start + duration;
+        start
+    }
+
+    /// Resolve (allocating on first use) the device symbol `name` with the
+    /// given size. Subsequent lookups must use a consistent size.
+    pub fn symbol(&self, name: &str, size: usize) -> crate::error::CudaResult<DevicePtr> {
+        let mut symbols = self.symbols.lock();
+        if let Some(&ptr) = symbols.get(name) {
+            return Ok(ptr);
+        }
+        let ptr = self.heap.lock().malloc(size)?;
+        symbols.insert(name.to_owned(), ptr);
+        Ok(ptr)
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn memory_used(&self) -> u64 {
+        self.heap.lock().used()
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("name", &self.props.name)
+            .field("contexts", &self.attached_contexts())
+            .field("memory_used", &self.memory_used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_are_fermi() {
+        let d = Device::new(GpuConfig::default());
+        let p = d.properties();
+        assert_eq!(p.name, "Tesla C2050");
+        assert_eq!(p.compute_capability, (2, 0));
+        assert!(p.concurrent_kernels);
+    }
+
+    #[test]
+    fn single_context_reserve_is_passthrough() {
+        let d = Device::new(GpuConfig::default());
+        d.attach_context();
+        assert_eq!(d.reserve_compute(5.0, 1.0), 5.0);
+        assert_eq!(d.reserve_compute(5.0, 1.0), 5.0); // no serialization
+    }
+
+    #[test]
+    fn multi_context_reserve_serializes() {
+        let d = Device::new(GpuConfig::default());
+        d.attach_context();
+        d.attach_context();
+        let s1 = d.reserve_compute(1.0, 2.0);
+        let s2 = d.reserve_compute(1.0, 2.0);
+        assert_eq!(s1, 1.0);
+        assert_eq!(s2, 3.0); // must wait for the first kernel
+        let s3 = d.reserve_compute(10.0, 1.0); // idle gap: starts on time
+        assert_eq!(s3, 10.0);
+    }
+
+    #[test]
+    fn symbols_are_stable_and_allocated_once() {
+        let d = Device::new(GpuConfig::default());
+        let a = d.symbol("c_sim_params", 256).unwrap();
+        let b = d.symbol("c_sim_params", 256).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(d.heap.lock().live_allocations(), 1);
+        let c = d.symbol("c_other", 64).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heap_capacity_shared_between_contexts() {
+        let mut cfg = GpuConfig::default();
+        cfg.device_memory = 100;
+        let d = Device::new(cfg);
+        let p = d.with_heap(|h| h.malloc(80)).unwrap();
+        assert!(d.with_heap(|h| h.malloc(40)).is_err());
+        d.with_heap(|h| h.free(p)).unwrap();
+        assert!(d.with_heap(|h| h.malloc(40)).is_ok());
+    }
+}

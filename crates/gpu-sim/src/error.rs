@@ -1,0 +1,98 @@
+//! CUDA-style error codes.
+//!
+//! The simulated runtime reports failures through [`CudaError`], mirroring
+//! the `cudaError_t` values a real CUDA 3.1 runtime returns. IPM's wrappers
+//! pass return codes through unchanged (Fig. 2 of the paper), so the
+//! monitored and unmonitored stacks must agree on this type.
+
+use std::fmt;
+
+/// Result alias used across the simulated runtime and driver APIs.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+/// Error codes modeled on `cudaError_t` / `CUresult`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CudaError {
+    /// Asynchronous operation has not completed (`cudaErrorNotReady`).
+    /// Returned by `cudaEventQuery` / `cudaStreamQuery`.
+    NotReady,
+    /// Out of device memory (`cudaErrorMemoryAllocation`).
+    MemoryAllocation,
+    /// A pointer argument does not reference a live allocation
+    /// (`cudaErrorInvalidDevicePointer`).
+    InvalidDevicePointer,
+    /// Copy would run past the end of an allocation or host buffer
+    /// (`cudaErrorInvalidValue`).
+    InvalidValue,
+    /// Unknown or destroyed stream handle (`cudaErrorInvalidResourceHandle`).
+    InvalidResourceHandle,
+    /// Event used before being recorded.
+    EventNotRecorded,
+    /// Device ordinal out of range (`cudaErrorInvalidDevice`).
+    InvalidDevice,
+    /// `cudaLaunch` without a preceding `cudaConfigureCall`
+    /// (`cudaErrorMissingConfiguration`).
+    MissingConfiguration,
+    /// Launch configuration exceeds device limits
+    /// (`cudaErrorInvalidConfiguration`).
+    InvalidConfiguration,
+    /// Driver API call before `cuInit` (`CUDA_ERROR_NOT_INITIALIZED`).
+    NotInitialized,
+}
+
+impl CudaError {
+    /// The `cudaGetErrorString`-style description.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CudaError::NotReady => "device not ready",
+            CudaError::MemoryAllocation => "out of memory",
+            CudaError::InvalidDevicePointer => "invalid device pointer",
+            CudaError::InvalidValue => "invalid argument",
+            CudaError::InvalidResourceHandle => "invalid resource handle",
+            CudaError::EventNotRecorded => "event has not been recorded",
+            CudaError::InvalidDevice => "invalid device ordinal",
+            CudaError::MissingConfiguration => "launch without configuration",
+            CudaError::InvalidConfiguration => "invalid launch configuration",
+            CudaError::NotInitialized => "driver not initialized",
+        }
+    }
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_strings_are_distinct() {
+        let all = [
+            CudaError::NotReady,
+            CudaError::MemoryAllocation,
+            CudaError::InvalidDevicePointer,
+            CudaError::InvalidValue,
+            CudaError::InvalidResourceHandle,
+            CudaError::EventNotRecorded,
+            CudaError::InvalidDevice,
+            CudaError::MissingConfiguration,
+            CudaError::InvalidConfiguration,
+            CudaError::NotInitialized,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.as_str(), b.as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(CudaError::NotReady.to_string(), "device not ready");
+    }
+}

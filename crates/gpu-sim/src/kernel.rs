@@ -1,0 +1,266 @@
+//! Kernel descriptors and launch configuration.
+//!
+//! A simulated kernel is a name (what IPM reports per `@CUDA_EXEC_STRMxx`
+//! entry and the XML per-kernel breakdown), a **cost model** (how long it
+//! occupies the device), and optionally a **host-side effect** that applies
+//! the kernel's semantics to device memory so applications compute real
+//! results.
+
+use crate::memory::{DeviceHeap, DevicePtr};
+use std::fmt;
+use std::sync::Arc;
+
+/// Grid/block dimensions, as in `<<<grid, block>>>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dim3 {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// One-dimensional extent.
+    pub fn x(x: u32) -> Self {
+        Self { x, y: 1, z: 1 }
+    }
+
+    /// Two-dimensional extent.
+    pub fn xy(x: u32, y: u32) -> Self {
+        Self { x, y, z: 1 }
+    }
+
+    /// Total element count `x*y*z`.
+    pub fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::x(x)
+    }
+}
+
+/// The execution configuration established by `cudaConfigureCall`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    pub grid: Dim3,
+    pub block: Dim3,
+    pub shared_mem: usize,
+    pub stream: crate::StreamId,
+}
+
+impl LaunchConfig {
+    /// Configuration on the default stream with no dynamic shared memory.
+    pub fn simple(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> Self {
+        Self {
+            grid: grid.into(),
+            block: block.into(),
+            shared_mem: 0,
+            stream: crate::StreamId::DEFAULT,
+        }
+    }
+
+    /// Same configuration on an explicit stream.
+    pub fn on_stream(mut self, stream: crate::StreamId) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Total number of CUDA threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid.count() * self.block.count()
+    }
+}
+
+/// How long a kernel occupies the device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KernelCost {
+    /// A fixed duration in seconds, independent of the launch shape.
+    Fixed(f64),
+    /// Roofline model: per-thread work scaled by the launch's total thread
+    /// count and priced against the device's compute/bandwidth peaks.
+    Roofline {
+        /// Floating-point operations per CUDA thread.
+        flops_per_thread: f64,
+        /// Device-memory bytes moved per CUDA thread.
+        bytes_per_thread: f64,
+        /// Achieved fraction of the device roofline (0, 1].
+        efficiency: f64,
+    },
+}
+
+impl KernelCost {
+    /// A roofline cost with a typical 60% efficiency.
+    pub fn roofline(flops_per_thread: f64, bytes_per_thread: f64) -> Self {
+        KernelCost::Roofline { flops_per_thread, bytes_per_thread, efficiency: 0.6 }
+    }
+}
+
+/// Kernel arguments (the values `cudaSetupArgument` marshals).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KernelArg {
+    Ptr(DevicePtr),
+    I32(i32),
+    U64(u64),
+    F64(f64),
+}
+
+impl KernelArg {
+    /// The argument as a device pointer, if it is one.
+    pub fn as_ptr(&self) -> Option<DevicePtr> {
+        match self {
+            KernelArg::Ptr(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The argument as an `i32`, if it is one.
+    pub fn as_i32(&self) -> Option<i32> {
+        match self {
+            KernelArg::I32(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Size in bytes on the (simulated) argument stack — what the real
+    /// `cudaSetupArgument` would push.
+    pub fn size(&self) -> usize {
+        match self {
+            KernelArg::Ptr(_) | KernelArg::U64(_) | KernelArg::F64(_) => 8,
+            KernelArg::I32(_) => 4,
+        }
+    }
+}
+
+/// Context handed to a kernel's host-side effect.
+pub struct KernelCtx<'a> {
+    /// The launch configuration of this invocation.
+    pub config: LaunchConfig,
+    /// The marshalled arguments.
+    pub args: &'a [KernelArg],
+    /// The device heap; effects read and write real device bytes.
+    pub heap: &'a mut DeviceHeap,
+}
+
+/// The host-side semantic effect of a kernel (optional).
+pub type KernelEffect = Arc<dyn Fn(&mut KernelCtx<'_>) + Send + Sync>;
+
+/// A simulated `__global__` function.
+#[derive(Clone)]
+pub struct Kernel {
+    name: Arc<str>,
+    cost: KernelCost,
+    effect: Option<KernelEffect>,
+}
+
+impl Kernel {
+    /// A kernel with a cost model and no semantic effect (pure timing).
+    pub fn timed(name: &str, cost: KernelCost) -> Self {
+        Self { name: Arc::from(name), cost, effect: None }
+    }
+
+    /// A kernel with both a cost model and a real effect on device memory.
+    pub fn with_effect(
+        name: &str,
+        cost: KernelCost,
+        effect: impl Fn(&mut KernelCtx<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        Self { name: Arc::from(name), cost, effect: Some(Arc::new(effect)) }
+    }
+
+    /// The kernel symbol name (as reported in profiles).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel's cost model.
+    pub fn cost(&self) -> KernelCost {
+        self.cost
+    }
+
+    /// The kernel's effect, if any.
+    pub(crate) fn effect(&self) -> Option<&KernelEffect> {
+        self.effect.as_ref()
+    }
+
+    /// Duration of one launch under `model`, before jitter.
+    pub fn duration(&self, config: &LaunchConfig, model: &ipm_sim_core::model::GpuComputeModel) -> f64 {
+        match self.cost {
+            KernelCost::Fixed(d) => d,
+            KernelCost::Roofline { flops_per_thread, bytes_per_thread, efficiency } => {
+                let threads = config.total_threads() as f64;
+                model.kernel_time(flops_per_thread * threads, bytes_per_thread * threads, efficiency)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("cost", &self.cost)
+            .field("has_effect", &self.effect.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_sim_core::model::GpuComputeModel;
+
+    #[test]
+    fn dim3_counts() {
+        assert_eq!(Dim3::x(100).count(), 100);
+        assert_eq!(Dim3::xy(4, 8).count(), 32);
+        let d: Dim3 = 7u32.into();
+        assert_eq!(d, Dim3::x(7));
+    }
+
+    #[test]
+    fn launch_config_total_threads() {
+        let c = LaunchConfig::simple(100u32, 256u32);
+        assert_eq!(c.total_threads(), 25_600);
+        assert_eq!(c.stream, crate::StreamId::DEFAULT);
+    }
+
+    #[test]
+    fn fixed_cost_ignores_shape() {
+        let k = Kernel::timed("k", KernelCost::Fixed(0.5));
+        let m = GpuComputeModel::tesla_c2050();
+        let small = k.duration(&LaunchConfig::simple(1u32, 1u32), &m);
+        let big = k.duration(&LaunchConfig::simple(1000u32, 256u32), &m);
+        assert_eq!(small, 0.5);
+        assert_eq!(big, 0.5);
+    }
+
+    #[test]
+    fn roofline_cost_scales_with_threads() {
+        let k = Kernel::timed("k", KernelCost::roofline(1000.0, 16.0));
+        let m = GpuComputeModel::tesla_c2050();
+        let t1 = k.duration(&LaunchConfig::simple(100u32, 32u32), &m);
+        let t2 = k.duration(&LaunchConfig::simple(200u32, 32u32), &m);
+        assert!(t2 > t1);
+        assert!((t2 - m.kernel_overhead) / (t1 - m.kernel_overhead) > 1.9);
+    }
+
+    #[test]
+    fn kernel_arg_accessors() {
+        let p = DevicePtr::NULL;
+        assert_eq!(KernelArg::Ptr(p).as_ptr(), Some(p));
+        assert_eq!(KernelArg::I32(3).as_i32(), Some(3));
+        assert_eq!(KernelArg::F64(1.0).as_ptr(), None);
+        assert_eq!(KernelArg::I32(3).size(), 4);
+        assert_eq!(KernelArg::U64(3).size(), 8);
+    }
+
+    #[test]
+    fn debug_formats_without_effect_dump() {
+        let k = Kernel::with_effect("sq", KernelCost::Fixed(0.1), |_| {});
+        let dbg = format!("{k:?}");
+        assert!(dbg.contains("sq"));
+        assert!(dbg.contains("has_effect: true"));
+    }
+}

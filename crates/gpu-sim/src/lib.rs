@@ -1,0 +1,60 @@
+//! # ipm-gpu-sim
+//!
+//! A deterministic, virtual-time simulator of a CUDA-3.1-era GPU runtime —
+//! the substrate standing in for NVIDIA CUDA in this reproduction of
+//! *"Comprehensive Performance Monitoring for GPU Cluster Systems"*.
+//!
+//! What the paper's IPM observes is not kernels' internal behavior but the
+//! **host-visible semantics of the CUDA runtime**: asynchronous launches,
+//! implicitly blocking synchronous memory operations, device-side event
+//! timestamps, per-stream ordering, an expensive lazy context
+//! initialization, and a concurrent-kernel limit of 16. This crate
+//! implements all of those faithfully over a virtual clock, with a
+//! performance model calibrated to the paper's Tesla C2050 testbed, plus a
+//! built-in ground-truth profiler (the `CUDA_PROFILE=1` analogue used as
+//! the comparator in the paper's Table I).
+//!
+//! ## Layout
+//!
+//! * [`runtime::GpuRuntime`] — the `cuda*` runtime API for one context.
+//! * [`driver::DriverContext`] — the `cu*` driver API over the same state.
+//! * [`api::CudaApi`] — the object-safe trait applications program against;
+//!   the monitoring layer in `ipm-core` interposes on this seam.
+//! * [`device::Device`] — one physical GPU, shareable between contexts.
+//! * [`profiler::Profiler`] — true device-side durations (`CUDA_PROFILE`).
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use ipm_gpu_sim::{GpuConfig, GpuRuntime, Kernel, KernelCost, LaunchConfig};
+//!
+//! let rt = GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0));
+//! let k = Kernel::timed("demo", KernelCost::Fixed(0.25));
+//! rt.configure_call(LaunchConfig::simple(64u32, 128u32)).unwrap();
+//! rt.launch(&k).unwrap();              // asynchronous: host barely moves
+//! assert!(rt.clock().now() < 0.01);
+//! rt.thread_synchronize().unwrap();    // now the host waits for the device
+//! assert!(rt.clock().now() >= 0.25);
+//! ```
+
+pub mod api;
+pub mod config;
+pub mod counters;
+pub mod device;
+pub mod driver;
+pub mod error;
+pub mod kernel;
+pub mod memory;
+pub mod profiler;
+pub mod runtime;
+
+pub use api::{launch_kernel, memcpy_d2h_f64, memcpy_h2d_f64, CudaApi};
+pub use config::GpuConfig;
+pub use counters::{CounterStore, KernelCounters};
+pub use device::{Device, DeviceProperties, EventId, StreamId};
+pub use driver::DriverContext;
+pub use error::{CudaError, CudaResult};
+pub use kernel::{Dim3, Kernel, KernelArg, KernelCost, KernelCtx, LaunchConfig};
+pub use memory::{DeviceHeap, DevicePtr};
+pub use profiler::{ProfKind, ProfRecord, Profiler};
+pub use runtime::GpuRuntime;

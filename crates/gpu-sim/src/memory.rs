@@ -1,0 +1,359 @@
+//! Device memory: allocations with real backing storage.
+//!
+//! Device allocations hold actual bytes so that kernels and library calls
+//! can compute real results (the `square` example of Fig. 3 really squares
+//! its array; `numlib`'s GEMM really multiplies matrices). Only *durations*
+//! come from the performance model.
+//!
+//! A [`DevicePtr`] is `(allocation id, byte offset)` — pointer arithmetic
+//! inside an allocation is supported (`offset`), crossing allocations is
+//! not, mirroring how real device pointers are used in practice.
+
+use crate::error::{CudaError, CudaResult};
+use std::collections::HashMap;
+
+/// An opaque device pointer: an allocation handle plus a byte offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DevicePtr {
+    pub(crate) alloc: u64,
+    pub(crate) offset: usize,
+}
+
+impl DevicePtr {
+    /// A null device pointer (never valid to dereference).
+    pub const NULL: DevicePtr = DevicePtr { alloc: 0, offset: 0 };
+
+    /// Pointer `bytes` past this one, still within the same allocation.
+    pub fn byte_add(self, bytes: usize) -> DevicePtr {
+        DevicePtr { alloc: self.alloc, offset: self.offset + bytes }
+    }
+
+    /// True for [`DevicePtr::NULL`].
+    pub fn is_null(self) -> bool {
+        self.alloc == 0
+    }
+}
+
+/// One device allocation: full logical extent for bounds/capacity
+/// accounting, with physical backing truncated at the heap's fidelity
+/// limit (see [`DeviceHeap`] docs).
+#[derive(Debug)]
+struct Alloc {
+    logical: usize,
+    data: Vec<u8>,
+}
+
+/// The memory of one device: allocation table plus capacity accounting.
+///
+/// ## Data fidelity limit
+///
+/// Paper-scale workloads move tens of megabytes per call, hundreds of
+/// thousands of times; physically copying that data would dominate wall
+/// time without changing any *observable timing*. The heap therefore backs
+/// each allocation with at most `fidelity_limit` real bytes: bounds checks
+/// still use the full logical size (out-of-range accesses are caught, and
+/// capacity accounting is exact), but writes beyond the backing are
+/// accepted-and-dropped and reads beyond it return zeros. Workloads that
+/// verify numerics keep operands below the limit (the default is generous).
+#[derive(Debug)]
+pub struct DeviceHeap {
+    allocs: HashMap<u64, Alloc>,
+    next_id: u64,
+    used: u64,
+    capacity: u64,
+    peak: u64,
+    fidelity_limit: usize,
+}
+
+impl Default for DeviceHeap {
+    fn default() -> Self {
+        Self::new(u64::MAX)
+    }
+}
+
+impl DeviceHeap {
+    /// Create a heap with `capacity` bytes of device memory and full data
+    /// fidelity.
+    pub fn new(capacity: u64) -> Self {
+        Self::with_fidelity(capacity, usize::MAX)
+    }
+
+    /// Create a heap whose allocations are physically backed by at most
+    /// `fidelity_limit` bytes each.
+    pub fn with_fidelity(capacity: u64, fidelity_limit: usize) -> Self {
+        Self {
+            allocs: HashMap::new(),
+            next_id: 1,
+            used: 0,
+            capacity,
+            peak: 0,
+            fidelity_limit,
+        }
+    }
+
+    /// Allocate `size` bytes (zero-initialized, as Fermi ECC memory
+    /// effectively is after `cudaMalloc` + `cudaMemset` patterns; real CUDA
+    /// leaves it undefined but deterministic zero is friendlier to tests).
+    pub fn malloc(&mut self, size: usize) -> CudaResult<DevicePtr> {
+        if self.used + size as u64 > self.capacity {
+            return Err(CudaError::MemoryAllocation);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let backing = size.min(self.fidelity_limit);
+        self.allocs.insert(id, Alloc { logical: size, data: vec![0u8; backing] });
+        self.used += size as u64;
+        self.peak = self.peak.max(self.used);
+        Ok(DevicePtr { alloc: id, offset: 0 })
+    }
+
+    /// Free an allocation. The pointer must be the allocation base
+    /// (offset 0), as with `cudaFree`.
+    pub fn free(&mut self, ptr: DevicePtr) -> CudaResult<()> {
+        if ptr.offset != 0 {
+            return Err(CudaError::InvalidDevicePointer);
+        }
+        match self.allocs.remove(&ptr.alloc) {
+            Some(a) => {
+                self.used -= a.logical as u64;
+                Ok(())
+            }
+            None => Err(CudaError::InvalidDevicePointer),
+        }
+    }
+
+    /// Size in bytes of the allocation containing `ptr`, minus the offset.
+    pub fn remaining_len(&self, ptr: DevicePtr) -> CudaResult<usize> {
+        let a = self.allocs.get(&ptr.alloc).ok_or(CudaError::InvalidDevicePointer)?;
+        a.logical.checked_sub(ptr.offset).ok_or(CudaError::InvalidValue)
+    }
+
+    /// Copy host bytes into device memory. Bounds-checked against the full
+    /// logical allocation; the physical copy stops at the backing store.
+    pub fn write(&mut self, dst: DevicePtr, src: &[u8]) -> CudaResult<()> {
+        let a = self.allocs.get_mut(&dst.alloc).ok_or(CudaError::InvalidDevicePointer)?;
+        let end = dst.offset.checked_add(src.len()).ok_or(CudaError::InvalidValue)?;
+        if end > a.logical {
+            return Err(CudaError::InvalidValue);
+        }
+        if dst.offset < a.data.len() {
+            let n = src.len().min(a.data.len() - dst.offset);
+            a.data[dst.offset..dst.offset + n].copy_from_slice(&src[..n]);
+        }
+        Ok(())
+    }
+
+    /// Copy device bytes out to host memory. Reads beyond the backing
+    /// store yield zeros (see the fidelity-limit docs).
+    pub fn read(&self, src: DevicePtr, dst: &mut [u8]) -> CudaResult<()> {
+        let a = self.allocs.get(&src.alloc).ok_or(CudaError::InvalidDevicePointer)?;
+        let end = src.offset.checked_add(dst.len()).ok_or(CudaError::InvalidValue)?;
+        if end > a.logical {
+            return Err(CudaError::InvalidValue);
+        }
+        dst.fill(0);
+        if src.offset < a.data.len() {
+            let n = dst.len().min(a.data.len() - src.offset);
+            dst[..n].copy_from_slice(&a.data[src.offset..src.offset + n]);
+        }
+        Ok(())
+    }
+
+    /// Device-to-device copy (may be within one allocation; overlapping
+    /// ranges copy via a temporary, like `cudaMemcpy` with `cudaMemcpyDeviceToDevice`).
+    pub fn copy(&mut self, dst: DevicePtr, src: DevicePtr, len: usize) -> CudaResult<()> {
+        let mut tmp = vec![0u8; len];
+        self.read(src, &mut tmp)?;
+        self.write(dst, &tmp)
+    }
+
+    /// `cudaMemset`: fill `len` bytes with `value`.
+    pub fn memset(&mut self, dst: DevicePtr, value: u8, len: usize) -> CudaResult<()> {
+        let a = self.allocs.get_mut(&dst.alloc).ok_or(CudaError::InvalidDevicePointer)?;
+        let end = dst.offset.checked_add(len).ok_or(CudaError::InvalidValue)?;
+        if end > a.logical {
+            return Err(CudaError::InvalidValue);
+        }
+        if dst.offset < a.data.len() {
+            let n = len.min(a.data.len() - dst.offset);
+            a.data[dst.offset..dst.offset + n].fill(value);
+        }
+        Ok(())
+    }
+
+    /// Typed write of an `f64` slice.
+    pub fn write_f64(&mut self, dst: DevicePtr, src: &[f64]) -> CudaResult<()> {
+        let bytes: Vec<u8> = src.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write(dst, &bytes)
+    }
+
+    /// Typed read of an `f64` slice.
+    pub fn read_f64(&self, src: DevicePtr, dst: &mut [f64]) -> CudaResult<()> {
+        let mut bytes = vec![0u8; dst.len() * 8];
+        self.read(src, &mut bytes)?;
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            dst[i] = f64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    /// Apply an in-place transformation to an allocation viewed as `f64`s.
+    /// This is how simulated kernels with real effects touch device data.
+    pub fn map_f64(
+        &mut self,
+        ptr: DevicePtr,
+        len: usize,
+        f: impl FnMut(usize, f64) -> f64,
+    ) -> CudaResult<()> {
+        let mut vals = vec![0.0f64; len];
+        self.read_f64(ptr, &mut vals)?;
+        let mut f = f;
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = f(i, *v);
+        }
+        self.write_f64(ptr, &vals)
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.allocs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> DeviceHeap {
+        DeviceHeap::new(1 << 20)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut h = heap();
+        let p = h.malloc(16).unwrap();
+        h.write(p, &[1, 2, 3, 4]).unwrap();
+        let mut out = [0u8; 4];
+        h.read(p, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn roundtrip_f64_with_offset() {
+        let mut h = heap();
+        let p = h.malloc(64).unwrap();
+        h.write_f64(p.byte_add(16), &[2.5, -1.0]).unwrap();
+        let mut out = [0.0f64; 2];
+        h.read_f64(p.byte_add(16), &mut out).unwrap();
+        assert_eq!(out, [2.5, -1.0]);
+    }
+
+    #[test]
+    fn oob_write_fails() {
+        let mut h = heap();
+        let p = h.malloc(8).unwrap();
+        assert_eq!(h.write(p, &[0u8; 9]).unwrap_err(), CudaError::InvalidValue);
+        assert_eq!(h.write(p.byte_add(4), &[0u8; 5]).unwrap_err(), CudaError::InvalidValue);
+    }
+
+    #[test]
+    fn capacity_enforced_and_freed() {
+        let mut h = DeviceHeap::new(100);
+        let a = h.malloc(60).unwrap();
+        assert_eq!(h.malloc(60).unwrap_err(), CudaError::MemoryAllocation);
+        h.free(a).unwrap();
+        assert!(h.malloc(60).is_ok());
+        assert_eq!(h.peak(), 60);
+    }
+
+    #[test]
+    fn double_free_fails() {
+        let mut h = heap();
+        let p = h.malloc(8).unwrap();
+        h.free(p).unwrap();
+        assert_eq!(h.free(p).unwrap_err(), CudaError::InvalidDevicePointer);
+    }
+
+    #[test]
+    fn free_of_interior_pointer_fails() {
+        let mut h = heap();
+        let p = h.malloc(8).unwrap();
+        assert_eq!(h.free(p.byte_add(4)).unwrap_err(), CudaError::InvalidDevicePointer);
+    }
+
+    #[test]
+    fn memset_fills() {
+        let mut h = heap();
+        let p = h.malloc(8).unwrap();
+        h.memset(p.byte_add(2), 0xAB, 4).unwrap();
+        let mut out = [0u8; 8];
+        h.read(p, &mut out).unwrap();
+        assert_eq!(out, [0, 0, 0xAB, 0xAB, 0xAB, 0xAB, 0, 0]);
+    }
+
+    #[test]
+    fn d2d_copy_handles_overlap() {
+        let mut h = heap();
+        let p = h.malloc(8).unwrap();
+        h.write(p, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        h.copy(p.byte_add(2), p, 4).unwrap();
+        let mut out = [0u8; 8];
+        h.read(p, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 1, 2, 3, 4, 7, 8]);
+    }
+
+    #[test]
+    fn map_f64_transforms_in_place() {
+        let mut h = heap();
+        let p = h.malloc(24).unwrap();
+        h.write_f64(p, &[1.0, 2.0, 3.0]).unwrap();
+        h.map_f64(p, 3, |_, v| v * v).unwrap();
+        let mut out = [0.0; 3];
+        h.read_f64(p, &mut out).unwrap();
+        assert_eq!(out, [1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn fidelity_limit_truncates_backing_but_keeps_bounds() {
+        let mut h = DeviceHeap::with_fidelity(1 << 30, 8);
+        let p = h.malloc(32).unwrap();
+        // writes past the backing are accepted (timing-only region)
+        h.write(p, &[7u8; 32]).unwrap();
+        let mut out = [0u8; 32];
+        h.read(p, &mut out).unwrap();
+        assert_eq!(&out[..8], &[7u8; 8]); // backed prefix is real
+        assert_eq!(&out[8..], &[0u8; 24]); // beyond backing reads zero
+        // but true out-of-bounds is still an error
+        assert_eq!(h.write(p, &[0u8; 33]).unwrap_err(), CudaError::InvalidValue);
+        // capacity accounting uses the logical size
+        assert_eq!(h.used(), 32);
+        // memset respects the same rules
+        h.memset(p.byte_add(4), 0xEE, 28).unwrap();
+        h.read(p, &mut out).unwrap();
+        assert_eq!(out[4], 0xEE);
+        assert_eq!(out[9], 0);
+    }
+
+    #[test]
+    fn null_pointer_is_invalid() {
+        let h = heap();
+        let mut out = [0u8; 1];
+        assert_eq!(h.read(DevicePtr::NULL, &mut out).unwrap_err(), CudaError::InvalidDevicePointer);
+        assert!(DevicePtr::NULL.is_null());
+    }
+}

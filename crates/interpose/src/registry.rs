@@ -1,0 +1,116 @@
+//! The unified call registry.
+//!
+//! Collects every [`CallSpec`] from the specification into one table with
+//! stable integer [`CallId`]s — the analogue of IPM's generated wrapper
+//! table. Monitors intern call names once and use ids on the hot path.
+
+use crate::spec::{
+    cublas_calls, ApiFamily, BlockingClass, CallSpec, CUDA_DRIVER_CALLS, CUDA_RUNTIME_CALLS,
+    CUFFT_CALLS, MPI_CALLS,
+};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Index of a call in the global registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallId(pub u32);
+
+/// The global wrapper registry.
+pub struct Registry {
+    calls: Vec<CallSpec>,
+    by_name: HashMap<&'static str, CallId>,
+}
+
+impl Registry {
+    fn build() -> Self {
+        let mut calls: Vec<CallSpec> = Vec::new();
+        calls.extend_from_slice(CUDA_RUNTIME_CALLS);
+        calls.extend_from_slice(CUDA_DRIVER_CALLS);
+        calls.extend(cublas_calls());
+        calls.extend_from_slice(CUFFT_CALLS);
+        calls.extend_from_slice(MPI_CALLS);
+        let by_name =
+            calls.iter().enumerate().map(|(i, c)| (c.name, CallId(i as u32))).collect();
+        Self { calls, by_name }
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static REG: OnceLock<Registry> = OnceLock::new();
+        REG.get_or_init(Registry::build)
+    }
+
+    /// Total number of interposable calls.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// True if the registry is empty (it never is; for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Look up a call by name.
+    pub fn id(&self, name: &str) -> Option<CallId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The spec for an id.
+    pub fn spec(&self, id: CallId) -> &CallSpec {
+        &self.calls[id.0 as usize]
+    }
+
+    /// All calls of one family.
+    pub fn family(&self, family: ApiFamily) -> impl Iterator<Item = &CallSpec> {
+        self.calls.iter().filter(move |c| c.family == family)
+    }
+
+    /// The **implicit blocking set**: the calls IPM instruments with a
+    /// preceding `cudaStreamSynchronize` for host-idle attribution.
+    pub fn implicit_blocking_set(&self) -> impl Iterator<Item = &CallSpec> {
+        self.calls.iter().filter(|c| c.blocking == BlockingClass::ImplicitSync)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_aggregates_all_families() {
+        let r = Registry::global();
+        assert_eq!(r.family(ApiFamily::CudaRuntime).count(), 65);
+        assert_eq!(r.family(ApiFamily::CudaDriver).count(), 99);
+        assert_eq!(r.family(ApiFamily::Cublas).count(), 167);
+        assert_eq!(r.family(ApiFamily::Cufft).count(), 13);
+        assert!(r.family(ApiFamily::Mpi).count() > 10);
+        assert_eq!(r.len(), 65 + 99 + 167 + 13 + r.family(ApiFamily::Mpi).count());
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn lookup_roundtrips() {
+        let r = Registry::global();
+        let id = r.id("cudaLaunch").expect("cudaLaunch registered");
+        assert_eq!(r.spec(id).name, "cudaLaunch");
+        assert!(r.id("cudaNotARealCall").is_none());
+    }
+
+    #[test]
+    fn implicit_blocking_set_is_cuda_memory_ops_plus_cublas_transfers() {
+        let r = Registry::global();
+        let set: Vec<&str> = r.implicit_blocking_set().map(|c| c.name).collect();
+        assert!(set.contains(&"cudaMemcpy"));
+        assert!(set.contains(&"cuMemcpyDtoH"));
+        assert!(set.contains(&"cublasGetMatrix"));
+        assert!(!set.iter().any(|n| n.contains("Memset")));
+        assert!(!set.iter().any(|n| n.ends_with("Async")));
+    }
+
+    #[test]
+    fn ids_are_stable_across_lookups() {
+        let r = Registry::global();
+        assert_eq!(r.id("cublasZgemm"), r.id("cublasZgemm"));
+        assert_ne!(r.id("cudaMemcpy"), r.id("cuMemcpyHtoD"));
+    }
+}

@@ -1,0 +1,581 @@
+//! The formal call specification.
+//!
+//! IPM generates its wrappers from "a formal specification file derived
+//! from the headers shipped with the CUDA SDK" (paper §III-A): 65 runtime
+//! API calls, 99 driver API calls, plus 167 CUBLAS and 13 CUFFT entry
+//! points (§III-D). This module is that specification: every interposable
+//! call, tagged with the attributes the wrapper generator needs —
+//! which API family it belongs to, whether it is in the **implicit
+//! blocking set** discovered by the paper's microbenchmark (all synchronous
+//! memory operations except the memsets), and whether it carries a byte
+//! count worth recording in the hash table's `bytes` attribute.
+
+/// Which library a call belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ApiFamily {
+    /// `cuda*` — the CUDA runtime API.
+    CudaRuntime,
+    /// `cu*` — the CUDA driver API.
+    CudaDriver,
+    /// `cublas*`.
+    Cublas,
+    /// `cufft*`.
+    Cufft,
+    /// `MPI_*`.
+    Mpi,
+}
+
+/// Host-blocking behavior of a call, as classified by the paper's
+/// microbenchmark (§III-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockingClass {
+    /// Returns after submission; never waits for the device.
+    NonBlocking,
+    /// Synchronous memory operation that **implicitly waits** for
+    /// outstanding device work — the set IPM instruments for
+    /// `@CUDA_HOST_IDLE`.
+    ImplicitSync,
+    /// Explicitly synchronizing by contract
+    /// (`cudaStreamSynchronize`, `cudaEventSynchronize`, ...).
+    ExplicitSync,
+    /// Plain host-side call (allocation, query, configuration).
+    Local,
+}
+
+/// One row of the specification.
+#[derive(Clone, Copy, Debug)]
+pub struct CallSpec {
+    /// The entry-point name as the dynamic linker would see it.
+    pub name: &'static str,
+    /// Owning library.
+    pub family: ApiFamily,
+    /// Blocking classification.
+    pub blocking: BlockingClass,
+    /// Whether the wrapper records a transfer/operand size.
+    pub has_bytes: bool,
+}
+
+const fn call(
+    name: &'static str,
+    family: ApiFamily,
+    blocking: BlockingClass,
+    has_bytes: bool,
+) -> CallSpec {
+    CallSpec { name, family, blocking, has_bytes }
+}
+
+macro_rules! rt_local {
+    ($($n:literal),* $(,)?) => { [$(call($n, ApiFamily::CudaRuntime, BlockingClass::Local, false)),*] };
+}
+macro_rules! drv_local {
+    ($($n:literal),* $(,)?) => { [$(call($n, ApiFamily::CudaDriver, BlockingClass::Local, false)),*] };
+}
+
+/// The 65 CUDA **runtime API** calls (CUDA 3.1).
+pub static CUDA_RUNTIME_CALLS: &[CallSpec] = &{
+    let mut out = [call("", ApiFamily::CudaRuntime, BlockingClass::Local, false); 65];
+    let mut i = 0;
+    macro_rules! push {
+        ($spec:expr) => {{
+            out[i] = $spec;
+            i += 1;
+        }};
+    }
+    // memory management (local host-side calls)
+    let locals = rt_local![
+        "cudaMalloc",
+        "cudaMallocHost",
+        "cudaMallocPitch",
+        "cudaMallocArray",
+        "cudaMalloc3D",
+        "cudaMalloc3DArray",
+        "cudaFree",
+        "cudaFreeHost",
+        "cudaFreeArray",
+        "cudaHostAlloc",
+        "cudaHostGetDevicePointer",
+        "cudaHostGetFlags",
+    ];
+    let mut j = 0;
+    while j < locals.len() {
+        push!(locals[j]);
+        j += 1;
+    }
+    // synchronous copies: the implicit-blocking set
+    let sync_copies = [
+        "cudaMemcpy",
+        "cudaMemcpyToSymbol",
+        "cudaMemcpyFromSymbol",
+        "cudaMemcpy2D",
+        "cudaMemcpy2DToArray",
+        "cudaMemcpy2DFromArray",
+        "cudaMemcpyToArray",
+        "cudaMemcpyFromArray",
+        "cudaMemcpy3D",
+    ];
+    j = 0;
+    while j < sync_copies.len() {
+        push!(call(sync_copies[j], ApiFamily::CudaRuntime, BlockingClass::ImplicitSync, true));
+        j += 1;
+    }
+    // asynchronous copies
+    let async_copies = [
+        "cudaMemcpyAsync",
+        "cudaMemcpyToSymbolAsync",
+        "cudaMemcpyFromSymbolAsync",
+        "cudaMemcpy2DAsync",
+        "cudaMemcpy3DAsync",
+    ];
+    j = 0;
+    while j < async_copies.len() {
+        push!(call(async_copies[j], ApiFamily::CudaRuntime, BlockingClass::NonBlocking, true));
+        j += 1;
+    }
+    // memsets: synchronous in name, but NOT implicitly blocking (paper §III-C)
+    let memsets = ["cudaMemset", "cudaMemset2D", "cudaMemset3D"];
+    j = 0;
+    while j < memsets.len() {
+        push!(call(memsets[j], ApiFamily::CudaRuntime, BlockingClass::NonBlocking, true));
+        j += 1;
+    }
+    // info + symbols + device management + execution control
+    let more_locals = rt_local![
+        "cudaMemGetInfo",
+        "cudaGetSymbolAddress",
+        "cudaGetSymbolSize",
+        "cudaGetDeviceCount",
+        "cudaGetDeviceProperties",
+        "cudaChooseDevice",
+        "cudaSetDevice",
+        "cudaGetDevice",
+        "cudaSetValidDevices",
+        "cudaSetDeviceFlags",
+        "cudaConfigureCall",
+        "cudaSetupArgument",
+        "cudaFuncGetAttributes",
+        "cudaFuncSetCacheConfig",
+        "cudaStreamCreate",
+        "cudaStreamDestroy",
+        "cudaStreamQuery",
+        "cudaEventCreate",
+        "cudaEventCreateWithFlags",
+        "cudaEventRecord",
+        "cudaEventQuery",
+        "cudaEventDestroy",
+        "cudaEventElapsedTime",
+        "cudaThreadExit",
+        "cudaThreadSetLimit",
+        "cudaThreadGetLimit",
+        "cudaGetLastError",
+        "cudaPeekAtLastError",
+        "cudaGetErrorString",
+        "cudaDriverGetVersion",
+        "cudaRuntimeGetVersion",
+        "cudaGetExportTable",
+    ];
+    j = 0;
+    while j < more_locals.len() {
+        push!(more_locals[j]);
+        j += 1;
+    }
+    // kernel launch: asynchronous submission
+    push!(call("cudaLaunch", ApiFamily::CudaRuntime, BlockingClass::NonBlocking, false));
+    // explicit synchronization
+    let syncs = ["cudaStreamSynchronize", "cudaEventSynchronize", "cudaThreadSynchronize"];
+    j = 0;
+    while j < syncs.len() {
+        push!(call(syncs[j], ApiFamily::CudaRuntime, BlockingClass::ExplicitSync, false));
+        j += 1;
+    }
+    assert!(i == 65, "runtime API spec must list exactly 65 calls");
+    out
+};
+
+/// The 99 CUDA **driver API** calls (CUDA 3.1).
+pub static CUDA_DRIVER_CALLS: &[CallSpec] = &{
+    let mut out = [call("", ApiFamily::CudaDriver, BlockingClass::Local, false); 99];
+    let mut i = 0;
+    macro_rules! push {
+        ($spec:expr) => {{
+            out[i] = $spec;
+            i += 1;
+        }};
+    }
+    let locals = drv_local![
+        "cuInit",
+        "cuDriverGetVersion",
+        "cuDeviceGet",
+        "cuDeviceGetCount",
+        "cuDeviceGetName",
+        "cuDeviceComputeCapability",
+        "cuDeviceTotalMem",
+        "cuDeviceGetProperties",
+        "cuDeviceGetAttribute",
+        "cuCtxCreate",
+        "cuCtxDestroy",
+        "cuCtxAttach",
+        "cuCtxDetach",
+        "cuCtxPushCurrent",
+        "cuCtxPopCurrent",
+        "cuCtxGetDevice",
+        "cuModuleLoad",
+        "cuModuleLoadData",
+        "cuModuleLoadDataEx",
+        "cuModuleLoadFatBinary",
+        "cuModuleUnload",
+        "cuModuleGetFunction",
+        "cuModuleGetGlobal",
+        "cuModuleGetTexRef",
+        "cuModuleGetSurfRef",
+        "cuMemGetInfo",
+        "cuMemAlloc",
+        "cuMemAllocPitch",
+        "cuMemFree",
+        "cuMemGetAddressRange",
+        "cuMemAllocHost",
+        "cuMemFreeHost",
+        "cuMemHostAlloc",
+        "cuMemHostGetDevicePointer",
+    ];
+    let mut j = 0;
+    while j < locals.len() {
+        push!(locals[j]);
+        j += 1;
+    }
+    // synchronous copies: implicit-blocking set
+    let sync_copies = [
+        "cuMemcpyHtoD",
+        "cuMemcpyDtoH",
+        "cuMemcpyDtoD",
+        "cuMemcpyDtoA",
+        "cuMemcpyAtoD",
+        "cuMemcpyHtoA",
+        "cuMemcpyAtoH",
+        "cuMemcpyAtoA",
+        "cuMemcpy2D",
+        "cuMemcpy2DUnaligned",
+        "cuMemcpy3D",
+    ];
+    j = 0;
+    while j < sync_copies.len() {
+        push!(call(sync_copies[j], ApiFamily::CudaDriver, BlockingClass::ImplicitSync, true));
+        j += 1;
+    }
+    let async_copies = [
+        "cuMemcpyHtoDAsync",
+        "cuMemcpyDtoHAsync",
+        "cuMemcpyDtoDAsync",
+        "cuMemcpyHtoAAsync",
+        "cuMemcpyAtoHAsync",
+        "cuMemcpy2DAsync",
+        "cuMemcpy3DAsync",
+    ];
+    j = 0;
+    while j < async_copies.len() {
+        push!(call(async_copies[j], ApiFamily::CudaDriver, BlockingClass::NonBlocking, true));
+        j += 1;
+    }
+    // memsets: NOT in the implicit blocking set (paper §III-C)
+    let memsets =
+        ["cuMemsetD8", "cuMemsetD16", "cuMemsetD32", "cuMemsetD2D8", "cuMemsetD2D16", "cuMemsetD2D32"];
+    j = 0;
+    while j < memsets.len() {
+        push!(call(memsets[j], ApiFamily::CudaDriver, BlockingClass::NonBlocking, true));
+        j += 1;
+    }
+    let more_locals = drv_local![
+        "cuFuncSetBlockShape",
+        "cuFuncSetSharedSize",
+        "cuFuncGetAttribute",
+        "cuFuncSetCacheConfig",
+        "cuArrayCreate",
+        "cuArrayGetDescriptor",
+        "cuArrayDestroy",
+        "cuArray3DCreate",
+        "cuArray3DGetDescriptor",
+        "cuTexRefSetArray",
+        "cuTexRefSetAddress",
+        "cuTexRefSetAddress2D",
+        "cuTexRefSetFormat",
+        "cuTexRefSetAddressMode",
+        "cuTexRefSetFilterMode",
+        "cuTexRefSetFlags",
+        "cuTexRefGetAddress",
+        "cuTexRefGetArray",
+        "cuTexRefGetAddressMode",
+        "cuTexRefGetFilterMode",
+        "cuTexRefGetFormat",
+        "cuTexRefGetFlags",
+        "cuParamSetSize",
+        "cuParamSeti",
+        "cuParamSetf",
+        "cuParamSetv",
+        "cuParamSetTexRef",
+        "cuEventCreate",
+        "cuEventRecord",
+        "cuEventQuery",
+        "cuEventDestroy",
+        "cuEventElapsedTime",
+        "cuStreamCreate",
+        "cuStreamQuery",
+        "cuStreamDestroy",
+    ];
+    j = 0;
+    while j < more_locals.len() {
+        push!(more_locals[j]);
+        j += 1;
+    }
+    let launches = ["cuLaunch", "cuLaunchGrid", "cuLaunchGridAsync"];
+    j = 0;
+    while j < launches.len() {
+        push!(call(launches[j], ApiFamily::CudaDriver, BlockingClass::NonBlocking, false));
+        j += 1;
+    }
+    let syncs = ["cuCtxSynchronize", "cuEventSynchronize", "cuStreamSynchronize"];
+    j = 0;
+    while j < syncs.len() {
+        push!(call(syncs[j], ApiFamily::CudaDriver, BlockingClass::ExplicitSync, false));
+        j += 1;
+    }
+    assert!(i == 99, "driver API spec must list exactly 99 calls");
+    out
+};
+
+/// Build the 167 CUBLAS entry points (CUBLAS shipped with CUDA 3.1):
+/// 17 helper routines + 54 BLAS-1 + 66 BLAS-2 + 30 BLAS-3.
+pub fn cublas_calls() -> Vec<CallSpec> {
+    let mut out = Vec::with_capacity(167);
+    let helper = |n: &'static str, bytes: bool, blocking: BlockingClass| CallSpec {
+        name: n,
+        family: ApiFamily::Cublas,
+        blocking,
+        has_bytes: bytes,
+    };
+    // helpers: 17
+    for spec in [
+        helper("cublasInit", false, BlockingClass::Local),
+        helper("cublasShutdown", false, BlockingClass::Local),
+        helper("cublasGetError", false, BlockingClass::Local),
+        helper("cublasGetVersion", false, BlockingClass::Local),
+        helper("cublasXerbla", false, BlockingClass::Local),
+        helper("cublasSetKernelStream", false, BlockingClass::Local),
+        helper("cublasAlloc", true, BlockingClass::Local),
+        helper("cublasFree", false, BlockingClass::Local),
+        helper("cublasSetVector", true, BlockingClass::ImplicitSync),
+        helper("cublasGetVector", true, BlockingClass::ImplicitSync),
+        helper("cublasSetMatrix", true, BlockingClass::ImplicitSync),
+        helper("cublasGetMatrix", true, BlockingClass::ImplicitSync),
+        helper("cublasSetVectorAsync", true, BlockingClass::NonBlocking),
+        helper("cublasGetVectorAsync", true, BlockingClass::NonBlocking),
+        helper("cublasSetMatrixAsync", true, BlockingClass::NonBlocking),
+        helper("cublasGetMatrixAsync", true, BlockingClass::NonBlocking),
+        helper("cublasSetStream", false, BlockingClass::Local),
+    ] {
+        out.push(spec);
+    }
+
+    let leak = |s: String| -> &'static str { Box::leak(s.into_boxed_str()) };
+    let computational = |name: String| CallSpec {
+        name: leak(name),
+        family: ApiFamily::Cublas,
+        blocking: BlockingClass::NonBlocking, // launches, returns immediately
+        has_bytes: true,
+    };
+
+    // BLAS 1 — 13 (s) + 13 (d) + 14 (c) + 14 (z) = 54
+    for t in ["s", "d"] {
+        for r in [
+            format!("cublasI{t}amax"),
+            format!("cublasI{t}amin"),
+            format!("cublas{}asum", t.to_uppercase()),
+        ] {
+            out.push(computational(r));
+        }
+        for r in ["axpy", "copy", "dot", "nrm2", "rot", "rotg", "rotm", "rotmg", "scal", "swap"] {
+            out.push(computational(format!("cublas{}{}", t.to_uppercase(), r)));
+        }
+    }
+    for (t, prefix_nrm) in [("c", "Sc"), ("z", "Dz")] {
+        for r in [
+            format!("cublasI{t}amax"),
+            format!("cublasI{t}amin"),
+            format!("cublas{prefix_nrm}asum"),
+            format!("cublas{prefix_nrm}nrm2"),
+        ] {
+            out.push(computational(r));
+        }
+        let tt = t.to_uppercase();
+        for r in ["axpy", "copy", "dotu", "dotc", "rot", "rotg", "scal", "swap"] {
+            out.push(computational(format!("cublas{tt}{r}")));
+        }
+        // mixed real-complex scal / rot (csscal, zdscal, csrot, zdrot)
+        let mixed = if t == "c" { ["cublasCsscal", "cublasCsrot"] } else { ["cublasZdscal", "cublasZdrot"] };
+        for r in mixed {
+            out.push(computational(r.to_owned()));
+        }
+    }
+
+    // BLAS 2 — 16 (s) + 16 (d) + 17 (c) + 17 (z) = 66
+    for t in ["S", "D"] {
+        for r in [
+            "gbmv", "gemv", "ger", "sbmv", "spmv", "spr", "spr2", "symv", "syr", "syr2", "tbmv",
+            "tbsv", "tpmv", "tpsv", "trmv", "trsv",
+        ] {
+            out.push(computational(format!("cublas{t}{r}")));
+        }
+    }
+    for t in ["C", "Z"] {
+        for r in [
+            "gbmv", "gemv", "gerc", "geru", "hbmv", "hemv", "her", "her2", "hpmv", "hpr", "hpr2",
+            "tbmv", "tbsv", "tpmv", "tpsv", "trmv", "trsv",
+        ] {
+            out.push(computational(format!("cublas{t}{r}")));
+        }
+    }
+
+    // BLAS 3 — 6 (s) + 6 (d) + 9 (c) + 9 (z) = 30
+    for t in ["S", "D"] {
+        for r in ["gemm", "symm", "syrk", "syr2k", "trmm", "trsm"] {
+            out.push(computational(format!("cublas{t}{r}")));
+        }
+    }
+    for t in ["C", "Z"] {
+        for r in ["gemm", "symm", "hemm", "syrk", "herk", "syr2k", "her2k", "trmm", "trsm"] {
+            out.push(computational(format!("cublas{t}{r}")));
+        }
+    }
+    out
+}
+
+/// The 13 CUFFT entry points (CUFFT shipped with CUDA 3.1).
+pub static CUFFT_CALLS: &[CallSpec] = &[
+    call("cufftPlan1d", ApiFamily::Cufft, BlockingClass::Local, true),
+    call("cufftPlan2d", ApiFamily::Cufft, BlockingClass::Local, true),
+    call("cufftPlan3d", ApiFamily::Cufft, BlockingClass::Local, true),
+    call("cufftPlanMany", ApiFamily::Cufft, BlockingClass::Local, true),
+    call("cufftDestroy", ApiFamily::Cufft, BlockingClass::Local, false),
+    call("cufftExecC2C", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
+    call("cufftExecR2C", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
+    call("cufftExecC2R", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
+    call("cufftExecZ2Z", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
+    call("cufftExecD2Z", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
+    call("cufftExecZ2D", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
+    call("cufftSetStream", ApiFamily::Cufft, BlockingClass::Local, false),
+    call("cufftSetCompatibilityMode", ApiFamily::Cufft, BlockingClass::Local, false),
+];
+
+/// The MPI calls IPM traditionally monitors (a representative subset of the
+/// PMPI surface — IPM's MPI coverage predates this paper).
+pub static MPI_CALLS: &[CallSpec] = &[
+    call("MPI_Send", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
+    call("MPI_Recv", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
+    call("MPI_Isend", ApiFamily::Mpi, BlockingClass::NonBlocking, true),
+    call("MPI_Irecv", ApiFamily::Mpi, BlockingClass::NonBlocking, true),
+    call("MPI_Wait", ApiFamily::Mpi, BlockingClass::ExplicitSync, false),
+    call("MPI_Waitall", ApiFamily::Mpi, BlockingClass::ExplicitSync, false),
+    call("MPI_Barrier", ApiFamily::Mpi, BlockingClass::ExplicitSync, false),
+    call("MPI_Bcast", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
+    call("MPI_Reduce", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
+    call("MPI_Allreduce", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
+    call("MPI_Gather", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
+    call("MPI_Allgather", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
+    call("MPI_Scatter", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
+    call("MPI_Alltoall", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
+    call("MPI_Comm_rank", ApiFamily::Mpi, BlockingClass::Local, false),
+    call("MPI_Comm_size", ApiFamily::Mpi, BlockingClass::Local, false),
+    call("MPI_Wtime", ApiFamily::Mpi, BlockingClass::Local, false),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_match_the_paper() {
+        // §III-A: "99 calls in the driver API and 65 calls in the runtime API"
+        assert_eq!(CUDA_RUNTIME_CALLS.len(), 65);
+        assert_eq!(CUDA_DRIVER_CALLS.len(), 99);
+        // §III-D: "13 calls in CUFFT and 167 calls in CUBLAS"
+        assert_eq!(CUFFT_CALLS.len(), 13);
+        assert_eq!(cublas_calls().len(), 167);
+    }
+
+    #[test]
+    fn names_are_unique_within_each_family() {
+        for calls in [CUDA_RUNTIME_CALLS.to_vec(), CUDA_DRIVER_CALLS.to_vec(), CUFFT_CALLS.to_vec(), cublas_calls(), MPI_CALLS.to_vec()] {
+            let set: HashSet<&str> = calls.iter().map(|c| c.name).collect();
+            assert_eq!(set.len(), calls.len(), "duplicate names in a family");
+        }
+    }
+
+    #[test]
+    fn memsets_are_excluded_from_implicit_blocking() {
+        // the paper's microbenchmark: sync memory ops block implicitly,
+        // "with the notable exception of cudaMemset and cuMemset"
+        for c in CUDA_RUNTIME_CALLS.iter().chain(CUDA_DRIVER_CALLS) {
+            if c.name.contains("Memset") || c.name.contains("emsetD") {
+                assert_ne!(c.blocking, BlockingClass::ImplicitSync, "{} misclassified", c.name);
+            }
+        }
+        // while plain cudaMemcpy is in the set
+        let memcpy = CUDA_RUNTIME_CALLS.iter().find(|c| c.name == "cudaMemcpy").unwrap();
+        assert_eq!(memcpy.blocking, BlockingClass::ImplicitSync);
+    }
+
+    #[test]
+    fn async_copies_never_block() {
+        for c in CUDA_RUNTIME_CALLS.iter().chain(CUDA_DRIVER_CALLS) {
+            if c.name.ends_with("Async") {
+                assert_eq!(c.blocking, BlockingClass::NonBlocking, "{} misclassified", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn transfers_carry_bytes() {
+        for c in CUDA_RUNTIME_CALLS.iter().chain(CUDA_DRIVER_CALLS) {
+            if c.name.contains("Memcpy") || c.name.contains("emcpy") {
+                assert!(c.has_bytes, "{} should record bytes", c.name);
+            }
+        }
+        let zgemm = cublas_calls().into_iter().find(|c| c.name == "cublasZgemm").unwrap();
+        assert!(zgemm.has_bytes);
+    }
+
+    #[test]
+    fn families_are_tagged_consistently() {
+        assert!(CUDA_RUNTIME_CALLS.iter().all(|c| c.family == ApiFamily::CudaRuntime));
+        assert!(CUDA_DRIVER_CALLS.iter().all(|c| c.family == ApiFamily::CudaDriver));
+        assert!(CUFFT_CALLS.iter().all(|c| c.family == ApiFamily::Cufft));
+        assert!(cublas_calls().iter().all(|c| c.family == ApiFamily::Cublas));
+        assert!(MPI_CALLS.iter().all(|c| c.family == ApiFamily::Mpi));
+    }
+
+    #[test]
+    fn key_entry_points_are_present() {
+        let rt: HashSet<&str> = CUDA_RUNTIME_CALLS.iter().map(|c| c.name).collect();
+        for name in [
+            "cudaMalloc",
+            "cudaMemcpy",
+            "cudaConfigureCall",
+            "cudaSetupArgument",
+            "cudaLaunch",
+            "cudaEventRecord",
+            "cudaStreamSynchronize",
+            "cudaThreadSynchronize",
+            "cudaMemcpyToSymbol",
+            "cudaGetDeviceCount",
+        ] {
+            assert!(rt.contains(name), "runtime spec missing {name}");
+        }
+        let drv: HashSet<&str> = CUDA_DRIVER_CALLS.iter().map(|c| c.name).collect();
+        for name in ["cuInit", "cuMemAlloc", "cuMemcpyHtoD", "cuLaunchGrid", "cuCtxSynchronize"] {
+            assert!(drv.contains(name), "driver spec missing {name}");
+        }
+        let blas: HashSet<String> = cublas_calls().iter().map(|c| c.name.to_owned()).collect();
+        for name in ["cublasZgemm", "cublasDgemm", "cublasSetMatrix", "cublasGetMatrix", "cublasInit"] {
+            assert!(blas.contains(name), "cublas spec missing {name}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The wrapper anatomy (paper Fig. 2).
+//!
+//! Every IPM wrapper follows the same shape:
+//!
+//! ```c
+//! cudaError_t cudaCall(arg1, ...) {
+//!     begin = get_time();
+//!     ret = real_cudaCall(arg1, ...);
+//!     end = get_time();
+//!     UPDATE_DATA(CUDA_CALL_ID, end - begin);
+//!     return ret;
+//! }
+//! ```
+//!
+//! [`wrap_call`] is that anatomy as a reusable function: time the *real*
+//! call on the caller's virtual clock, report `(call, bytes, duration)` to
+//! a [`MonitorSink`], pass the return value through unchanged. The
+//! `wrap_api!` macro generates whole monitored facades from a method list,
+//! standing in for IPM's wrapper-generator script.
+
+use ipm_sim_core::SimClock;
+
+/// Where wrappers deposit measurements. Implemented by `ipm-core`'s
+/// performance hash table; tests use simple recording sinks.
+pub trait MonitorSink: Send + Sync {
+    /// Record one completed call: `name` (a registry name), the byte count
+    /// attribute (0 when the call has none), and the host-side duration.
+    fn update(&self, name: &'static str, bytes: u64, duration: f64);
+}
+
+/// A sink that drops everything (monitoring disabled).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl MonitorSink for NullSink {
+    fn update(&self, _name: &'static str, _bytes: u64, _duration: f64) {}
+}
+
+/// Execute `real` bracketed by virtual-clock timestamps and report the
+/// duration to `sink` — Fig. 2 as a higher-order function. A configurable
+/// `overhead` is charged to the clock to model the cost of the monitoring
+/// itself (what the paper's runtime-dilatation study measures).
+pub fn wrap_call<R>(
+    clock: &SimClock,
+    sink: &dyn MonitorSink,
+    name: &'static str,
+    bytes: u64,
+    overhead: f64,
+    real: impl FnOnce() -> R,
+) -> R {
+    let begin = clock.now();
+    let ret = real();
+    clock.advance(overhead);
+    let end = clock.now();
+    sink.update(name, bytes, end - begin);
+    ret
+}
+
+/// Generate a monitored facade method: times the inner call on `$self`'s
+/// clock and reports to `$self`'s sink. Used by `ipm-core`'s monitors; kept
+/// here so the generation logic lives with the interposition machinery.
+///
+/// ```ignore
+/// wrap_method! { self, "cudaMalloc", bytes = size as u64,
+///     self.inner.cuda_malloc(size) }
+/// ```
+#[macro_export]
+macro_rules! wrap_method {
+    ($self:ident, $name:literal, bytes = $bytes:expr, $call:expr) => {{
+        $crate::wrap::wrap_call(
+            $self.wrapper_clock(),
+            $self.wrapper_sink(),
+            $name,
+            $bytes,
+            $self.wrapper_overhead(),
+            || $call,
+        )
+    }};
+    ($self:ident, $name:literal, $call:expr) => {
+        $crate::wrap_method!($self, $name, bytes = 0, $call)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[derive(Default)]
+    struct RecordingSink {
+        events: Mutex<Vec<(&'static str, u64, f64)>>,
+    }
+
+    impl MonitorSink for RecordingSink {
+        fn update(&self, name: &'static str, bytes: u64, duration: f64) {
+            self.events.lock().push((name, bytes, duration));
+        }
+    }
+
+    #[test]
+    fn wrap_call_times_the_inner_call() {
+        let clock = SimClock::new();
+        let sink = RecordingSink::default();
+        let out = wrap_call(&clock, &sink, "cudaMemcpy", 4096, 0.0, || {
+            clock.advance(0.25); // the "real" call takes 0.25 virtual s
+            42
+        });
+        assert_eq!(out, 42);
+        let events = sink.events.lock();
+        assert_eq!(events.len(), 1);
+        let (name, bytes, duration) = events[0];
+        assert_eq!(name, "cudaMemcpy");
+        assert_eq!(bytes, 4096);
+        assert!((duration - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_call_charges_monitoring_overhead() {
+        let clock = SimClock::new();
+        let sink = NullSink;
+        wrap_call(&clock, &sink, "cudaLaunch", 0, 1e-6, || {});
+        assert!((clock.now() - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn return_values_and_errors_pass_through() {
+        let clock = SimClock::new();
+        let sink = NullSink;
+        let ok: Result<i32, &str> = wrap_call(&clock, &sink, "x", 0, 0.0, || Ok(7));
+        let err: Result<i32, &str> = wrap_call(&clock, &sink, "x", 0, 0.0, || Err("boom"));
+        assert_eq!(ok, Ok(7));
+        assert_eq!(err, Err("boom"));
+    }
+
+    #[test]
+    fn nested_wrapped_calls_nest_durations() {
+        // an outer library call (cublasDgemm) that internally makes a
+        // wrapped runtime call (cudaLaunch): the outer duration includes
+        // the inner one, as it does for real IPM
+        let clock = SimClock::new();
+        let sink = RecordingSink::default();
+        wrap_call(&clock, &sink, "cublasDgemm", 0, 0.0, || {
+            wrap_call(&clock, &sink, "cudaLaunch", 0, 0.0, || clock.advance(0.1));
+            clock.advance(0.05);
+        });
+        let events = sink.events.lock();
+        assert_eq!(events[0].0, "cudaLaunch");
+        assert_eq!(events[1].0, "cublasDgemm");
+        assert!(events[1].2 > events[0].2);
+        assert!((events[1].2 - 0.15).abs() < 1e-12);
+    }
+}

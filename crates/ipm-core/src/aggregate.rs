@@ -1,0 +1,333 @@
+//! Cross-rank aggregation.
+//!
+//! The paper's key differentiation from workstation profilers (§V) is that
+//! IPM *integrates performance data across nodes* instead of leaving the
+//! user with one file per MPI process. [`ClusterReport`] merges per-rank
+//! profiles into the cluster-wide view: subsystem totals with
+//! min/avg/max over ranks (the Fig. 11 header block), aggregated function
+//! tables, per-kernel/per-rank matrices for imbalance analysis (Fig. 9),
+//! and load-imbalance metrics.
+
+use crate::profile::{EventFamily, RankProfile};
+use ipm_sim_core::RunningStats;
+use std::collections::HashMap;
+
+/// Min/avg/max of a per-rank quantity.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankSpread {
+    pub total: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl RankSpread {
+    fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        Self {
+            // `+ 0.0` normalizes the empty-sum identity (-0.0)
+            total: values.iter().sum::<f64>() + 0.0,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Imbalance ratio `(max - min) / max` (0 = perfectly balanced). The
+    /// paper quotes e.g. "imbalances of up to a factor of 55%" for Amber's
+    /// ReduceForces kernel.
+    pub fn imbalance(&self) -> f64 {
+        if self.max <= 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.max
+        }
+    }
+}
+
+/// The merged view over all ranks of one run.
+pub struct ClusterReport {
+    pub command: String,
+    pub nranks: usize,
+    pub nodes: usize,
+    pub wallclock_total: f64,
+    pub wallclock_min: f64,
+    pub wallclock_max: f64,
+    profiles: Vec<RankProfile>,
+}
+
+impl ClusterReport {
+    /// Merge per-rank profiles (sorted by rank internally).
+    pub fn from_profiles(mut profiles: Vec<RankProfile>, nodes: usize) -> Self {
+        assert!(!profiles.is_empty(), "cannot aggregate zero profiles");
+        profiles.sort_by_key(|p| p.rank);
+        let walls: Vec<f64> = profiles.iter().map(|p| p.wallclock).collect();
+        Self {
+            command: profiles[0].command.clone(),
+            nranks: profiles.len(),
+            nodes,
+            wallclock_total: walls.iter().sum(),
+            wallclock_min: walls.iter().copied().fold(f64::INFINITY, f64::min),
+            wallclock_max: walls.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            profiles,
+        }
+    }
+
+    /// The per-rank profiles, in rank order.
+    pub fn profiles(&self) -> &[RankProfile] {
+        &self.profiles
+    }
+
+    /// Per-rank spread of the time spent in a family.
+    pub fn family_spread(&self, family: EventFamily) -> RankSpread {
+        let values: Vec<f64> = self.profiles.iter().map(|p| p.family_time(family)).collect();
+        RankSpread::from_values(&values)
+    }
+
+    /// The subsystem rows of the Fig. 11 banner header (`MPI`, `CUDA`,
+    /// `CUBLAS`, `CUFFT`), omitting subsystems with zero time.
+    pub fn subsystem_rows(&self) -> Vec<(&'static str, RankSpread)> {
+        let mut out = Vec::new();
+        for (label, fam) in [
+            ("MPI", EventFamily::Mpi),
+            ("CUDA", EventFamily::Cuda),
+            ("CUBLAS", EventFamily::Cublas),
+            ("CUFFT", EventFamily::Cufft),
+            ("GPU exec", EventFamily::GpuExec),
+            ("host idle", EventFamily::HostIdle),
+        ] {
+            let spread = self.family_spread(fam);
+            if spread.total > 0.0 {
+                out.push((label, spread));
+            }
+        }
+        out
+    }
+
+    /// Communication fraction: total MPI time over total wallclock.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.wallclock_total == 0.0 {
+            return 0.0;
+        }
+        self.family_spread(EventFamily::Mpi).total / self.wallclock_total
+    }
+
+    /// Average GPU utilization: device kernel time over wallclock.
+    pub fn gpu_utilization(&self) -> f64 {
+        if self.wallclock_total == 0.0 {
+            return 0.0;
+        }
+        self.family_spread(EventFamily::GpuExec).total / self.wallclock_total
+    }
+
+    /// Host idle fraction of wallclock.
+    pub fn host_idle_fraction(&self) -> f64 {
+        if self.wallclock_total == 0.0 {
+            return 0.0;
+        }
+        self.family_spread(EventFamily::HostIdle).total / self.wallclock_total
+    }
+
+    /// Aggregated function table, sorted by total time descending.
+    pub fn totals_by_name(&self) -> Vec<(String, RunningStats)> {
+        let mut map: HashMap<String, RunningStats> = HashMap::new();
+        for p in &self.profiles {
+            for (name, stats) in p.totals_by_name() {
+                map.entry(name).or_default().merge(&stats);
+            }
+        }
+        let mut out: Vec<_> = map.into_iter().collect();
+        out.sort_by(|a, b| {
+            b.1.total.partial_cmp(&a.1.total).expect("finite").then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// Total time of one entry name across all ranks.
+    pub fn time_of(&self, name: &str) -> f64 {
+        self.profiles.iter().map(|p| p.time_of(name)).sum()
+    }
+
+    /// Call count of one entry name across all ranks.
+    pub fn count_of(&self, name: &str) -> u64 {
+        self.profiles.iter().map(|p| p.count_of(name)).sum()
+    }
+
+    /// Per-kernel, per-rank device-time matrix: `(kernel, times[rank])` —
+    /// the data behind Fig. 9's per-node distribution view.
+    pub fn kernel_rank_matrix(&self) -> Vec<(String, Vec<f64>)> {
+        let mut kernels: Vec<String> = Vec::new();
+        for p in &self.profiles {
+            for (k, _) in p.kernel_breakdown() {
+                if !kernels.contains(&k) {
+                    kernels.push(k);
+                }
+            }
+        }
+        kernels
+            .into_iter()
+            .map(|k| {
+                let times: Vec<f64> = self
+                    .profiles
+                    .iter()
+                    .map(|p| {
+                        p.kernel_breakdown()
+                            .into_iter()
+                            .find(|(name, _)| name == &k)
+                            .map(|(_, s)| s.total)
+                            .unwrap_or(0.0)
+                    })
+                    .collect();
+                (k, times)
+            })
+            .collect()
+    }
+
+    /// Per-kernel imbalance across ranks.
+    pub fn kernel_imbalance(&self) -> Vec<(String, f64)> {
+        self.kernel_rank_matrix()
+            .into_iter()
+            .map(|(k, times)| {
+                let spread = RankSpread::from_values(&times);
+                (k, spread.imbalance())
+            })
+            .collect()
+    }
+
+    /// Cluster-wide kernel breakdown: `(kernel, share of total GPU time)`,
+    /// sorted descending — the paper's Amber kernel ranking.
+    pub fn kernel_shares(&self) -> Vec<(String, f64)> {
+        let matrix = self.kernel_rank_matrix();
+        let total: f64 = matrix.iter().map(|(_, t)| t.iter().sum::<f64>()).sum();
+        let mut out: Vec<(String, f64)> = matrix
+            .into_iter()
+            .map(|(k, t)| (k, if total > 0.0 { t.iter().sum::<f64>() / total } else { 0.0 }))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileEntry;
+
+    fn profile(rank: usize, wall: f64, entries: Vec<(&str, Option<&str>, f64)>) -> RankProfile {
+        RankProfile {
+            rank,
+            nranks: 2,
+            host: format!("dirac{rank:02}"),
+            command: "app".to_owned(),
+            wallclock: wall,
+            regions: vec!["<program>".to_owned()],
+            entries: entries
+                .into_iter()
+                .map(|(name, detail, total)| {
+                    let mut stats = RunningStats::new();
+                    stats.record(total);
+                    ProfileEntry {
+                        name: name.to_owned(),
+                        detail: detail.map(|d| d.to_owned()),
+                        bytes: 0,
+                        region: 0,
+                        stats,
+                    }
+                })
+                .collect(),
+            dropped_events: 0,
+        }
+    }
+
+    fn two_rank_report() -> ClusterReport {
+        let p0 = profile(
+            0,
+            10.0,
+            vec![
+                ("MPI_Send", None, 1.0),
+                ("@CUDA_EXEC_STRM00", Some("force"), 4.0),
+                ("@CUDA_EXEC_STRM00", Some("reduce"), 1.0),
+            ],
+        );
+        let p1 = profile(
+            1,
+            12.0,
+            vec![
+                ("MPI_Send", None, 3.0),
+                ("@CUDA_EXEC_STRM00", Some("force"), 4.2),
+                ("@CUDA_EXEC_STRM00", Some("reduce"), 0.45),
+            ],
+        );
+        ClusterReport::from_profiles(vec![p1, p0], 2)
+    }
+
+    #[test]
+    fn wallclock_spread() {
+        let r = two_rank_report();
+        assert_eq!(r.nranks, 2);
+        assert_eq!(r.wallclock_total, 22.0);
+        assert_eq!(r.wallclock_min, 10.0);
+        assert_eq!(r.wallclock_max, 12.0);
+        // profiles were sorted by rank despite reversed input
+        assert_eq!(r.profiles()[0].rank, 0);
+    }
+
+    #[test]
+    fn family_spread_and_fractions() {
+        let r = two_rank_report();
+        let mpi = r.family_spread(EventFamily::Mpi);
+        assert_eq!(mpi.total, 4.0);
+        assert_eq!(mpi.min, 1.0);
+        assert_eq!(mpi.max, 3.0);
+        assert!((r.comm_fraction() - 4.0 / 22.0).abs() < 1e-12);
+        assert!((r.gpu_utilization() - 9.65 / 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_matrix_and_imbalance() {
+        let r = two_rank_report();
+        let matrix = r.kernel_rank_matrix();
+        let force = matrix.iter().find(|(k, _)| k == "force").unwrap();
+        assert_eq!(force.1, vec![4.0, 4.2]);
+        let imb = r.kernel_imbalance();
+        let reduce = imb.iter().find(|(k, _)| k == "reduce").unwrap();
+        // (1.0 - 0.45) / 1.0 = 55% — the paper's Amber ReduceForces figure
+        assert!((reduce.1 - 0.55).abs() < 1e-12);
+        let force_imb = imb.iter().find(|(k, _)| k == "force").unwrap();
+        assert!(force_imb.1 < 0.05);
+    }
+
+    #[test]
+    fn kernel_shares_sum_to_one_and_rank() {
+        let r = two_rank_report();
+        let shares = r.kernel_shares();
+        assert_eq!(shares[0].0, "force");
+        let sum: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsystem_rows_skip_empty_families() {
+        let r = two_rank_report();
+        let rows = r.subsystem_rows();
+        assert!(rows.iter().any(|(l, _)| *l == "MPI"));
+        assert!(rows.iter().any(|(l, _)| *l == "GPU exec"));
+        assert!(!rows.iter().any(|(l, _)| *l == "CUFFT"));
+    }
+
+    #[test]
+    fn totals_merge_across_ranks() {
+        let r = two_rank_report();
+        let totals = r.totals_by_name();
+        let send = totals.iter().find(|(n, _)| n == "MPI_Send").unwrap();
+        assert_eq!(send.1.total, 4.0);
+        assert_eq!(send.1.count, 2);
+        assert_eq!(r.count_of("MPI_Send"), 2);
+        assert_eq!(r.time_of("MPI_Send"), 4.0);
+    }
+
+    #[test]
+    fn imbalance_of_empty_spread_is_zero() {
+        assert_eq!(RankSpread::default().imbalance(), 0.0);
+    }
+}

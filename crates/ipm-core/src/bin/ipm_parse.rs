@@ -1,0 +1,101 @@
+//! `ipm_parse` — the offline report tool, as a CLI (paper §II).
+//!
+//! Reads one or more per-rank IPM XML logs and regenerates reports:
+//!
+//! ```text
+//! ipm_parse profile.xml                    # single-rank banner
+//! ipm_parse -b rank*.xml                   # cluster banner
+//! ipm_parse -html out.html rank*.xml       # HTML page
+//! ipm_parse -cube rank*.xml                # CUBE text view
+//! ipm_parse -cubexml rank*.xml             # CUBE XML document
+//! ```
+
+use ipm_core::{
+    build_cube, cube_to_xml, from_xml, html_report, render_banner, render_cluster_banner,
+    render_cube_text, ClusterReport,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ipm_parse [-b | -html <out.html> | -cube | -cubexml] <profile.xml>..."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+
+    let (mode, html_out, files): (&str, Option<String>, &[String]) = match args[0].as_str() {
+        "-b" => ("banner", None, &args[1..]),
+        "-html" => {
+            if args.len() < 3 {
+                return usage();
+            }
+            ("html", Some(args[1].clone()), &args[2..])
+        }
+        "-cube" => ("cube", None, &args[1..]),
+        "-cubexml" => ("cubexml", None, &args[1..]),
+        _ => ("banner", None, &args[..]),
+    };
+    if files.is_empty() {
+        return usage();
+    }
+
+    let mut profiles = Vec::new();
+    for path in files {
+        let xml = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ipm_parse: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match from_xml(&xml) {
+            Ok(p) => profiles.push(p),
+            Err(e) => {
+                eprintln!("ipm_parse: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // nodes: infer from distinct hosts
+    let nodes = {
+        let mut hosts: Vec<&str> = profiles.iter().map(|p| p.host.as_str()).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts.len().max(1)
+    };
+
+    match mode {
+        "banner" if profiles.len() == 1 => print!("{}", render_banner(&profiles[0], 0)),
+        "banner" => {
+            let report = ClusterReport::from_profiles(profiles, nodes);
+            print!("{}", render_cluster_banner(&report, 0));
+        }
+        "html" => {
+            let html = html_report(&profiles, nodes);
+            let out = html_out.expect("checked");
+            if let Err(e) = std::fs::write(&out, html) {
+                eprintln!("ipm_parse: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("ipm_parse: wrote {out}");
+        }
+        "cube" | "cubexml" => {
+            let report = ClusterReport::from_profiles(profiles, nodes);
+            let cube = build_cube(&report);
+            if mode == "cube" {
+                print!("{}", render_cube_text(&cube));
+            } else {
+                print!("{}", cube_to_xml(&cube, &report));
+            }
+        }
+        _ => unreachable!(),
+    }
+    ExitCode::SUCCESS
+}

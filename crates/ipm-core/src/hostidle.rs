@@ -1,0 +1,165 @@
+//! Blocking-set discovery microbenchmark (paper §III-C).
+//!
+//! "We identified the set of CUDA operations that exhibit the implicit
+//! blocking behavior using a microbenchmark which exercises each call and
+//! compares the timing with a version in which we first execute a
+//! `cudaStreamSynchronize`."
+//!
+//! [`discover_blocking_set`] runs exactly that experiment against the
+//! simulated runtime: for each candidate operation, launch a long
+//! asynchronous kernel, then (a) call the operation directly, and (b) call
+//! `cudaStreamSynchronize` first and then the operation. If variant (a)
+//! is much slower than variant (b), the call blocked implicitly. The test
+//! suite checks the discovered set against the specification's
+//! classification — including the paper's surprise, `cudaMemset` *not*
+//! blocking.
+
+use ipm_gpu_sim::{
+    launch_kernel, CudaApi, GpuConfig, GpuRuntime, Kernel, KernelCost, LaunchConfig, StreamId,
+};
+
+/// Result of probing one call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockingProbe {
+    pub name: &'static str,
+    /// Duration with a kernel in flight (no preceding synchronize).
+    pub unsynced: f64,
+    /// Duration after an explicit `cudaStreamSynchronize`.
+    pub synced: f64,
+    /// Classified as implicitly blocking?
+    pub blocks: bool,
+}
+
+/// The operations the microbenchmark exercises.
+const CANDIDATES: &[&str] = &[
+    "cudaMemcpy(H2D)",
+    "cudaMemcpy(D2H)",
+    "cudaMemcpy(D2D)",
+    "cudaMemcpyToSymbol",
+    "cudaMemset",
+    "cudaMemcpyAsync(H2D)",
+    "cudaMemcpyAsync(D2H)",
+];
+
+fn run_candidate(rt: &GpuRuntime, name: &str, presync: bool) -> f64 {
+    const N: usize = 64 * 1024;
+    let kernel = Kernel::timed("busy_spin", KernelCost::Fixed(0.050));
+    let dev = rt.cuda_malloc(N).expect("probe buffer");
+    let dev2 = rt.cuda_malloc(N).expect("probe buffer 2");
+    let host = vec![0u8; N];
+    let mut host_out = vec![0u8; N];
+    let stream = rt.cuda_stream_create().expect("probe stream");
+
+    // put a long kernel in flight on the default stream
+    launch_kernel(rt, &kernel, LaunchConfig::simple(1u32, 1u32), &[]).expect("probe launch");
+    if presync {
+        rt.cuda_stream_synchronize(StreamId::DEFAULT).expect("presync");
+    }
+    let before = rt.clock().now();
+    match name {
+        "cudaMemcpy(H2D)" => rt.cuda_memcpy_h2d(dev, &host).expect("h2d"),
+        "cudaMemcpy(D2H)" => rt.cuda_memcpy_d2h(&mut host_out, dev).expect("d2h"),
+        "cudaMemcpy(D2D)" => rt.cuda_memcpy_d2d(dev2, dev, N).expect("d2d"),
+        "cudaMemcpyToSymbol" => rt.cuda_memcpy_to_symbol("probe_sym", &host).expect("tosym"),
+        "cudaMemset" => rt.cuda_memset(dev, 0, N).expect("memset"),
+        "cudaMemcpyAsync(H2D)" => rt.cuda_memcpy_h2d_async(dev, &host, stream).expect("ah2d"),
+        "cudaMemcpyAsync(D2H)" => {
+            rt.cuda_memcpy_d2h_async(&mut host_out, dev, stream).expect("ad2h")
+        }
+        other => panic!("unknown candidate {other}"),
+    }
+    let elapsed = rt.clock().now() - before;
+    // clean up so repeated probes don't leak device memory
+    rt.cuda_thread_synchronize().expect("drain");
+    rt.cuda_free(dev).expect("free");
+    rt.cuda_free(dev2).expect("free2");
+    rt.cuda_stream_destroy(stream).expect("destroy stream");
+    elapsed
+}
+
+/// Run the discovery microbenchmark on a fresh simulated device.
+pub fn discover_blocking_set() -> Vec<BlockingProbe> {
+    CANDIDATES
+        .iter()
+        .map(|&name| {
+            // fresh runtime per candidate: no cross-contamination
+            let rt = GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0));
+            let unsynced = run_candidate(&rt, name, false);
+            let rt2 = GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0));
+            let synced = run_candidate(&rt2, name, true);
+            // "much slower without the sync" — use a 5x threshold, robust
+            // against transfer-size noise
+            let blocks = unsynced > 5.0 * synced.max(1e-9);
+            BlockingProbe { name, unsynced, synced, blocks }
+        })
+        .collect()
+}
+
+/// Render the probe results as a table (used by the experiment binaries).
+pub fn render_probe_table(probes: &[BlockingProbe]) -> String {
+    let mut out = String::from(
+        "call                        unsynced [ms]   synced [ms]   implicit blocking\n",
+    );
+    for p in probes {
+        out.push_str(&format!(
+            "{:<28}{:>12.4}{:>14.4}   {}\n",
+            p.name,
+            p.unsynced * 1e3,
+            p.synced * 1e3,
+            if p.blocks { "YES" } else { "no" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_interpose::{BlockingClass, Registry};
+
+    #[test]
+    fn sync_memory_ops_block_memset_does_not() {
+        let probes = discover_blocking_set();
+        let blocking: Vec<&str> =
+            probes.iter().filter(|p| p.blocks).map(|p| p.name).collect();
+        // the paper's finding: all sync memory ops block implicitly...
+        assert!(blocking.contains(&"cudaMemcpy(H2D)"));
+        assert!(blocking.contains(&"cudaMemcpy(D2H)"));
+        assert!(blocking.contains(&"cudaMemcpy(D2D)"));
+        assert!(blocking.contains(&"cudaMemcpyToSymbol"));
+        // ...with the notable exception of cudaMemset
+        assert!(!blocking.contains(&"cudaMemset"), "memset misclassified");
+        // async copies submit and return
+        assert!(!blocking.contains(&"cudaMemcpyAsync(H2D)"));
+        assert!(!blocking.contains(&"cudaMemcpyAsync(D2H)"));
+    }
+
+    #[test]
+    fn discovered_set_matches_the_specification() {
+        // the empirical microbenchmark agrees with interpose's static spec
+        let probes = discover_blocking_set();
+        let reg = Registry::global();
+        for p in &probes {
+            // map probe names (with direction) back to spec entry names
+            let spec_name = match p.name {
+                "cudaMemcpy(H2D)" | "cudaMemcpy(D2H)" | "cudaMemcpy(D2D)" => "cudaMemcpy",
+                "cudaMemcpyAsync(H2D)" | "cudaMemcpyAsync(D2H)" => "cudaMemcpyAsync",
+                other => other,
+            };
+            let id = reg.id(spec_name).unwrap_or_else(|| panic!("{spec_name} not in spec"));
+            let expected = reg.spec(id).blocking == BlockingClass::ImplicitSync;
+            assert_eq!(p.blocks, expected, "{} spec/probe mismatch", p.name);
+        }
+    }
+
+    #[test]
+    fn probe_table_renders_all_candidates() {
+        let probes = discover_blocking_set();
+        let table = render_probe_table(&probes);
+        for p in &probes {
+            assert!(table.contains(p.name));
+        }
+        assert!(table.contains("YES"));
+        assert!(table.contains("no"));
+    }
+}

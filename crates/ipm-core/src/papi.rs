@@ -1,0 +1,184 @@
+//! The GPU counter component — the paper's §VI future work, implemented.
+//!
+//! "First, the integration of GPU hardware performance counters would be
+//! useful for gaining more insight into kernel behavior than is possible
+//! from timing information only. … IPM already supports Component PAPI and
+//! it would thus be easy to leverage a GPU counter component."
+//!
+//! This module is that component: it reads the simulated device's
+//! per-kernel counters (the interface NVIDIA had not yet documented in
+//! 2011 — CUPTI shipped it later) and derives the roofline-style metrics a
+//! performance analyst wants: achieved GFLOP/s, achieved bandwidth,
+//! arithmetic intensity, and the bound resource.
+
+use ipm_gpu_sim::{GpuRuntime, KernelCounters};
+use ipm_sim_core::model::GpuComputeModel;
+use std::fmt::Write as _;
+
+/// Which device resource bounds a kernel, per the roofline model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundResource {
+    Compute,
+    Memory,
+    /// No arithmetic model available (fixed-cost kernel) or negligible
+    /// utilization of either resource.
+    Unknown,
+}
+
+/// One kernel's counter-derived report row.
+#[derive(Clone, Debug)]
+pub struct CounterRow {
+    pub kernel: String,
+    pub counters: KernelCounters,
+    /// Fraction of device peak flops achieved.
+    pub compute_fraction: f64,
+    /// Fraction of device peak bandwidth achieved.
+    pub bandwidth_fraction: f64,
+    pub bound: BoundResource,
+}
+
+/// The GPU counter component report for one context.
+pub struct GpuCounterReport {
+    pub rows: Vec<CounterRow>,
+    pub model: GpuComputeModel,
+}
+
+impl GpuCounterReport {
+    /// Collect counters from a runtime whose config enabled them.
+    pub fn collect(rt: &GpuRuntime) -> Self {
+        let model = rt.device().config().compute;
+        let rows = rt
+            .counters()
+            .snapshot()
+            .into_iter()
+            .map(|(kernel, counters)| {
+                let compute_fraction = counters.achieved_flops() / model.flops;
+                let bandwidth_fraction = counters.achieved_bandwidth() / model.mem_bandwidth;
+                let bound = if counters.flops == 0.0 && counters.dram_bytes == 0.0 {
+                    BoundResource::Unknown
+                } else if compute_fraction >= bandwidth_fraction {
+                    BoundResource::Compute
+                } else {
+                    BoundResource::Memory
+                };
+                CounterRow { kernel, counters, compute_fraction, bandwidth_fraction, bound }
+            })
+            .collect();
+        Self { rows, model }
+    }
+
+    /// Row for one kernel symbol.
+    pub fn row(&self, kernel: &str) -> Option<&CounterRow> {
+        self.rows.iter().find(|r| r.kernel == kernel)
+    }
+
+    /// Render the component report as a table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "kernel                                  inv      GFLOP/s   GB/s   AI(f/B)  %peak  bound\n",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<38} {:>5} {:>11.1} {:>7.1} {:>8.2} {:>6.1}  {}",
+                r.kernel,
+                r.counters.invocations,
+                r.counters.achieved_flops() / 1e9,
+                r.counters.achieved_bandwidth() / 1e9,
+                r.counters.arithmetic_intensity(),
+                100.0 * r.compute_fraction.max(r.bandwidth_fraction),
+                match r.bound {
+                    BoundResource::Compute => "compute",
+                    BoundResource::Memory => "memory",
+                    BoundResource::Unknown => "-",
+                },
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_gpu_sim::{
+        launch_kernel, GpuConfig, Kernel, KernelCost, LaunchConfig,
+    };
+
+    fn runtime() -> GpuRuntime {
+        GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0).with_counters(),
+        )
+    }
+
+    #[test]
+    fn roofline_kernels_report_exact_flops() {
+        let rt = runtime();
+        let k = Kernel::timed(
+            "compute_heavy",
+            KernelCost::Roofline { flops_per_thread: 100_000.0, bytes_per_thread: 4.0, efficiency: 0.5 },
+        );
+        launch_kernel(&rt, &k, LaunchConfig::simple(64u32, 128u32), &[]).unwrap();
+        rt.thread_synchronize().unwrap();
+        let report = GpuCounterReport::collect(&rt);
+        let row = report.row("compute_heavy").expect("row");
+        let threads = 64.0 * 128.0;
+        assert!((row.counters.flops - 100_000.0 * threads).abs() < 1.0);
+        assert!((row.counters.dram_bytes - 4.0 * threads).abs() < 1e-6);
+        assert_eq!(row.counters.invocations, 1);
+        assert_eq!(row.bound, BoundResource::Compute);
+        // efficiency 0.5 → ~50% of peak achieved
+        assert!((row.compute_fraction - 0.5).abs() < 0.05, "{}", row.compute_fraction);
+    }
+
+    #[test]
+    fn memory_bound_kernels_are_classified() {
+        let rt = runtime();
+        let k = Kernel::timed(
+            "stream_copy",
+            KernelCost::Roofline { flops_per_thread: 1.0, bytes_per_thread: 64.0, efficiency: 0.7 },
+        );
+        launch_kernel(&rt, &k, LaunchConfig::simple(512u32, 256u32), &[]).unwrap();
+        rt.thread_synchronize().unwrap();
+        let report = GpuCounterReport::collect(&rt);
+        assert_eq!(report.row("stream_copy").unwrap().bound, BoundResource::Memory);
+    }
+
+    #[test]
+    fn fixed_cost_kernels_report_time_only() {
+        let rt = runtime();
+        let k = Kernel::timed("opaque", KernelCost::Fixed(0.01));
+        launch_kernel(&rt, &k, LaunchConfig::simple(8u32, 32u32), &[]).unwrap();
+        rt.thread_synchronize().unwrap();
+        let report = GpuCounterReport::collect(&rt);
+        let row = report.row("opaque").unwrap();
+        assert_eq!(row.counters.flops, 0.0);
+        assert!(row.counters.device_time >= 0.01);
+        assert_eq!(row.bound, BoundResource::Unknown);
+        assert_eq!(row.counters.threads, 8 * 32);
+    }
+
+    #[test]
+    fn disabled_counters_yield_empty_report() {
+        let rt = GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0));
+        let k = Kernel::timed("k", KernelCost::Fixed(0.01));
+        launch_kernel(&rt, &k, LaunchConfig::simple(1u32, 1u32), &[]).unwrap();
+        rt.thread_synchronize().unwrap();
+        assert!(GpuCounterReport::collect(&rt).rows.is_empty());
+    }
+
+    #[test]
+    fn rendered_table_lists_kernels_and_bounds() {
+        let rt = runtime();
+        let k = Kernel::timed(
+            "k1",
+            KernelCost::Roofline { flops_per_thread: 500.0, bytes_per_thread: 1.0, efficiency: 0.6 },
+        );
+        launch_kernel(&rt, &k, LaunchConfig::simple(32u32, 64u32), &[]).unwrap();
+        rt.thread_synchronize().unwrap();
+        let text = GpuCounterReport::collect(&rt).render();
+        assert!(text.contains("k1"));
+        assert!(text.contains("compute"));
+        assert!(text.contains("GFLOP/s"));
+    }
+}

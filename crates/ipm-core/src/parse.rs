@@ -1,0 +1,169 @@
+//! `ipm_parse` — the offline report generator.
+//!
+//! The paper (§II): "The XML file can then be used by the IPM parser
+//! (`ipm_parse`) to produce a number of different output formats. The
+//! parser can re-produce the banner, it can generate an HTML based webpage
+//! ... and it can convert the IPM profile into the CUBE format." This
+//! module is that tool as a library: banner regeneration, a self-contained
+//! HTML report, and the CUBE conversion (see [`crate::cube`]).
+
+use crate::aggregate::ClusterReport;
+use crate::banner::{render_banner, render_cluster_banner};
+use crate::profile::RankProfile;
+use crate::xml::{from_xml, XmlError};
+use std::fmt::Write as _;
+
+/// Parse one XML log and regenerate the single-rank banner.
+pub fn banner_from_xml(xml: &str) -> Result<String, XmlError> {
+    Ok(render_banner(&from_xml(xml)?, 0))
+}
+
+/// Parse one XML log per rank and produce the cluster banner.
+pub fn cluster_banner_from_xml(xmls: &[String], nodes: usize) -> Result<String, XmlError> {
+    let profiles = xmls.iter().map(|x| from_xml(x)).collect::<Result<Vec<_>, _>>()?;
+    Ok(render_cluster_banner(&ClusterReport::from_profiles(profiles, nodes), 0))
+}
+
+/// Generate the HTML report page for a set of rank profiles — the format
+/// "well-suited for permanent storage of the profiling report".
+pub fn html_report(profiles: &[RankProfile], nodes: usize) -> String {
+    let report = ClusterReport::from_profiles(profiles.to_vec(), nodes);
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
+    let _ = writeln!(out, "<title>IPM profile: {}</title>", html_escape(&report.command));
+    out.push_str(
+        "<style>body{font-family:monospace}table{border-collapse:collapse}\n\
+         td,th{border:1px solid #999;padding:2px 8px;text-align:right}\n\
+         th{background:#eee}td.name{text-align:left}</style></head><body>\n",
+    );
+    let _ = writeln!(out, "<h1>IPM profile</h1>");
+    let _ = writeln!(
+        out,
+        "<p>command: <b>{}</b><br>tasks: {} on {} nodes<br>wallclock (max): {:.2} s<br>\
+         %comm: {:.2}%<br>GPU utilization: {:.2}%</p>",
+        html_escape(&report.command),
+        report.nranks,
+        report.nodes,
+        report.wallclock_max,
+        report.comm_fraction() * 100.0,
+        report.gpu_utilization() * 100.0,
+    );
+
+    out.push_str("<h2>Events</h2>\n<table><tr><th>name</th><th>time [s]</th><th>count</th><th>%wall</th></tr>\n");
+    for (name, stats) in report.totals_by_name() {
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"name\">{}</td><td>{:.2}</td><td>{}</td><td>{:.2}</td></tr>",
+            html_escape(&name),
+            stats.total,
+            stats.count,
+            100.0 * stats.total / report.wallclock_total.max(f64::MIN_POSITIVE),
+        );
+    }
+    out.push_str("</table>\n");
+
+    let kernels = report.kernel_shares();
+    if !kernels.is_empty() {
+        out.push_str("<h2>GPU kernels</h2>\n<table><tr><th>kernel</th><th>share of GPU time</th><th>imbalance</th></tr>\n");
+        let imb = report.kernel_imbalance();
+        for (k, share) in kernels {
+            let i = imb.iter().find(|(n, _)| n == &k).map(|(_, v)| *v).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "<tr><td class=\"name\">{}</td><td>{:.2}%</td><td>{:.1}%</td></tr>",
+                html_escape(&k),
+                share * 100.0,
+                i * 100.0,
+            );
+        }
+        out.push_str("</table>\n");
+    }
+
+    out.push_str("<h2>Per-rank wallclock</h2>\n<table><tr><th>rank</th><th>host</th><th>wallclock [s]</th><th>MPI [s]</th></tr>\n");
+    for p in report.profiles() {
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td class=\"name\">{}</td><td>{:.2}</td><td>{:.2}</td></tr>",
+            p.rank,
+            html_escape(&p.host),
+            p.wallclock,
+            p.family_time(crate::profile::EventFamily::Mpi),
+        );
+    }
+    out.push_str("</table>\n</body></html>\n");
+    out
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileEntry;
+    use crate::xml::to_xml;
+    use ipm_sim_core::RunningStats;
+
+    fn profile(rank: usize) -> RankProfile {
+        let mut stats = RunningStats::new();
+        stats.record(2.0);
+        RankProfile {
+            rank,
+            nranks: 2,
+            host: format!("dirac{rank:02}"),
+            command: "./a.out <x>".to_owned(),
+            wallclock: 10.0,
+            regions: vec!["<program>".to_owned()],
+            entries: vec![
+                ProfileEntry {
+                    name: "MPI_Allreduce".to_owned(),
+                    detail: None,
+                    bytes: 64,
+                    region: 0,
+                    stats,
+                },
+                ProfileEntry {
+                    name: "@CUDA_EXEC_STRM00".to_owned(),
+                    detail: Some("zgemm_kernel_NN".to_owned()),
+                    bytes: 0,
+                    region: 0,
+                    stats,
+                },
+            ],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn banner_regenerates_from_xml() {
+        let xml = to_xml(&profile(0));
+        let banner = banner_from_xml(&xml).unwrap();
+        assert!(banner.contains("MPI_Allreduce"));
+        assert!(banner.contains("##IPMv2.0"));
+    }
+
+    #[test]
+    fn cluster_banner_from_multiple_xmls() {
+        let xmls = vec![to_xml(&profile(0)), to_xml(&profile(1))];
+        let banner = cluster_banner_from_xml(&xmls, 2).unwrap();
+        assert!(banner.contains("mpi_tasks : 2 on 2 nodes"));
+        assert!(banner.contains("MPI_Allreduce"));
+    }
+
+    #[test]
+    fn html_report_is_wellformed_enough() {
+        let html = html_report(&[profile(0), profile(1)], 2);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("zgemm_kernel_NN"));
+        assert!(html.contains("&lt;x&gt;")); // command escaped
+        assert!(html.ends_with("</html>\n"));
+        // one row per rank in the per-rank table
+        assert!(html.contains("dirac00") && html.contains("dirac01"));
+    }
+
+    #[test]
+    fn bad_xml_propagates_error() {
+        assert!(banner_from_xml("not xml").is_err());
+    }
+}

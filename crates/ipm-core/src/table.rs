@@ -1,0 +1,240 @@
+//! The performance data hash table (paper Fig. 1).
+//!
+//! IPM's central data structure: for each event signature it stores the
+//! number of calls, the total time, and the per-call minimum and maximum.
+//! The real IPM uses a fixed-size open-addressing table so monitoring
+//! never allocates unboundedly on the hot path; we keep that property with
+//! a **capacity cap** (overflowing signatures are counted, not stored) and
+//! add **lock striping** so OpenMP threads — or, in this reproduction,
+//! concurrent facade users — can update without a global bottleneck.
+//! The striping degree is an explicit parameter because it is one of the
+//! ablations benchmarked in `ipm-bench`.
+
+use crate::sig::EventSignature;
+use ipm_sim_core::RunningStats;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default maximum number of distinct signatures (mirrors IPM's
+/// `MAXSIZE_HASH`-style compile-time bound).
+pub const DEFAULT_CAPACITY: usize = 32 * 1024;
+
+/// Default number of lock stripes.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Sharded, capacity-bounded statistics table.
+pub struct PerfTable {
+    shards: Box<[Mutex<HashMap<EventSignature, RunningStats>>]>,
+    /// Maximum total entries across all shards.
+    capacity: usize,
+    /// Entries currently stored (approximate upper bound maintained
+    /// atomically; never undercounts).
+    len: AtomicU64,
+    /// Updates dropped because the table was full.
+    overflow: AtomicU64,
+}
+
+impl PerfTable {
+    /// Table with default capacity and striping.
+    pub fn new() -> Self {
+        Self::with_shape(DEFAULT_CAPACITY, DEFAULT_SHARDS)
+    }
+
+    /// Table with explicit capacity and stripe count (stripes are rounded
+    /// up to a power of two).
+    pub fn with_shape(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let vec: Vec<_> = (0..shards).map(|_| Mutex::new(HashMap::new())).collect();
+        Self {
+            shards: vec.into_boxed_slice(),
+            capacity,
+            len: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_for(&self, sig: &EventSignature) -> &Mutex<HashMap<EventSignature, RunningStats>> {
+        let mut h = DefaultHasher::new();
+        sig.hash(&mut h);
+        let idx = (h.finish() as usize) & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Record one observation of `sig` with the given duration. This is the
+    /// `UPDATE_DATA` of the wrapper anatomy (Fig. 2).
+    pub fn update(&self, sig: &EventSignature, duration: f64) {
+        let mut shard = self.shard_for(sig).lock();
+        if let Some(stats) = shard.get_mut(sig) {
+            stats.record(duration);
+            return;
+        }
+        if self.len.load(Ordering::Relaxed) as usize >= self.capacity {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+        let mut stats = RunningStats::new();
+        stats.record(duration);
+        shard.insert(sig.clone(), stats);
+    }
+
+    /// Look up the statistics for a signature.
+    pub fn get(&self, sig: &EventSignature) -> Option<RunningStats> {
+        self.shard_for(sig).lock().get(sig).copied()
+    }
+
+    /// Number of distinct signatures stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Updates dropped due to the capacity cap.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot all entries (used at report time; not a hot path).
+    pub fn snapshot(&self) -> Vec<(EventSignature, RunningStats)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            for (sig, stats) in shard.lock().iter() {
+                out.push((sig.clone(), *stats));
+            }
+        }
+        out
+    }
+
+    /// Aggregate total time per *name* (summing over bytes/region/detail) —
+    /// the banner's view of the table.
+    pub fn totals_by_name(&self) -> Vec<(String, RunningStats)> {
+        let mut map: HashMap<String, RunningStats> = HashMap::new();
+        for (sig, stats) in self.snapshot() {
+            map.entry(sig.name.to_string()).or_default().merge(&stats);
+        }
+        let mut out: Vec<_> = map.into_iter().collect();
+        out.sort_by(|a, b| b.1.total.partial_cmp(&a.1.total).expect("finite totals"));
+        out
+    }
+
+    /// Sum of total durations over entries whose name satisfies `pred`.
+    pub fn time_where(&self, pred: impl Fn(&str) -> bool) -> f64 {
+        self.snapshot().iter().filter(|(s, _)| pred(&s.name)).map(|(_, st)| st.total).sum()
+    }
+}
+
+impl Default for PerfTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn update_accumulates_per_signature() {
+        let t = PerfTable::new();
+        let sig = EventSignature::call("cudaMemcpy(D2H)", 4096);
+        t.update(&sig, 1.0);
+        t.update(&sig, 3.0);
+        let stats = t.get(&sig).unwrap();
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.total, 4.0);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 3.0);
+    }
+
+    #[test]
+    fn distinct_byte_counts_get_distinct_entries() {
+        let t = PerfTable::new();
+        t.update(&EventSignature::call("cudaMemcpy(H2D)", 100), 0.1);
+        t.update(&EventSignature::call("cudaMemcpy(H2D)", 200), 0.2);
+        assert_eq!(t.len(), 2);
+        // but the banner view merges them by name
+        let totals = t.totals_by_name();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].1.count, 2);
+    }
+
+    #[test]
+    fn capacity_cap_counts_overflow() {
+        let t = PerfTable::with_shape(4, 2);
+        for i in 0..10u64 {
+            t.update(&EventSignature::call("x", i), 0.1);
+        }
+        assert!(t.len() <= 4);
+        assert!(t.overflow() >= 6);
+        // existing entries still update after saturation
+        let first = EventSignature::call("x", 0);
+        if let Some(before) = t.get(&first) {
+            t.update(&first, 0.1);
+            assert_eq!(t.get(&first).unwrap().count, before.count + 1);
+        }
+    }
+
+    #[test]
+    fn totals_sorted_descending() {
+        let t = PerfTable::new();
+        t.update(&EventSignature::call("small", 0), 0.1);
+        t.update(&EventSignature::call("big", 0), 5.0);
+        t.update(&EventSignature::call("mid", 0), 1.0);
+        let names: Vec<_> = t.totals_by_name().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["big", "mid", "small"]);
+    }
+
+    #[test]
+    fn time_where_filters_by_family() {
+        let t = PerfTable::new();
+        t.update(&EventSignature::call("MPI_Send", 8), 1.0);
+        t.update(&EventSignature::call("MPI_Recv", 8), 2.0);
+        t.update(&EventSignature::call("cudaMemcpy(D2H)", 8), 4.0);
+        assert_eq!(t.time_where(|n| n.starts_with("MPI_")), 3.0);
+        assert_eq!(t.time_where(|n| n.starts_with("cuda")), 4.0);
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let t = Arc::new(PerfTable::new());
+        let threads: Vec<_> = (0..8)
+            .map(|k| {
+                let t = t.clone();
+                thread::spawn(move || {
+                    let sig = EventSignature::call("hot", 0);
+                    let own = EventSignature::call("own", k);
+                    for _ in 0..10_000 {
+                        t.update(&sig, 1e-6);
+                        t.update(&own, 1e-6);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.get(&EventSignature::call("hot", 0)).unwrap().count, 80_000);
+        for k in 0..8 {
+            assert_eq!(t.get(&EventSignature::call("own", k)).unwrap().count, 10_000);
+        }
+        assert_eq!(t.overflow(), 0);
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = PerfTable::new();
+        assert!(t.is_empty());
+        assert!(t.snapshot().is_empty());
+        assert!(t.totals_by_name().is_empty());
+    }
+}

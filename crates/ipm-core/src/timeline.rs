@@ -1,0 +1,127 @@
+//! Timeline rendering (the Fig. 7 schematic, as ASCII).
+//!
+//! Fig. 7 of the paper illustrates the monitoring approach on a time axis:
+//! the host launches `square`, IPM brackets it with events, the blocking
+//! `cudaMemcpy` waits while the kernel runs, and the kernel timing table is
+//! updated afterwards. Given the ground-truth device trace (the simulated
+//! `CUDA_PROFILE` records), this module renders that picture: one lane per
+//! stream, boxes proportional to duration.
+
+use ipm_gpu_sim::{ProfKind, ProfRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render device records as an ASCII timeline of `width` columns.
+/// Returns an empty string for an empty trace.
+pub fn render_timeline(records: &[ProfRecord], width: usize) -> String {
+    if records.is_empty() {
+        return String::new();
+    }
+    let t0 = records.iter().map(|r| r.start).fold(f64::INFINITY, f64::min);
+    let t1 = records.iter().map(|r| r.start + r.gputime).fold(0.0f64, f64::max);
+    let span = (t1 - t0).max(1e-12);
+    let col = |t: f64| -> usize {
+        (((t - t0) / span) * (width.saturating_sub(1)) as f64).round() as usize
+    };
+
+    // group by stream, keep submission order
+    let mut lanes: BTreeMap<u32, Vec<&ProfRecord>> = BTreeMap::new();
+    for r in records {
+        lanes.entry(r.stream.0).or_default().push(r);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "time: {:.6}s .. {:.6}s  (span {:.6}s)", t0, t1, span);
+    for (stream, recs) in &lanes {
+        let mut lane = vec![b' '; width];
+        for r in recs {
+            let a = col(r.start).min(width - 1);
+            let b = col(r.start + r.gputime).min(width - 1);
+            let glyph = match r.kind {
+                ProfKind::Kernel => b'#',
+                ProfKind::MemcpyH2D => b'>',
+                ProfKind::MemcpyD2H => b'<',
+                ProfKind::MemcpyD2D | ProfKind::MemcpyToSymbol => b'=',
+                ProfKind::Memset => b'0',
+            };
+            for cell in lane.iter_mut().take(b + 1).skip(a) {
+                *cell = glyph;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "STRM{stream:02} |{}|",
+            String::from_utf8(lane).expect("ascii lane")
+        );
+    }
+    out.push_str("legend: # kernel   > H2D   < D2H   = D2D/symbol   0 memset\n");
+    // event log below the lanes, in start order
+    let mut ordered: Vec<&ProfRecord> = records.iter().collect();
+    ordered.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
+    for (i, r) in ordered.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  ({}) t={:<12.6} {:<24} stream={} dur={:.6}s",
+            (b'a' + (i % 26) as u8) as char,
+            r.start,
+            r.method,
+            r.stream.0,
+            r.gputime,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_gpu_sim::StreamId;
+
+    fn rec(method: &str, kind: ProfKind, stream: u32, start: f64, dur: f64) -> ProfRecord {
+        ProfRecord {
+            method: method.to_owned(),
+            kind,
+            stream: StreamId(stream),
+            start,
+            gputime: dur,
+            cputime: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(render_timeline(&[], 60), "");
+    }
+
+    #[test]
+    fn fig7_shape_kernel_then_d2h() {
+        let records = vec![
+            rec("memcpyHtoD", ProfKind::MemcpyH2D, 0, 0.0, 0.01),
+            rec("square", ProfKind::Kernel, 0, 0.01, 1.15),
+            rec("memcpyDtoH", ProfKind::MemcpyD2H, 0, 1.16, 0.01),
+        ];
+        let text = render_timeline(&records, 72);
+        assert!(text.contains("STRM00"));
+        // the kernel dominates the lane
+        let lane = text.lines().find(|l| l.starts_with("STRM00")).unwrap();
+        let hashes = lane.matches('#').count();
+        assert!(hashes > 50, "kernel box too small: {lane}");
+        assert!(lane.contains('>') && lane.contains('<'));
+        // event log lists all three in order
+        assert!(text.contains("(a)") && text.contains("(c)"));
+        let pos = |s: &str| text.find(s).unwrap();
+        assert!(pos("memcpyHtoD") < pos("square"));
+        assert!(pos("square") < pos("memcpyDtoH"));
+    }
+
+    #[test]
+    fn streams_get_separate_lanes() {
+        let records = vec![
+            rec("a", ProfKind::Kernel, 0, 0.0, 1.0),
+            rec("b", ProfKind::Kernel, 3, 0.0, 1.0),
+        ];
+        let text = render_timeline(&records, 40);
+        assert!(text.contains("STRM00"));
+        assert!(text.contains("STRM03"));
+    }
+}

@@ -1,0 +1,257 @@
+//! The XML profiling log.
+//!
+//! Besides the banner, IPM "writes a more detailed profiling log in XML
+//! format which includes the full details of the hash table" (paper §II).
+//! This module owns that format: a small, self-contained dialect — writer
+//! and parser — that round-trips a [`RankProfile`] exactly. The parser is
+//! what `ipm_parse` (see [`crate::parse`]) consumes.
+//!
+//! ```xml
+//! <ipm version="2.0">
+//!   <task rank="0" nranks="16" host="dirac18" wallclock="45.78">
+//!     <command>pmemd.cuda.MPI</command>
+//!     <regions><region id="0">&lt;program&gt;</region></regions>
+//!     <hash>
+//!       <entry name="cudaLaunch" bytes="0" region="0"
+//!              count="1927994" total="9.48" min="..." max="..."/>
+//!     </hash>
+//!   </task>
+//! </ipm>
+//! ```
+
+use crate::profile::{ProfileEntry, RankProfile};
+use ipm_sim_core::RunningStats;
+use std::fmt::Write as _;
+
+/// XML parsing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XmlError {
+    /// Expected element or attribute missing.
+    Missing(&'static str),
+    /// A numeric attribute failed to parse.
+    BadNumber(String),
+    /// Structurally malformed input.
+    Malformed(String),
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlError::Missing(what) => write!(f, "missing {what}"),
+            XmlError::BadNumber(s) => write!(f, "bad number: {s}"),
+            XmlError::Malformed(s) => write!(f, "malformed XML: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"").replace("&gt;", ">").replace("&lt;", "<").replace("&amp;", "&")
+}
+
+/// Serialize one rank's profile to the IPM XML dialect.
+pub fn to_xml(p: &RankProfile) -> String {
+    let mut out = String::new();
+    out.push_str("<ipm version=\"2.0\">\n");
+    let _ = writeln!(
+        out,
+        "  <task rank=\"{}\" nranks=\"{}\" host=\"{}\" wallclock=\"{}\" dropped=\"{}\">",
+        p.rank,
+        p.nranks,
+        escape(&p.host),
+        p.wallclock,
+        p.dropped_events,
+    );
+    let _ = writeln!(out, "    <command>{}</command>", escape(&p.command));
+    out.push_str("    <regions>\n");
+    for (i, r) in p.regions.iter().enumerate() {
+        let _ = writeln!(out, "      <region id=\"{}\">{}</region>", i, escape(r));
+    }
+    out.push_str("    </regions>\n    <hash>\n");
+    for e in &p.entries {
+        let detail = e
+            .detail
+            .as_ref()
+            .map(|d| format!(" detail=\"{}\"", escape(d)))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "      <entry name=\"{}\"{} bytes=\"{}\" region=\"{}\" count=\"{}\" total=\"{}\" min=\"{}\" max=\"{}\"/>",
+            escape(&e.name),
+            detail,
+            e.bytes,
+            e.region,
+            e.stats.count,
+            e.stats.total,
+            e.stats.min,
+            e.stats.max,
+        );
+    }
+    out.push_str("    </hash>\n  </task>\n</ipm>\n");
+    out
+}
+
+/// Pull the value of `attr` out of a tag body like `rank="0" host="x"`.
+fn attr(tag: &str, name: &str) -> Option<String> {
+    let pat = format!("{name}=\"");
+    let start = tag.find(&pat)? + pat.len();
+    let end = tag[start..].find('"')? + start;
+    Some(unescape(&tag[start..end]))
+}
+
+fn num_attr<T: std::str::FromStr>(tag: &str, name: &'static str) -> Result<T, XmlError> {
+    let raw = attr(tag, name).ok_or(XmlError::Missing(name))?;
+    raw.parse().map_err(|_| XmlError::BadNumber(raw))
+}
+
+/// Parse a profile back out of the XML dialect produced by [`to_xml`].
+pub fn from_xml(xml: &str) -> Result<RankProfile, XmlError> {
+    let task_tag = xml
+        .lines()
+        .find(|l| l.trim_start().starts_with("<task "))
+        .ok_or(XmlError::Missing("<task>"))?;
+    let rank: usize = num_attr(task_tag, "rank")?;
+    let nranks: usize = num_attr(task_tag, "nranks")?;
+    let wallclock: f64 = num_attr(task_tag, "wallclock")?;
+    let dropped_events: u64 = num_attr(task_tag, "dropped")?;
+    let host = attr(task_tag, "host").ok_or(XmlError::Missing("host"))?;
+
+    let command = {
+        let line = xml
+            .lines()
+            .find(|l| l.trim_start().starts_with("<command>"))
+            .ok_or(XmlError::Missing("<command>"))?;
+        let inner = line
+            .trim()
+            .strip_prefix("<command>")
+            .and_then(|s| s.strip_suffix("</command>"))
+            .ok_or_else(|| XmlError::Malformed(line.to_owned()))?;
+        unescape(inner)
+    };
+
+    let mut regions = Vec::new();
+    let mut entries = Vec::new();
+    for line in xml.lines().map(str::trim) {
+        if line.starts_with("<region ") {
+            let inner = line
+                .split_once('>')
+                .and_then(|(_, rest)| rest.strip_suffix("</region>"))
+                .ok_or_else(|| XmlError::Malformed(line.to_owned()))?;
+            regions.push(unescape(inner));
+        } else if line.starts_with("<entry ") {
+            let stats = RunningStats {
+                count: num_attr(line, "count")?,
+                total: num_attr(line, "total")?,
+                min: num_attr(line, "min")?,
+                max: num_attr(line, "max")?,
+            };
+            entries.push(ProfileEntry {
+                name: attr(line, "name").ok_or(XmlError::Missing("name"))?,
+                detail: attr(line, "detail"),
+                bytes: num_attr(line, "bytes")?,
+                region: num_attr(line, "region")?,
+                stats,
+            });
+        }
+    }
+    if regions.is_empty() {
+        return Err(XmlError::Missing("<regions>"));
+    }
+    Ok(RankProfile {
+        rank,
+        nranks,
+        host,
+        command,
+        wallclock,
+        regions,
+        entries,
+        dropped_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RankProfile {
+        let mut stats = RunningStats::new();
+        stats.record(1.5);
+        stats.record(0.5);
+        RankProfile {
+            rank: 3,
+            nranks: 16,
+            host: "dirac18".to_owned(),
+            command: "pmemd.cuda.MPI -O -i mdin".to_owned(),
+            wallclock: 45.78,
+            regions: vec!["<program>".to_owned(), "pme".to_owned()],
+            entries: vec![
+                ProfileEntry {
+                    name: "cudaMemcpy(D2H)".to_owned(),
+                    detail: None,
+                    bytes: 800_000,
+                    region: 1,
+                    stats,
+                },
+                ProfileEntry {
+                    name: "@CUDA_EXEC_STRM00".to_owned(),
+                    detail: Some("CalculatePMEOrthogonalNonbondForces".to_owned()),
+                    bytes: 0,
+                    region: 0,
+                    stats,
+                },
+            ],
+            dropped_events: 7,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let p = sample();
+        let xml = to_xml(&p);
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn xml_contains_full_hash_details() {
+        let xml = to_xml(&sample());
+        assert!(xml.contains("name=\"cudaMemcpy(D2H)\""));
+        assert!(xml.contains("bytes=\"800000\""));
+        assert!(xml.contains("detail=\"CalculatePMEOrthogonalNonbondForces\""));
+        assert!(xml.contains("count=\"2\""));
+    }
+
+    #[test]
+    fn special_characters_are_escaped() {
+        let mut p = sample();
+        p.command = "./app <input> & \"stuff\"".to_owned();
+        let xml = to_xml(&p);
+        assert!(!xml.contains("<input>"));
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(back.command, "./app <input> & \"stuff\"");
+        assert_eq!(back.regions[0], "<program>");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert_eq!(from_xml("").unwrap_err(), XmlError::Missing("<task>"));
+        let bad = "<task rank=\"x\" nranks=\"1\" host=\"h\" wallclock=\"1\" dropped=\"0\">";
+        assert!(matches!(from_xml(bad).unwrap_err(), XmlError::BadNumber(_)));
+    }
+
+    #[test]
+    fn parser_survives_reordered_attributes() {
+        let xml = to_xml(&sample()).replace(
+            "rank=\"3\" nranks=\"16\"",
+            "nranks=\"16\" rank=\"3\"",
+        );
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(back.rank, 3);
+        assert_eq!(back.nranks, 16);
+    }
+}

@@ -1,0 +1,124 @@
+//! The interposable MPI API surface.
+//!
+//! Like [`ipm_gpu_sim::api::CudaApi`] for CUDA, [`MpiApi`] is the seam where
+//! IPM interposes on MPI (the PMPI profiling interface in the real tool).
+//! Applications program against this trait; installing `ipm-core`'s
+//! monitoring wrapper instead of the bare [`Rank`] requires no application
+//! changes.
+//!
+//! [`ipm_gpu_sim::api::CudaApi`]: https://docs.rs/ipm-gpu-sim
+
+use crate::collective::ReduceOp;
+use crate::comm::{Rank, Request};
+use crate::error::MpiResult;
+
+/// The MPI calls the paper's applications exercise, object-safe.
+pub trait MpiApi: Send + Sync {
+    /// `MPI_Comm_rank`.
+    fn mpi_comm_rank(&self) -> usize;
+    /// `MPI_Comm_size`.
+    fn mpi_comm_size(&self) -> usize;
+    /// `MPI_Send`.
+    fn mpi_send(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<()>;
+    /// `MPI_Recv`; returns `(source, payload)`.
+    fn mpi_recv(&self, src: Option<usize>, tag: i32) -> MpiResult<(usize, Vec<u8>)>;
+    /// `MPI_Isend`.
+    fn mpi_isend(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<Request>;
+    /// `MPI_Irecv`.
+    fn mpi_irecv(&self, src: Option<usize>, tag: i32) -> MpiResult<Request>;
+    /// `MPI_Wait`.
+    fn mpi_wait(&self, req: &mut Request) -> MpiResult<Option<(usize, Vec<u8>)>>;
+    /// `MPI_Barrier`.
+    fn mpi_barrier(&self) -> MpiResult<()>;
+    /// `MPI_Bcast`.
+    fn mpi_bcast(&self, root: usize, data: Vec<u8>) -> MpiResult<Vec<u8>>;
+    /// `MPI_Reduce` (f64).
+    fn mpi_reduce_f64(&self, root: usize, data: &[f64], op: ReduceOp) -> MpiResult<Option<Vec<f64>>>;
+    /// `MPI_Allreduce` (f64).
+    fn mpi_allreduce_f64(&self, data: &[f64], op: ReduceOp) -> MpiResult<Vec<f64>>;
+    /// `MPI_Gather`.
+    fn mpi_gather(&self, root: usize, data: &[u8]) -> MpiResult<Option<Vec<Vec<u8>>>>;
+    /// `MPI_Allgather`.
+    fn mpi_allgather(&self, data: &[u8]) -> MpiResult<Vec<Vec<u8>>>;
+    /// `MPI_Alltoall`.
+    fn mpi_alltoall(&self, data: &[u8]) -> MpiResult<Vec<u8>>;
+    /// `MPI_Wtime`.
+    fn mpi_wtime(&self) -> f64;
+}
+
+impl MpiApi for Rank {
+    fn mpi_comm_rank(&self) -> usize {
+        self.rank()
+    }
+    fn mpi_comm_size(&self) -> usize {
+        self.size()
+    }
+    fn mpi_send(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<()> {
+        self.send(dest, tag, data)
+    }
+    fn mpi_recv(&self, src: Option<usize>, tag: i32) -> MpiResult<(usize, Vec<u8>)> {
+        self.recv(src, tag)
+    }
+    fn mpi_isend(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<Request> {
+        self.isend(dest, tag, data)
+    }
+    fn mpi_irecv(&self, src: Option<usize>, tag: i32) -> MpiResult<Request> {
+        self.irecv(src, tag)
+    }
+    fn mpi_wait(&self, req: &mut Request) -> MpiResult<Option<(usize, Vec<u8>)>> {
+        self.wait(req)
+    }
+    fn mpi_barrier(&self) -> MpiResult<()> {
+        self.barrier()
+    }
+    fn mpi_bcast(&self, root: usize, data: Vec<u8>) -> MpiResult<Vec<u8>> {
+        self.bcast(root, data)
+    }
+    fn mpi_reduce_f64(&self, root: usize, data: &[f64], op: ReduceOp) -> MpiResult<Option<Vec<f64>>> {
+        self.reduce_f64(root, data, op)
+    }
+    fn mpi_allreduce_f64(&self, data: &[f64], op: ReduceOp) -> MpiResult<Vec<f64>> {
+        self.allreduce_f64(data, op)
+    }
+    fn mpi_gather(&self, root: usize, data: &[u8]) -> MpiResult<Option<Vec<Vec<u8>>>> {
+        self.gather(root, data)
+    }
+    fn mpi_allgather(&self, data: &[u8]) -> MpiResult<Vec<Vec<u8>>> {
+        self.allgather(data)
+    }
+    fn mpi_alltoall(&self, data: &[u8]) -> MpiResult<Vec<u8>> {
+        self.alltoall(data)
+    }
+    fn mpi_wtime(&self) -> f64 {
+        self.wtime()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::World;
+
+    #[test]
+    fn trait_object_dispatch() {
+        let outs = World::run(2, |rank| {
+            let api: &dyn MpiApi = &rank;
+            if api.mpi_comm_rank() == 0 {
+                api.mpi_send(1, 0, b"via trait").unwrap();
+                Vec::new()
+            } else {
+                api.mpi_recv(Some(0), 0).unwrap().1
+            }
+        });
+        assert_eq!(outs[1], b"via trait");
+    }
+
+    #[test]
+    fn collectives_via_trait() {
+        let outs = World::run(3, |rank| {
+            let api: &dyn MpiApi = &rank;
+            api.mpi_allreduce_f64(&[1.0], ReduceOp::Sum).unwrap()[0]
+        });
+        assert_eq!(outs, vec![3.0, 3.0, 3.0]);
+    }
+}

@@ -1,0 +1,424 @@
+//! Collective rendezvous machinery.
+//!
+//! All ranks of a [`crate::World`] meet at a generation-numbered rendezvous:
+//! each contributes its payload and its current virtual time; the last
+//! arrival combines the payloads, computes the common completion time
+//! (`max arrival + collective cost`), publishes the result for that
+//! generation, and wakes the others. Results are kept per generation with a
+//! reader count so a slow rank can still collect its result after faster
+//! ranks have raced ahead into the next collective.
+
+use crate::error::{MpiError, MpiResult};
+use ipm_sim_core::model::{collective_cost, CollectiveKind, TransferModel};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Reduction operators for `MPI_Reduce`/`MPI_Allreduce` over `f64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+    Prod,
+}
+
+impl ReduceOp {
+    /// Apply the operator to two elements.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+
+    /// The operator's identity element.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Prod => 1.0,
+        }
+    }
+}
+
+/// What a collective produced, shared by all participants.
+#[derive(Clone, Debug)]
+pub enum Combined {
+    /// Barrier: nothing.
+    None,
+    /// Bcast: the root's buffer.
+    Bytes(Arc<Vec<u8>>),
+    /// Gather / Allgather / Alltoall: one buffer per rank (for alltoall,
+    /// entry `i` is what rank `i` receives, already concatenated).
+    PerRank(Arc<Vec<Vec<u8>>>),
+    /// Reduce / Allreduce over `f64`.
+    Reduced(Arc<Vec<f64>>),
+}
+
+/// One finished collective round.
+#[derive(Clone, Debug)]
+pub struct CollectiveOutcome {
+    /// Latest participant arrival time (the synchronization point).
+    pub sync_time: f64,
+    /// Cost beyond the synchronization point.
+    pub cost: f64,
+    /// Combined payload.
+    pub data: Combined,
+}
+
+/// Identifies which collective a rank entered, for mismatch detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveCall {
+    Barrier,
+    Bcast { root: usize },
+    Reduce { root: usize, op: ReduceOp },
+    Allreduce { op: ReduceOp },
+    Gather { root: usize },
+    Allgather,
+    Scatter { root: usize },
+    Alltoall,
+}
+
+impl CollectiveCall {
+    fn kind(&self) -> CollectiveKind {
+        match self {
+            CollectiveCall::Barrier => CollectiveKind::Barrier,
+            CollectiveCall::Bcast { .. } => CollectiveKind::Bcast,
+            CollectiveCall::Reduce { .. } => CollectiveKind::Reduce,
+            CollectiveCall::Allreduce { .. } => CollectiveKind::Allreduce,
+            CollectiveCall::Gather { .. } => CollectiveKind::Gather,
+            CollectiveCall::Allgather => CollectiveKind::Allgather,
+            CollectiveCall::Scatter { .. } => CollectiveKind::Scatter,
+            CollectiveCall::Alltoall => CollectiveKind::Alltoall,
+        }
+    }
+}
+
+struct Round {
+    call: Option<CollectiveCall>,
+    arrived: usize,
+    max_time: f64,
+    max_bytes: u64,
+    payloads: Vec<Option<Vec<u8>>>,
+    error: Option<MpiError>,
+}
+
+impl Round {
+    fn fresh(size: usize) -> Self {
+        Self {
+            call: None,
+            arrived: 0,
+            max_time: 0.0,
+            max_bytes: 0,
+            payloads: vec![None; size],
+            error: None,
+        }
+    }
+}
+
+struct State {
+    generation: u64,
+    round: Round,
+    /// generation → (outcome, remaining readers)
+    results: HashMap<u64, (Result<CollectiveOutcome, MpiError>, usize)>,
+}
+
+/// The rendezvous shared by all ranks of one world.
+pub struct Rendezvous {
+    size: usize,
+    net: TransferModel,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Rendezvous {
+    /// Rendezvous for `size` ranks over network `net`.
+    pub fn new(size: usize, net: TransferModel) -> Self {
+        assert!(size > 0);
+        Self {
+            size,
+            net,
+            state: Mutex::new(State {
+                generation: 0,
+                round: Round::fresh(size),
+                results: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enter the collective `call` as `rank`, contributing `payload` at
+    /// virtual time `now`. Blocks (the OS thread) until all ranks arrive;
+    /// returns the combined outcome.
+    pub fn enter(
+        &self,
+        rank: usize,
+        call: CollectiveCall,
+        payload: Vec<u8>,
+        now: f64,
+    ) -> MpiResult<CollectiveOutcome> {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        // mismatch detection: all ranks of a round must issue the same call
+        match st.round.call {
+            None => st.round.call = Some(call),
+            Some(existing) if existing == call => {}
+            Some(_) => st.round.error = Some(MpiError::CollectiveMismatch),
+        }
+        let bytes = payload.len() as u64;
+        st.round.max_bytes = st.round.max_bytes.max(bytes);
+        st.round.max_time = st.round.max_time.max(now);
+        st.round.payloads[rank] = Some(payload);
+        st.round.arrived += 1;
+
+        if st.round.arrived == self.size {
+            // last arrival combines and publishes
+            let round = std::mem::replace(&mut st.round, Round::fresh(self.size));
+            let outcome = match round.error {
+                Some(e) => Err(e),
+                None => self.combine(round),
+            };
+            st.results.insert(gen, (outcome, self.size));
+            st.generation += 1;
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+        }
+
+        // collect this generation's result; last reader cleans up
+        let entry = st.results.get_mut(&gen).expect("result published");
+        let out = entry.0.clone();
+        entry.1 -= 1;
+        if entry.1 == 0 {
+            st.results.remove(&gen);
+        }
+        out
+    }
+
+    fn combine(&self, round: Round) -> Result<CollectiveOutcome, MpiError> {
+        let call = round.call.expect("at least one rank entered");
+        let payloads: Vec<Vec<u8>> =
+            round.payloads.into_iter().map(|p| p.expect("all arrived")).collect();
+        let cost = collective_cost(call.kind(), self.size, round.max_bytes, &self.net);
+        let data = match call {
+            CollectiveCall::Barrier => Combined::None,
+            CollectiveCall::Bcast { root } | CollectiveCall::Scatter { root } => {
+                if root >= self.size {
+                    return Err(MpiError::InvalidRoot);
+                }
+                Combined::Bytes(Arc::new(payloads[root].clone()))
+            }
+            CollectiveCall::Reduce { op, root } => {
+                if root >= self.size {
+                    return Err(MpiError::InvalidRoot);
+                }
+                Combined::Reduced(Arc::new(Self::reduce_f64(&payloads, op)?))
+            }
+            CollectiveCall::Allreduce { op } => {
+                Combined::Reduced(Arc::new(Self::reduce_f64(&payloads, op)?))
+            }
+            CollectiveCall::Gather { root } => {
+                if root >= self.size {
+                    return Err(MpiError::InvalidRoot);
+                }
+                Combined::PerRank(Arc::new(payloads))
+            }
+            CollectiveCall::Allgather => Combined::PerRank(Arc::new(payloads)),
+            CollectiveCall::Alltoall => {
+                // payload of rank i is P equal chunks; receiver j gets chunk j
+                let p = self.size;
+                let chunk_len = payloads[0].len() / p;
+                if payloads.iter().any(|pl| pl.len() != chunk_len * p) {
+                    return Err(MpiError::LengthMismatch);
+                }
+                let mut per_rank = vec![Vec::with_capacity(chunk_len * p); p];
+                for payload in &payloads {
+                    for (j, chunk) in payload.chunks_exact(chunk_len.max(1)).enumerate().take(p) {
+                        per_rank[j].extend_from_slice(chunk);
+                    }
+                }
+                Combined::PerRank(Arc::new(per_rank))
+            }
+        };
+        Ok(CollectiveOutcome { sync_time: round.max_time, cost, data })
+    }
+
+    fn reduce_f64(payloads: &[Vec<u8>], op: ReduceOp) -> MpiResult<Vec<f64>> {
+        let len = payloads[0].len();
+        if len % 8 != 0 || payloads.iter().any(|p| p.len() != len) {
+            return Err(MpiError::LengthMismatch);
+        }
+        let n = len / 8;
+        let mut acc = vec![op.identity(); n];
+        for payload in payloads {
+            for (i, chunk) in payload.chunks_exact(8).enumerate() {
+                let v = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                acc[i] = op.apply(acc[i], v);
+            }
+        }
+        Ok(acc)
+    }
+}
+
+/// Encode an `f64` slice little-endian (payload helper shared with `comm`).
+pub(crate) fn f64s_to_bytes(xs: &[f64]) -> Vec<u8> {
+    xs.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Decode a little-endian `f64` payload.
+pub(crate) fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_all<R: Send>(
+        size: usize,
+        rdv: &Rendezvous,
+        f: impl Fn(usize) -> R + Sync + Send,
+    ) -> Vec<R> {
+        thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = (0..size).map(|r| s.spawn(move || f(r))).collect();
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let _ = rdv; // keep signature symmetric
+            results
+        })
+    }
+
+    #[test]
+    fn reduce_op_algebra() {
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Prod.apply(2.0, 3.0), 6.0);
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+            assert_eq!(op.apply(op.identity(), 7.0), 7.0);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let rdv = Rendezvous::new(3, TransferModel::qdr_infiniband());
+        let outs = run_all(3, &rdv, |r| {
+            rdv.enter(r, CollectiveCall::Barrier, Vec::new(), r as f64).unwrap()
+        });
+        for o in &outs {
+            assert_eq!(o.sync_time, 2.0); // slowest rank arrived at t=2
+            assert!(o.cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_elementwise() {
+        let rdv = Rendezvous::new(4, TransferModel::qdr_infiniband());
+        let outs = run_all(4, &rdv, |r| {
+            let payload = f64s_to_bytes(&[r as f64, 10.0 * r as f64]);
+            rdv.enter(r, CollectiveCall::Allreduce { op: ReduceOp::Sum }, payload, 0.0).unwrap()
+        });
+        for o in outs {
+            match o.data {
+                Combined::Reduced(v) => assert_eq!(*v, vec![6.0, 60.0]),
+                other => panic!("wrong combined: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_roots_payload() {
+        let rdv = Rendezvous::new(3, TransferModel::qdr_infiniband());
+        let outs = run_all(3, &rdv, |r| {
+            let payload = if r == 1 { vec![42u8; 4] } else { Vec::new() };
+            rdv.enter(r, CollectiveCall::Bcast { root: 1 }, payload, 0.0).unwrap()
+        });
+        for o in outs {
+            match o.data {
+                Combined::Bytes(b) => assert_eq!(*b, vec![42u8; 4]),
+                other => panic!("wrong combined: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        let rdv = Rendezvous::new(3, TransferModel::qdr_infiniband());
+        let outs = run_all(3, &rdv, |r| {
+            rdv.enter(r, CollectiveCall::Gather { root: 0 }, vec![r as u8; 2], 0.0).unwrap()
+        });
+        for o in outs {
+            match o.data {
+                Combined::PerRank(v) => {
+                    assert_eq!(*v, vec![vec![0, 0], vec![1, 1], vec![2, 2]])
+                }
+                other => panic!("wrong combined: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes_chunks() {
+        let rdv = Rendezvous::new(2, TransferModel::qdr_infiniband());
+        let outs = run_all(2, &rdv, |r| {
+            // rank r sends [r*10+0] to rank 0 and [r*10+1] to rank 1
+            let payload = vec![(r * 10) as u8, (r * 10 + 1) as u8];
+            rdv.enter(r, CollectiveCall::Alltoall, payload, 0.0).unwrap()
+        });
+        match &outs[0].data {
+            Combined::PerRank(v) => {
+                assert_eq!(v[0], vec![0, 10]); // rank 0 receives chunk 0 of each
+                assert_eq!(v[1], vec![1, 11]);
+            }
+            other => panic!("wrong combined: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_collectives_detected() {
+        let rdv = Rendezvous::new(2, TransferModel::qdr_infiniband());
+        let outs = run_all(2, &rdv, |r| {
+            let call = if r == 0 { CollectiveCall::Barrier } else { CollectiveCall::Allgather };
+            rdv.enter(r, call, Vec::new(), 0.0)
+        });
+        assert!(outs.iter().all(|o| matches!(o, Err(MpiError::CollectiveMismatch))));
+    }
+
+    #[test]
+    fn mismatched_reduce_lengths_detected() {
+        let rdv = Rendezvous::new(2, TransferModel::qdr_infiniband());
+        let outs = run_all(2, &rdv, |r| {
+            let payload = f64s_to_bytes(&vec![1.0; r + 1]);
+            rdv.enter(r, CollectiveCall::Allreduce { op: ReduceOp::Sum }, payload, 0.0)
+        });
+        assert!(outs.iter().all(|o| matches!(o, Err(MpiError::LengthMismatch))));
+    }
+
+    #[test]
+    fn rendezvous_is_reusable_across_generations() {
+        let rdv = Rendezvous::new(2, TransferModel::qdr_infiniband());
+        for round in 0..50 {
+            let outs = run_all(2, &rdv, |r| {
+                rdv.enter(r, CollectiveCall::Barrier, Vec::new(), round as f64 + r as f64)
+                    .unwrap()
+            });
+            assert_eq!(outs[0].sync_time, round as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn f64_codec_roundtrips() {
+        let xs = [1.5, -2.25, 0.0, f64::MAX];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&xs)), xs);
+    }
+}

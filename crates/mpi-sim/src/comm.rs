@@ -1,0 +1,577 @@
+//! Worlds, ranks, and point-to-point messaging.
+//!
+//! A [`World`] is `MPI_COMM_WORLD`: `size` ranks, each a [`Rank`] handle
+//! owned by one OS thread, wired to per-rank mailboxes and the collective
+//! rendezvous. Point-to-point sends are *eager*: the sender deposits the
+//! message (stamped with its virtual arrival time) and continues after a
+//! local injection cost; the receiver blocks its OS thread until a matching
+//! message exists, then advances its virtual clock to
+//! `max(own time, message arrival time)` — the virtual-time analogue of
+//! waiting in `MPI_Recv`.
+//!
+//! The network model distinguishes intra-node (shared memory) from
+//! inter-node (InfiniBand) pairs based on a block rank→node mapping, the
+//! layout used on Dirac (consecutive ranks fill a node).
+
+use crate::collective::{
+    bytes_to_f64s, f64s_to_bytes, CollectiveCall, Combined, ReduceOp, Rendezvous,
+};
+use crate::error::{MpiError, MpiResult};
+use ipm_sim_core::model::TransferModel;
+use ipm_sim_core::SimClock;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Wildcard source for [`Rank::recv`], like `MPI_ANY_SOURCE`.
+pub const ANY_SOURCE: Option<usize> = None;
+
+/// Wildcard tag, like `MPI_ANY_TAG`.
+pub const ANY_TAG: i32 = -1;
+
+/// Configuration of a world.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Number of ranks.
+    pub size: usize,
+    /// Ranks per node (block mapping); intra-node pairs use the shared
+    /// memory transport. `0` means "all ranks on one node".
+    pub ranks_per_node: usize,
+    /// Inter-node transport.
+    pub inter_node: TransferModel,
+    /// Intra-node transport.
+    pub intra_node: TransferModel,
+    /// Host-side cost of posting a send/recv (per call).
+    pub call_overhead: f64,
+}
+
+impl WorldConfig {
+    /// `size` ranks on a Dirac-like cluster with `ranks_per_node` per node.
+    pub fn dirac(size: usize, ranks_per_node: usize) -> Self {
+        Self {
+            size,
+            ranks_per_node,
+            inter_node: TransferModel::qdr_infiniband(),
+            intra_node: TransferModel::shared_memory(),
+            call_overhead: 0.4e-6,
+        }
+    }
+
+    /// Everything on one node.
+    pub fn single_node(size: usize) -> Self {
+        Self::dirac(size, 0)
+    }
+}
+
+struct Message {
+    src: usize,
+    tag: i32,
+    data: Vec<u8>,
+    /// Virtual time at which the payload is available at the receiver.
+    arrival: f64,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<Vec<Message>>,
+    cv: Condvar,
+}
+
+struct WorldInner {
+    config: WorldConfig,
+    mailboxes: Vec<Mailbox>,
+    rendezvous: Rendezvous,
+}
+
+/// A communicator spanning all ranks (MPI_COMM_WORLD).
+#[derive(Clone)]
+pub struct World {
+    inner: Arc<WorldInner>,
+}
+
+impl World {
+    /// Create a world from a configuration.
+    pub fn new(config: WorldConfig) -> Self {
+        assert!(config.size > 0, "world must have at least one rank");
+        let mailboxes = (0..config.size).map(|_| Mailbox::default()).collect();
+        let rendezvous = Rendezvous::new(config.size, config.inter_node);
+        Self { inner: Arc::new(WorldInner { config, mailboxes, rendezvous }) }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inner.config.size
+    }
+
+    /// Create the handle for `rank`, with a fresh clock at zero.
+    pub fn rank(&self, rank: usize) -> Rank {
+        assert!(rank < self.size());
+        Rank { world: self.inner.clone(), rank, clock: SimClock::new() }
+    }
+
+    /// Create the handle for `rank` driven by an existing clock (used when
+    /// the rank also owns a GPU context on the same clock).
+    pub fn rank_with_clock(&self, rank: usize, clock: SimClock) -> Rank {
+        assert!(rank < self.size());
+        Rank { world: self.inner.clone(), rank, clock }
+    }
+
+    /// Spawn `size` OS threads, one per rank, run `f` on each, and return
+    /// the per-rank results in rank order. The standard harness for tests
+    /// and pure-MPI workloads.
+    pub fn run<R: Send>(size: usize, f: impl Fn(Rank) -> R + Send + Sync) -> Vec<R> {
+        Self::run_with_config(WorldConfig::single_node(size), f)
+    }
+
+    /// [`World::run`] with an explicit configuration.
+    pub fn run_with_config<R: Send>(
+        config: WorldConfig,
+        f: impl Fn(Rank) -> R + Send + Sync,
+    ) -> Vec<R> {
+        let world = World::new(config);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..world.size())
+                .map(|r| {
+                    let rank = world.rank(r);
+                    let f = &f;
+                    s.spawn(move || f(rank))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+    }
+}
+
+/// A pending nonblocking operation (`MPI_Isend` / `MPI_Irecv`).
+#[derive(Debug)]
+pub enum Request {
+    /// Nonblocking send: completes locally at the given virtual time.
+    Send { complete_at: f64 },
+    /// Nonblocking receive: matched at [`Rank::wait`].
+    Recv { src: Option<usize>, tag: i32 },
+    /// Already waited on.
+    Done,
+}
+
+/// One rank's handle onto the world: the MPI API surface.
+pub struct Rank {
+    world: Arc<WorldInner>,
+    rank: usize,
+    clock: SimClock,
+}
+
+impl Rank {
+    /// This rank's id (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.world.config.size
+    }
+
+    /// The rank's virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// `MPI_Wtime`.
+    pub fn wtime(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// The node this rank lives on under the block mapping.
+    pub fn node(&self) -> usize {
+        let rpn = self.world.config.ranks_per_node;
+        if rpn == 0 {
+            0
+        } else {
+            self.rank / rpn
+        }
+    }
+
+    fn node_of(&self, rank: usize) -> usize {
+        let rpn = self.world.config.ranks_per_node;
+        if rpn == 0 {
+            0
+        } else {
+            rank / rpn
+        }
+    }
+
+    fn link_to(&self, dest: usize) -> &TransferModel {
+        if self.node_of(dest) == self.node() {
+            &self.world.config.intra_node
+        } else {
+            &self.world.config.inter_node
+        }
+    }
+
+    fn check_rank(&self, r: usize) -> MpiResult<()> {
+        if r < self.size() {
+            Ok(())
+        } else {
+            Err(MpiError::RankOutOfRange)
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------
+
+    /// Blocking standard-mode send (`MPI_Send`, eager protocol).
+    pub fn send(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<()> {
+        self.isend(dest, tag, data).map(|_| ())
+    }
+
+    /// Nonblocking send (`MPI_Isend`): the message is injected immediately,
+    /// the returned request completes when the local NIC would be done.
+    pub fn isend(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<Request> {
+        self.check_rank(dest)?;
+        let cfg = &self.world.config;
+        self.clock.advance(cfg.call_overhead);
+        let link = self.link_to(dest);
+        let now = self.clock.now();
+        let arrival = now + link.time(data.len() as u64);
+        // local injection: the sender is busy while the eager buffer copy
+        // runs (size-proportional at memory speed, bounded by the link)
+        let inject = cfg.call_overhead + data.len() as f64 / 6.0e9;
+        let mailbox = &self.world.mailboxes[dest];
+        mailbox.queue.lock().push(Message { src: self.rank, tag, data: data.to_vec(), arrival });
+        mailbox.cv.notify_all();
+        Ok(Request::Send { complete_at: now + inject })
+    }
+
+    /// Blocking receive (`MPI_Recv`). `src = None` is `MPI_ANY_SOURCE`;
+    /// `tag = ANY_TAG` matches any tag. Returns `(source, payload)`.
+    pub fn recv(&self, src: Option<usize>, tag: i32) -> MpiResult<(usize, Vec<u8>)> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        self.world.config.call_overhead.pipe_advance(&self.clock);
+        let mailbox = &self.world.mailboxes[self.rank];
+        let mut queue = mailbox.queue.lock();
+        loop {
+            let matched = queue.iter().position(|m| {
+                src.map_or(true, |s| s == m.src) && (tag == ANY_TAG || tag == m.tag)
+            });
+            if let Some(idx) = matched {
+                let msg = queue.remove(idx);
+                drop(queue);
+                // virtual wait for the payload to arrive
+                self.clock.advance_to(msg.arrival);
+                return Ok((msg.src, msg.data));
+            }
+            mailbox.cv.wait(&mut queue);
+        }
+    }
+
+    /// Nonblocking receive (`MPI_Irecv`): matching deferred to [`Rank::wait`].
+    pub fn irecv(&self, src: Option<usize>, tag: i32) -> MpiResult<Request> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        self.clock.advance(self.world.config.call_overhead);
+        Ok(Request::Recv { src, tag })
+    }
+
+    /// `MPI_Wait`. For receives, returns `Some((source, payload))`.
+    pub fn wait(&self, req: &mut Request) -> MpiResult<Option<(usize, Vec<u8>)>> {
+        match std::mem::replace(req, Request::Done) {
+            Request::Send { complete_at } => {
+                self.clock.advance_to(complete_at);
+                Ok(None)
+            }
+            Request::Recv { src, tag } => self.recv(src, tag).map(Some),
+            Request::Done => Err(MpiError::StaleRequest),
+        }
+    }
+
+    /// `MPI_Waitall` over a slice of requests; receive payloads are
+    /// returned in request order.
+    pub fn waitall(&self, reqs: &mut [Request]) -> MpiResult<Vec<Option<(usize, Vec<u8>)>>> {
+        reqs.iter_mut().map(|r| self.wait(r)).collect()
+    }
+
+    // ------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------
+
+    fn collect(&self, call: CollectiveCall, payload: Vec<u8>) -> MpiResult<Combined> {
+        self.clock.advance(self.world.config.call_overhead);
+        let outcome = self.world.rendezvous.enter(self.rank, call, payload, self.clock.now())?;
+        self.clock.advance_to(outcome.sync_time + outcome.cost);
+        Ok(outcome.data)
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&self) -> MpiResult<()> {
+        self.collect(CollectiveCall::Barrier, Vec::new()).map(|_| ())
+    }
+
+    /// `MPI_Bcast`: returns the root's buffer on every rank.
+    pub fn bcast(&self, root: usize, data: Vec<u8>) -> MpiResult<Vec<u8>> {
+        self.check_rank(root)?;
+        match self.collect(CollectiveCall::Bcast { root }, data)? {
+            Combined::Bytes(b) => Ok((*b).clone()),
+            _ => unreachable!("bcast produces Bytes"),
+        }
+    }
+
+    /// `MPI_Reduce` over `f64`: the root gets the reduction, others `None`.
+    pub fn reduce_f64(&self, root: usize, data: &[f64], op: ReduceOp) -> MpiResult<Option<Vec<f64>>> {
+        self.check_rank(root)?;
+        match self.collect(CollectiveCall::Reduce { root, op }, f64s_to_bytes(data))? {
+            Combined::Reduced(v) => {
+                Ok(if self.rank == root { Some((*v).clone()) } else { None })
+            }
+            _ => unreachable!("reduce produces Reduced"),
+        }
+    }
+
+    /// `MPI_Allreduce` over `f64`.
+    pub fn allreduce_f64(&self, data: &[f64], op: ReduceOp) -> MpiResult<Vec<f64>> {
+        match self.collect(CollectiveCall::Allreduce { op }, f64s_to_bytes(data))? {
+            Combined::Reduced(v) => Ok((*v).clone()),
+            _ => unreachable!("allreduce produces Reduced"),
+        }
+    }
+
+    /// `MPI_Gather`: the root gets every rank's buffer in rank order.
+    pub fn gather(&self, root: usize, data: &[u8]) -> MpiResult<Option<Vec<Vec<u8>>>> {
+        self.check_rank(root)?;
+        match self.collect(CollectiveCall::Gather { root }, data.to_vec())? {
+            Combined::PerRank(v) => {
+                Ok(if self.rank == root { Some((*v).clone()) } else { None })
+            }
+            _ => unreachable!("gather produces PerRank"),
+        }
+    }
+
+    /// `MPI_Allgather`.
+    pub fn allgather(&self, data: &[u8]) -> MpiResult<Vec<Vec<u8>>> {
+        match self.collect(CollectiveCall::Allgather, data.to_vec())? {
+            Combined::PerRank(v) => Ok((*v).clone()),
+            _ => unreachable!("allgather produces PerRank"),
+        }
+    }
+
+    /// `MPI_Alltoall`: `data` is `size` equal chunks concatenated; the
+    /// result is the transposed concatenation this rank receives.
+    pub fn alltoall(&self, data: &[u8]) -> MpiResult<Vec<u8>> {
+        match self.collect(CollectiveCall::Alltoall, data.to_vec())? {
+            Combined::PerRank(v) => Ok(v[self.rank].clone()),
+            _ => unreachable!("alltoall produces PerRank"),
+        }
+    }
+
+    /// Typed allreduce helper decoding to `f64`s (payload round-trip used
+    /// by several applications).
+    pub fn allreduce_bytes_as_f64(&self, bytes: &[u8], op: ReduceOp) -> MpiResult<Vec<f64>> {
+        self.allreduce_f64(&bytes_to_f64s(bytes), op)
+    }
+
+    /// Advance this rank's clock by `dt` of local computation. Not an MPI
+    /// call — the harness hook applications use to model CPU work.
+    pub fn compute(&self, dt: f64) {
+        self.clock.advance(dt);
+    }
+}
+
+/// Tiny extension to keep `recv` tidy: advance a clock by a cost.
+trait PipeAdvance {
+    fn pipe_advance(self, clock: &SimClock);
+}
+
+impl PipeAdvance for f64 {
+    fn pipe_advance(self, clock: &SimClock) {
+        clock.advance(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_and_size_are_reported() {
+        let outs = World::run(3, |rank| (rank.rank(), rank.size()));
+        assert_eq!(outs, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let outs = World::run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 7, b"hello").unwrap();
+                Vec::new()
+            } else {
+                let (src, data) = rank.recv(Some(0), 7).unwrap();
+                assert_eq!(src, 0);
+                data
+            }
+        });
+        assert_eq!(outs[1], b"hello");
+    }
+
+    #[test]
+    fn recv_advances_clock_past_arrival() {
+        let outs = World::run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.compute(1.0); // sender is slow
+                rank.send(1, 0, &vec![0u8; 1024]).unwrap();
+                rank.wtime()
+            } else {
+                let (_, _) = rank.recv(Some(0), 0).unwrap();
+                rank.wtime()
+            }
+        });
+        // receiver waited for the message sent at t≈1.0
+        assert!(outs[1] > 1.0, "receiver time {}", outs[1]);
+    }
+
+    #[test]
+    fn any_source_and_any_tag_match() {
+        let outs = World::run(3, |rank| {
+            match rank.rank() {
+                0 => {
+                    let (s1, _) = rank.recv(ANY_SOURCE, ANY_TAG).unwrap();
+                    let (s2, _) = rank.recv(ANY_SOURCE, ANY_TAG).unwrap();
+                    let mut got = [s1, s2];
+                    got.sort();
+                    got.to_vec()
+                }
+                r => {
+                    rank.send(0, r as i32, &[r as u8]).unwrap();
+                    Vec::new()
+                }
+            }
+        });
+        assert_eq!(outs[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn tag_matching_skips_non_matching() {
+        let outs = World::run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 5, b"five").unwrap();
+                rank.send(1, 9, b"nine").unwrap();
+                Vec::new()
+            } else {
+                // request tag 9 first even though tag 5 arrives first
+                let (_, nine) = rank.recv(Some(0), 9).unwrap();
+                let (_, five) = rank.recv(Some(0), 5).unwrap();
+                assert_eq!(five, b"five");
+                nine
+            }
+        });
+        assert_eq!(outs[1], b"nine");
+    }
+
+    #[test]
+    fn isend_wait_completes_locally() {
+        World::run(2, |rank| {
+            if rank.rank() == 0 {
+                let mut req = rank.isend(1, 0, &vec![1u8; 4096]).unwrap();
+                assert!(rank.wait(&mut req).unwrap().is_none());
+                // waiting twice is an error
+                assert_eq!(rank.wait(&mut req).unwrap_err(), MpiError::StaleRequest);
+            } else {
+                rank.recv(Some(0), 0).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_wait_returns_payload() {
+        let outs = World::run(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 3, b"abc").unwrap();
+                None
+            } else {
+                let mut req = rank.irecv(Some(0), 3).unwrap();
+                rank.wait(&mut req).unwrap()
+            }
+        });
+        assert_eq!(outs[1].as_ref().unwrap().1, b"abc");
+    }
+
+    #[test]
+    fn barrier_aligns_wtime() {
+        let outs = World::run(4, |rank| {
+            rank.compute(rank.rank() as f64);
+            rank.barrier().unwrap();
+            rank.wtime()
+        });
+        let t0 = outs[0];
+        assert!(t0 >= 3.0);
+        for t in outs {
+            assert!((t - t0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reduce_only_root_gets_result() {
+        let outs = World::run(3, |rank| {
+            rank.reduce_f64(2, &[rank.rank() as f64 + 1.0], ReduceOp::Prod).unwrap()
+        });
+        assert_eq!(outs[0], None);
+        assert_eq!(outs[1], None);
+        assert_eq!(outs[2], Some(vec![6.0]));
+    }
+
+    #[test]
+    fn allgather_returns_all() {
+        let outs = World::run(3, |rank| rank.allgather(&[rank.rank() as u8]).unwrap());
+        for o in outs {
+            assert_eq!(o, vec![vec![0], vec![1], vec![2]]);
+        }
+    }
+
+    #[test]
+    fn alltoall_each_rank_gets_its_column() {
+        let outs = World::run(2, |rank| {
+            let r = rank.rank() as u8;
+            rank.alltoall(&[r * 10, r * 10 + 1]).unwrap()
+        });
+        assert_eq!(outs[0], vec![0, 10]);
+        assert_eq!(outs[1], vec![1, 11]);
+    }
+
+    #[test]
+    fn inter_node_is_slower_than_intra_node() {
+        let time_for = |ranks_per_node: usize| {
+            let cfg = WorldConfig::dirac(2, ranks_per_node);
+            let outs = World::run_with_config(cfg, |rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 0, &vec![0u8; 1 << 20]).unwrap();
+                    0.0
+                } else {
+                    rank.recv(Some(0), 0).unwrap();
+                    rank.wtime()
+                }
+            });
+            outs[1]
+        };
+        let same_node = time_for(2); // both ranks on node 0
+        let cross_node = time_for(1); // one rank per node
+        assert!(cross_node > same_node, "cross {cross_node} vs same {same_node}");
+    }
+
+    #[test]
+    fn invalid_ranks_are_rejected() {
+        World::run(2, |rank| {
+            assert_eq!(rank.send(5, 0, b"x").unwrap_err(), MpiError::RankOutOfRange);
+            assert_eq!(rank.bcast(9, Vec::new()).unwrap_err(), MpiError::RankOutOfRange);
+        });
+    }
+
+    #[test]
+    fn wtime_starts_at_zero_and_grows() {
+        World::run(1, |rank| {
+            assert_eq!(rank.wtime(), 0.0);
+            rank.compute(2.5);
+            assert!((rank.wtime() - 2.5).abs() < 1e-12);
+        });
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the MPI-like layer.
+
+use std::fmt;
+
+/// Result alias for MPI operations.
+pub type MpiResult<T> = Result<T, MpiError>;
+
+/// MPI-layer failures. Real MPI aborts on most of these; we return them so
+/// tests can assert on misuse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination or source rank outside `0..size`.
+    RankOutOfRange,
+    /// Root rank outside `0..size`.
+    InvalidRoot,
+    /// Ranks entered different collectives in the same round (matched by
+    /// arrival generation) — a deadlock in real MPI, detected here.
+    CollectiveMismatch,
+    /// Contribution lengths disagree where the operation requires uniform
+    /// sizes (e.g. `MPI_Allreduce` element counts).
+    LengthMismatch,
+    /// A request was waited on twice.
+    StaleRequest,
+}
+
+impl MpiError {
+    /// Human-readable description.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MpiError::RankOutOfRange => "rank out of range",
+            MpiError::InvalidRoot => "invalid root rank",
+            MpiError::CollectiveMismatch => "mismatched collective operations",
+            MpiError::LengthMismatch => "mismatched buffer lengths",
+            MpiError::StaleRequest => "request already completed",
+        }
+    }
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(MpiError::RankOutOfRange.to_string(), "rank out of range");
+        assert_ne!(MpiError::InvalidRoot.as_str(), MpiError::LengthMismatch.as_str());
+    }
+}

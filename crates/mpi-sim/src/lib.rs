@@ -1,0 +1,37 @@
+//! # ipm-mpi-sim
+//!
+//! A rank-per-thread MPI-like message-passing layer with a virtual-time
+//! cost model — the substrate standing in for MPI over QDR InfiniBand in
+//! this reproduction of *"Comprehensive Performance Monitoring for GPU
+//! Cluster Systems"*.
+//!
+//! Ranks are real OS threads (so the monitoring layer's thread-safety is
+//! exercised for real), but all *timing* is virtual: each rank owns a
+//! [`ipm_sim_core::SimClock`], point-to-point messages carry their virtual
+//! completion times, and collectives synchronize the participants' clocks
+//! to the latest arrival plus an analytic collective cost
+//! ([`ipm_sim_core::model::collective_cost`]). The qualitative property the
+//! paper's PARATEC study depends on — `MPI_Gather` scaling *linearly* with
+//! the number of ranks while tree collectives scale logarithmically — falls
+//! out of those formulas.
+//!
+//! ```
+//! use ipm_mpi_sim::{World, ReduceOp};
+//!
+//! let results = World::run(4, |rank| {
+//!     let mine = [rank.rank() as f64];
+//!     let sum = rank.allreduce_f64(&mine, ReduceOp::Sum).unwrap();
+//!     sum[0]
+//! });
+//! assert_eq!(results, vec![6.0; 4]);
+//! ```
+
+pub mod api;
+pub mod collective;
+pub mod comm;
+pub mod error;
+
+pub use api::MpiApi;
+pub use collective::ReduceOp;
+pub use comm::{Rank, Request, World, WorldConfig};
+pub use error::{MpiError, MpiResult};

@@ -1,0 +1,266 @@
+//! Interposable entry points of the accelerated libraries.
+//!
+//! Paper §III-D: IPM wraps the CUBLAS and CUFFT entry points (in addition
+//! to the CUDA calls they make internally) and records the **operand
+//! sizes** in the hash table's `bytes` attribute, so achieved performance
+//! can later be correlated with operation size. These traits are that
+//! wrapping surface; `ipm-core` provides the monitoring implementations.
+
+use crate::blaskernels::Transpose;
+use crate::complex::Complex64;
+use crate::cublas::CublasContext;
+use crate::cufft::{CufftContext, FftType, PlanId};
+use crate::fftkernels::FftDirection;
+use ipm_gpu_sim::{CudaResult, DevicePtr, StreamId};
+
+/// The CUBLAS entry points the paper's applications exercise.
+pub trait BlasApi: Send + Sync {
+    /// `cublasAlloc`.
+    fn cublas_alloc(&self, n: usize, elem_size: usize) -> CudaResult<DevicePtr>;
+    /// `cublasFree`.
+    fn cublas_free(&self, ptr: DevicePtr) -> CudaResult<()>;
+    /// `cublasSetMatrix`.
+    fn cublas_set_matrix(
+        &self,
+        rows: usize,
+        cols: usize,
+        elem_size: usize,
+        host: &[u8],
+        dev: DevicePtr,
+    ) -> CudaResult<()>;
+    /// `cublasGetMatrix`.
+    fn cublas_get_matrix(
+        &self,
+        rows: usize,
+        cols: usize,
+        elem_size: usize,
+        dev: DevicePtr,
+        host: &mut [u8],
+    ) -> CudaResult<()>;
+    /// Scale adapter: `cublasSetMatrix` timed at full size with only a
+    /// physical prefix staged (see `CublasContext::set_matrix_modeled`).
+    fn cublas_set_matrix_modeled(
+        &self,
+        rows: usize,
+        cols: usize,
+        elem_size: usize,
+        host_prefix: &[u8],
+        dev: DevicePtr,
+    ) -> CudaResult<()>;
+    /// Scale adapter: the D2H counterpart.
+    fn cublas_get_matrix_modeled(
+        &self,
+        rows: usize,
+        cols: usize,
+        elem_size: usize,
+        dev: DevicePtr,
+        host_prefix: &mut [u8],
+    ) -> CudaResult<()>;
+    /// `cublasSetVector`.
+    fn cublas_set_vector(&self, n: usize, elem_size: usize, host: &[u8], dev: DevicePtr) -> CudaResult<()>;
+    /// `cublasGetVector`.
+    fn cublas_get_vector(&self, n: usize, elem_size: usize, dev: DevicePtr, host: &mut [u8]) -> CudaResult<()>;
+    /// `cublasDgemm`.
+    #[allow(clippy::too_many_arguments)]
+    fn cublas_dgemm(
+        &self,
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        da: DevicePtr,
+        lda: usize,
+        db: DevicePtr,
+        ldb: usize,
+        beta: f64,
+        dc: DevicePtr,
+        ldc: usize,
+    ) -> CudaResult<()>;
+    /// `cublasZgemm`.
+    #[allow(clippy::too_many_arguments)]
+    fn cublas_zgemm(
+        &self,
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: Complex64,
+        da: DevicePtr,
+        lda: usize,
+        db: DevicePtr,
+        ldb: usize,
+        beta: Complex64,
+        dc: DevicePtr,
+        ldc: usize,
+    ) -> CudaResult<()>;
+    /// `cublasDaxpy`.
+    fn cublas_daxpy(&self, n: usize, alpha: f64, dx: DevicePtr, dy: DevicePtr) -> CudaResult<()>;
+    /// `cublasDdot`.
+    fn cublas_ddot(&self, n: usize, dx: DevicePtr, dy: DevicePtr) -> CudaResult<f64>;
+}
+
+impl BlasApi for CublasContext {
+    fn cublas_alloc(&self, n: usize, elem_size: usize) -> CudaResult<DevicePtr> {
+        self.alloc(n, elem_size)
+    }
+    fn cublas_free(&self, ptr: DevicePtr) -> CudaResult<()> {
+        self.free(ptr)
+    }
+    fn cublas_set_matrix(
+        &self,
+        rows: usize,
+        cols: usize,
+        elem_size: usize,
+        host: &[u8],
+        dev: DevicePtr,
+    ) -> CudaResult<()> {
+        self.set_matrix(rows, cols, elem_size, host, dev)
+    }
+    fn cublas_get_matrix(
+        &self,
+        rows: usize,
+        cols: usize,
+        elem_size: usize,
+        dev: DevicePtr,
+        host: &mut [u8],
+    ) -> CudaResult<()> {
+        self.get_matrix(rows, cols, elem_size, dev, host)
+    }
+    fn cublas_set_matrix_modeled(
+        &self,
+        rows: usize,
+        cols: usize,
+        elem_size: usize,
+        host_prefix: &[u8],
+        dev: DevicePtr,
+    ) -> CudaResult<()> {
+        self.set_matrix_modeled(rows, cols, elem_size, host_prefix, dev)
+    }
+    fn cublas_get_matrix_modeled(
+        &self,
+        rows: usize,
+        cols: usize,
+        elem_size: usize,
+        dev: DevicePtr,
+        host_prefix: &mut [u8],
+    ) -> CudaResult<()> {
+        self.get_matrix_modeled(rows, cols, elem_size, dev, host_prefix)
+    }
+    fn cublas_set_vector(&self, n: usize, elem_size: usize, host: &[u8], dev: DevicePtr) -> CudaResult<()> {
+        self.set_vector(n, elem_size, host, dev)
+    }
+    fn cublas_get_vector(&self, n: usize, elem_size: usize, dev: DevicePtr, host: &mut [u8]) -> CudaResult<()> {
+        self.get_vector(n, elem_size, dev, host)
+    }
+    fn cublas_dgemm(
+        &self,
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        da: DevicePtr,
+        lda: usize,
+        db: DevicePtr,
+        ldb: usize,
+        beta: f64,
+        dc: DevicePtr,
+        ldc: usize,
+    ) -> CudaResult<()> {
+        self.dgemm(ta, tb, m, n, k, alpha, da, lda, db, ldb, beta, dc, ldc)
+    }
+    fn cublas_zgemm(
+        &self,
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: Complex64,
+        da: DevicePtr,
+        lda: usize,
+        db: DevicePtr,
+        ldb: usize,
+        beta: Complex64,
+        dc: DevicePtr,
+        ldc: usize,
+    ) -> CudaResult<()> {
+        self.zgemm(ta, tb, m, n, k, alpha, da, lda, db, ldb, beta, dc, ldc)
+    }
+    fn cublas_daxpy(&self, n: usize, alpha: f64, dx: DevicePtr, dy: DevicePtr) -> CudaResult<()> {
+        self.daxpy(n, alpha, dx, dy)
+    }
+    fn cublas_ddot(&self, n: usize, dx: DevicePtr, dy: DevicePtr) -> CudaResult<f64> {
+        self.ddot(n, dx, dy)
+    }
+}
+
+/// The CUFFT entry points.
+pub trait FftApi: Send + Sync {
+    /// `cufftPlan1d`.
+    fn cufft_plan_1d(&self, n: usize, ty: FftType, batch: usize) -> CudaResult<PlanId>;
+    /// `cufftSetStream`.
+    fn cufft_set_stream(&self, plan: PlanId, stream: StreamId) -> CudaResult<()>;
+    /// `cufftExecZ2Z`.
+    fn cufft_exec_z2z(
+        &self,
+        plan: PlanId,
+        idata: DevicePtr,
+        odata: DevicePtr,
+        dir: FftDirection,
+    ) -> CudaResult<()>;
+    /// `cufftDestroy`.
+    fn cufft_destroy(&self, plan: PlanId) -> CudaResult<()>;
+}
+
+impl FftApi for CufftContext {
+    fn cufft_plan_1d(&self, n: usize, ty: FftType, batch: usize) -> CudaResult<PlanId> {
+        self.plan_1d(n, ty, batch)
+    }
+    fn cufft_set_stream(&self, plan: PlanId, stream: StreamId) -> CudaResult<()> {
+        self.set_stream(plan, stream)
+    }
+    fn cufft_exec_z2z(
+        &self,
+        plan: PlanId,
+        idata: DevicePtr,
+        odata: DevicePtr,
+        dir: FftDirection,
+    ) -> CudaResult<()> {
+        self.exec_z2z(plan, idata, odata, dir)
+    }
+    fn cufft_destroy(&self, plan: PlanId) -> CudaResult<()> {
+        self.destroy(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cublas::DeviceLibConfig;
+    use crate::cufft::CufftConfig;
+    use ipm_gpu_sim::{GpuConfig, GpuRuntime};
+    use std::sync::Arc;
+
+    #[test]
+    fn blas_trait_object_dispatch() {
+        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let ctx = CublasContext::init(rt, DeviceLibConfig::default());
+        let api: &dyn BlasApi = &ctx;
+        let d = api.cublas_alloc(8, 8).unwrap();
+        api.cublas_free(d).unwrap();
+    }
+
+    #[test]
+    fn fft_trait_object_dispatch() {
+        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let ctx = CufftContext::new(rt, CufftConfig::default());
+        let api: &dyn FftApi = &ctx;
+        let p = api.cufft_plan_1d(64, FftType::Z2Z, 1).unwrap();
+        api.cufft_destroy(p).unwrap();
+    }
+}

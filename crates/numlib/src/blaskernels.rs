@@ -1,0 +1,349 @@
+//! Reference BLAS computational kernels (pure math, no timing).
+//!
+//! These are the *actual* linear-algebra routines shared by the host BLAS
+//! ("MKL" baseline) and the device effects of the CUBLAS-like library.
+//! Column-major layout throughout, as in Fortran BLAS; `lda` is the leading
+//! dimension of `a` (rows of the allocated matrix).
+
+use crate::complex::Complex64;
+
+/// Transpose option for GEMM-family routines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transpose {
+    /// No transpose (`'N'`).
+    N,
+    /// Transpose (`'T'`).
+    T,
+    /// Conjugate transpose (`'C'`; identical to `T` for real data).
+    C,
+}
+
+impl Transpose {
+    /// The BLAS character for this option.
+    pub fn as_char(self) -> char {
+        match self {
+            Transpose::N => 'N',
+            Transpose::T => 'T',
+            Transpose::C => 'C',
+        }
+    }
+}
+
+#[inline]
+fn at(ld: usize, i: usize, j: usize) -> usize {
+    j * ld + i
+}
+
+/// Element `(i, j)` of op(A) for an `m x k` operand.
+#[inline]
+fn fetch_d(a: &[f64], lda: usize, trans: Transpose, i: usize, j: usize) -> f64 {
+    match trans {
+        Transpose::N => a[at(lda, i, j)],
+        Transpose::T | Transpose::C => a[at(lda, j, i)],
+    }
+}
+
+#[inline]
+fn fetch_z(a: &[Complex64], lda: usize, trans: Transpose, i: usize, j: usize) -> Complex64 {
+    match trans {
+        Transpose::N => a[at(lda, i, j)],
+        Transpose::T => a[at(lda, j, i)],
+        Transpose::C => a[at(lda, j, i)].conj(),
+    }
+}
+
+/// `DGEMM`: `C = alpha * op(A) * op(B) + beta * C`, column-major.
+///
+/// `m, n, k` are the dimensions of the *operation* (`op(A)` is `m x k`);
+/// `lda/ldb/ldc` are the leading dimensions of the stored arrays.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    assert!(ldc >= m.max(1));
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += fetch_d(a, lda, ta, i, p) * fetch_d(b, ldb, tb, p, j);
+            }
+            let cij = &mut c[at(ldc, i, j)];
+            *cij = alpha * acc + beta * *cij;
+        }
+    }
+}
+
+/// `ZGEMM`: complex `C = alpha * op(A) * op(B) + beta * C`, column-major.
+#[allow(clippy::too_many_arguments)]
+pub fn zgemm(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: Complex64,
+    a: &[Complex64],
+    lda: usize,
+    b: &[Complex64],
+    ldb: usize,
+    beta: Complex64,
+    c: &mut [Complex64],
+    ldc: usize,
+) {
+    assert!(ldc >= m.max(1));
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = Complex64::ZERO;
+            for p in 0..k {
+                acc += fetch_z(a, lda, ta, i, p) * fetch_z(b, ldb, tb, p, j);
+            }
+            let cij = &mut c[at(ldc, i, j)];
+            *cij = alpha * acc + beta * *cij;
+        }
+    }
+}
+
+/// `DGEMV`: `y = alpha * op(A) * x + beta * y`.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemv(
+    trans: Transpose,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    let (rows, cols) = match trans {
+        Transpose::N => (m, n),
+        Transpose::T | Transpose::C => (n, m),
+    };
+    for i in 0..rows {
+        let mut acc = 0.0;
+        for j in 0..cols {
+            acc += fetch_d(a, lda, trans, i, j) * x[j];
+        }
+        y[i] = alpha * acc + beta * y[i];
+    }
+}
+
+/// `DAXPY`: `y += alpha * x`.
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `DDOT`.
+pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `DSCAL`: `x *= alpha`.
+pub fn dscal(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// `IDAMAX`: index of the element with the largest absolute value
+/// (0-based; BLAS returns 1-based). Returns 0 for an empty vector.
+pub fn idamax(x: &[f64]) -> usize {
+    x.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.abs().partial_cmp(&b.abs()).expect("no NaNs in idamax"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// `DTRSM` (left, lower, non-transposed, non-unit): solve `L * X = alpha*B`
+/// in place over `B` (`m x n`), with `L` the lower triangle of `a`.
+/// This is the variant the HPL-like solver uses.
+pub fn dtrsm_llnn(
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    for j in 0..n {
+        for i in 0..m {
+            b[at(ldb, i, j)] *= alpha;
+            let bij = b[at(ldb, i, j)];
+            let li = a[at(lda, i, i)];
+            let x = bij / li;
+            b[at(ldb, i, j)] = x;
+            for r in (i + 1)..m {
+                b[at(ldb, r, j)] -= a[at(lda, r, i)] * x;
+            }
+        }
+    }
+}
+
+/// Flop count of a real GEMM (`2mnk`), the standard convention.
+pub fn dgemm_flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Flop count of a complex GEMM (`8mnk`: 4 mul + 4 add per element pair).
+pub fn zgemm_flops(m: usize, n: usize, k: usize) -> f64 {
+    8.0 * m as f64 * n as f64 * k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col_major(rows: usize, data: &[&[f64]]) -> Vec<f64> {
+        // data given row-major for readability; convert
+        let cols = data[0].len();
+        let mut out = vec![0.0; rows * cols];
+        for (i, row) in data.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                out[j * rows + i] = v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dgemm_nn_matches_hand_result() {
+        // A = [1 2; 3 4], B = [5 6; 7 8] → AB = [19 22; 43 50]
+        let a = col_major(2, &[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = col_major(2, &[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut c = vec![0.0; 4];
+        dgemm(Transpose::N, Transpose::N, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+        assert_eq!(c, col_major(2, &[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn dgemm_nt_and_tn() {
+        let a = col_major(2, &[&[1.0, 2.0], &[3.0, 4.0]]);
+        // C = A * A^T = [5 11; 11 25]
+        let mut c = vec![0.0; 4];
+        dgemm(Transpose::N, Transpose::T, 2, 2, 2, 1.0, &a, 2, &a, 2, 0.0, &mut c, 2);
+        assert_eq!(c, col_major(2, &[&[5.0, 11.0], &[11.0, 25.0]]));
+        // C = A^T * A = [10 14; 14 20]
+        dgemm(Transpose::T, Transpose::N, 2, 2, 2, 1.0, &a, 2, &a, 2, 0.0, &mut c, 2);
+        assert_eq!(c, col_major(2, &[&[10.0, 14.0], &[14.0, 20.0]]));
+    }
+
+    #[test]
+    fn dgemm_alpha_beta() {
+        let a = col_major(1, &[&[2.0]]);
+        let b = col_major(1, &[&[3.0]]);
+        let mut c = vec![10.0];
+        dgemm(Transpose::N, Transpose::N, 1, 1, 1, 2.0, &a, 1, &b, 1, 0.5, &mut c, 1);
+        assert_eq!(c, vec![2.0 * 6.0 + 0.5 * 10.0]);
+    }
+
+    #[test]
+    fn zgemm_identity_and_conjugate() {
+        let i2 = vec![Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE];
+        let a = vec![
+            Complex64::new(1.0, 1.0),
+            Complex64::new(2.0, -1.0),
+            Complex64::new(0.0, 3.0),
+            Complex64::new(-1.0, 0.5),
+        ];
+        let mut c = vec![Complex64::ZERO; 4];
+        zgemm(
+            Transpose::N,
+            Transpose::N,
+            2,
+            2,
+            2,
+            Complex64::ONE,
+            &a,
+            2,
+            &i2,
+            2,
+            Complex64::ZERO,
+            &mut c,
+            2,
+        );
+        assert_eq!(c, a);
+
+        // A^H applied to identity gives conjugate transpose entries
+        zgemm(
+            Transpose::C,
+            Transpose::N,
+            2,
+            2,
+            2,
+            Complex64::ONE,
+            &a,
+            2,
+            &i2,
+            2,
+            Complex64::ZERO,
+            &mut c,
+            2,
+        );
+        assert_eq!(c[0], a[0].conj());
+        assert_eq!(c[1], a[2].conj()); // (1,0) of A^H is conj(A[0,1])
+    }
+
+    #[test]
+    fn dgemv_both_orientations() {
+        // A = [1 2; 3 4]
+        let a = col_major(2, &[&[1.0, 2.0], &[3.0, 4.0]]);
+        let x = [1.0, 1.0];
+        let mut y = [0.0, 0.0];
+        dgemv(Transpose::N, 2, 2, 1.0, &a, 2, &x, 0.0, &mut y);
+        assert_eq!(y, [3.0, 7.0]);
+        dgemv(Transpose::T, 2, 2, 1.0, &a, 2, &x, 0.0, &mut y);
+        assert_eq!(y, [4.0, 6.0]);
+    }
+
+    #[test]
+    fn level1_routines() {
+        let x = [1.0, -2.0, 3.0];
+        let mut y = [10.0, 10.0, 10.0];
+        daxpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 6.0, 16.0]);
+        assert_eq!(ddot(&x, &x), 14.0);
+        let mut z = [1.0, 2.0];
+        dscal(-3.0, &mut z);
+        assert_eq!(z, [-3.0, -6.0]);
+        assert_eq!(idamax(&[0.5, -9.0, 3.0]), 1);
+        assert_eq!(idamax(&[]), 0);
+    }
+
+    #[test]
+    fn dtrsm_solves_lower_triangular_system() {
+        // L = [2 0; 1 4], B = L * X with X = [1 2; 3 4] → solve recovers X
+        let l = col_major(2, &[&[2.0, 0.0], &[1.0, 4.0]]);
+        let x_true = col_major(2, &[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut b = vec![0.0; 4];
+        dgemm(Transpose::N, Transpose::N, 2, 2, 2, 1.0, &l, 2, &x_true, 2, 0.0, &mut b, 2);
+        dtrsm_llnn(2, 2, 1.0, &l, 2, &mut b, 2);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flop_counts() {
+        assert_eq!(dgemm_flops(2, 3, 4), 48.0);
+        assert_eq!(zgemm_flops(2, 3, 4), 192.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! A minimal double-precision complex number.
+//!
+//! `zgemm` (the BLAS routine dominating the paper's PARATEC study) and the
+//! CUFFT-like library need complex arithmetic; this 16-byte POD keeps the
+//! workspace free of external numeric crates and matches the memory layout
+//! of Fortran `COMPLEX*16` / CUDA `cuDoubleComplex` (interleaved re, im).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` parts, laid out as `[re, im]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{i theta}` — used by FFT twiddle factors.
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+}
+
+/// Reinterpret a complex slice as interleaved `f64`s (device layout).
+pub fn as_f64s(xs: &[Complex64]) -> Vec<f64> {
+    xs.iter().flat_map(|c| [c.re, c.im]).collect()
+}
+
+/// Rebuild complex values from interleaved `f64`s.
+pub fn from_f64s(xs: &[f64]) -> Vec<Complex64> {
+    assert!(xs.len() % 2 == 0, "interleaved complex data must have even length");
+    xs.chunks_exact(2).map(|c| Complex64::new(c[0], c[1])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex64::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex64::new(4.0, 1.5));
+        assert_eq!(a * Complex64::ONE, a);
+        assert_eq!(a * Complex64::ZERO, Complex64::ZERO);
+        // i^2 = -1
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+    }
+
+    #[test]
+    fn multiplication_matches_hand_computation() {
+        let a = Complex64::new(2.0, 3.0);
+        let b = Complex64::new(4.0, -1.0);
+        // (2+3i)(4-i) = 8 - 2i + 12i - 3i^2 = 11 + 10i
+        assert_eq!(a * b, Complex64::new(11.0, 10.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        let p = a * a.conj();
+        assert!((p.re - 25.0).abs() < 1e-12 && p.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::TAU / 16.0;
+            assert!((Complex64::cis(theta).abs() - 1.0).abs() < 1e-12);
+        }
+        let half_turn = Complex64::cis(std::f64::consts::PI);
+        assert!((half_turn.re + 1.0).abs() < 1e-12 && half_turn.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_roundtrip() {
+        let xs = vec![Complex64::new(1.0, 2.0), Complex64::new(-3.0, 4.0)];
+        assert_eq!(as_f64s(&xs), vec![1.0, 2.0, -3.0, 4.0]);
+        assert_eq!(from_f64s(&as_f64s(&xs)), xs);
+    }
+}

@@ -1,0 +1,149 @@
+//! Reference FFT computational kernel (pure math, no timing).
+//!
+//! An iterative radix-2 Cooley–Tukey transform, shared by the host FFT
+//! ("FFTW" baseline) and the device effect of the CUFFT-like library.
+
+use crate::complex::Complex64;
+
+/// Transform direction, matching `CUFFT_FORWARD` / `CUFFT_INVERSE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FftDirection {
+    Forward,
+    Inverse,
+}
+
+/// In-place radix-2 FFT. `data.len()` must be a power of two.
+///
+/// Follows the CUFFT/FFTW convention: the inverse transform is
+/// **unnormalized** (forward followed by inverse scales by `n`).
+pub fn fft_in_place(data: &mut [Complex64], dir: FftDirection) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT requires a power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // bit-reversal permutation
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = match dir {
+        FftDirection::Forward => -1.0,
+        FftDirection::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Out-of-place convenience.
+pub fn fft(input: &[Complex64], dir: FftDirection) -> Vec<Complex64> {
+    let mut out = input.to_vec();
+    fft_in_place(&mut out, dir);
+    out
+}
+
+/// Flop count of one complex FFT of length `n` (standard `5 n log2 n`).
+pub fn fft_flops(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn impulse_transforms_to_all_ones() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        let y = fft(&x, FftDirection::Forward);
+        assert!(y.iter().all(|&v| close(v, Complex64::ONE)));
+    }
+
+    #[test]
+    fn constant_transforms_to_scaled_impulse() {
+        let x = vec![Complex64::ONE; 16];
+        let y = fft(&x, FftDirection::Forward);
+        assert!(close(y[0], Complex64::new(16.0, 0.0)));
+        assert!(y[1..].iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(std::f64::consts::TAU * k as f64 * t as f64 / n as f64))
+            .collect();
+        let y = fft(&x, FftDirection::Forward);
+        assert!(close(y[k], Complex64::new(n as f64, 0.0)), "bin {k} = {:?}", y[k]);
+        for (i, v) in y.iter().enumerate() {
+            if i != k {
+                assert!(v.abs() < 1e-8, "leakage at bin {i}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_scales_by_n() {
+        let n = 32;
+        let x: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
+        let y = fft(&fft(&x, FftDirection::Forward), FftDirection::Inverse);
+        for (orig, round) in x.iter().zip(&y) {
+            assert!(close(round.scale(1.0 / n as f64), *orig));
+        }
+    }
+
+    #[test]
+    fn parseval_identity_holds() {
+        let n = 128;
+        let x: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64 * 1.3).sin(), (i as f64 * 0.2).cos())).collect();
+        let y = fft(&x, FftDirection::Forward);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-6 * ex);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex64::ZERO; 12];
+        fft_in_place(&mut x, FftDirection::Forward);
+    }
+
+    #[test]
+    fn tiny_lengths_are_trivial() {
+        let mut x = vec![Complex64::new(3.0, 1.0)];
+        fft_in_place(&mut x, FftDirection::Forward);
+        assert_eq!(x[0], Complex64::new(3.0, 1.0));
+        assert_eq!(fft_flops(1), 0.0);
+        assert!(fft_flops(8) > 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Host-side numerical libraries: the "MKL BLAS" and "FFTW" baselines.
+//!
+//! The paper's PARATEC study compares sequential MKL BLAS against CUBLAS
+//! (Fig. 10: switching to CUBLAS improves the runtime from 1976 s to
+//! 1285 s). This module is that baseline: real math from
+//! [`crate::blaskernels`] / [`crate::fftkernels`], with durations priced by
+//! a Nehalem-core compute model against the caller's virtual clock.
+//!
+//! ## Exactness threshold
+//!
+//! Paper-scale operands (e.g. a 2048² `zgemm`) would take minutes of *wall*
+//! time with a reference triple loop, while their *virtual* duration is
+//! milliseconds. Calls whose flop count exceeds
+//! [`HostLibConfig::exact_flops_limit`] therefore charge virtual time but
+//! skip the arithmetic, and report [`ComputeFidelity::Modeled`]. Tests and
+//! examples that check numerics use operand sizes below the limit (where
+//! every result is bit-exact reference math, [`ComputeFidelity::Exact`]).
+
+use crate::blaskernels::{self, Transpose};
+use crate::complex::Complex64;
+use crate::fftkernels::{self, FftDirection};
+use ipm_sim_core::model::CpuComputeModel;
+use ipm_sim_core::SimClock;
+
+/// Whether a call really computed or only charged virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComputeFidelity {
+    /// Results were produced by the reference kernel.
+    Exact,
+    /// Flop count exceeded the exactness threshold: duration charged,
+    /// operands untouched.
+    Modeled,
+}
+
+/// Configuration of the host libraries.
+#[derive(Clone, Copy, Debug)]
+pub struct HostLibConfig {
+    /// CPU compute model (per-rank).
+    pub cpu: CpuComputeModel,
+    /// Achieved fraction of peak for GEMM-shaped work.
+    pub gemm_efficiency: f64,
+    /// Achieved fraction of peak for FFT-shaped work.
+    pub fft_efficiency: f64,
+    /// Above this many flops a call is timing-only (see module docs).
+    pub exact_flops_limit: f64,
+}
+
+impl Default for HostLibConfig {
+    fn default() -> Self {
+        Self {
+            cpu: CpuComputeModel::xeon_5530_core(),
+            gemm_efficiency: 0.85,
+            fft_efficiency: 0.35,
+            exact_flops_limit: 5.0e7,
+        }
+    }
+}
+
+/// Sequential host BLAS bound to a virtual clock ("MKL").
+pub struct HostBlas {
+    clock: SimClock,
+    cfg: HostLibConfig,
+}
+
+impl HostBlas {
+    /// Create a host BLAS charging time to `clock`.
+    pub fn new(clock: SimClock, cfg: HostLibConfig) -> Self {
+        Self { clock, cfg }
+    }
+
+    fn charge(&self, flops: f64, efficiency: f64) -> ComputeFidelity {
+        self.clock.advance(self.cfg.cpu.compute_time(flops, efficiency));
+        if flops <= self.cfg.exact_flops_limit {
+            ComputeFidelity::Exact
+        } else {
+            ComputeFidelity::Modeled
+        }
+    }
+
+    /// `DGEMM` with timing; see [`blaskernels::dgemm`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn dgemm(
+        &self,
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        beta: f64,
+        c: &mut [f64],
+        ldc: usize,
+    ) -> ComputeFidelity {
+        let fid = self.charge(blaskernels::dgemm_flops(m, n, k), self.cfg.gemm_efficiency);
+        if fid == ComputeFidelity::Exact {
+            blaskernels::dgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        }
+        fid
+    }
+
+    /// `ZGEMM` with timing; see [`blaskernels::zgemm`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn zgemm(
+        &self,
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: Complex64,
+        a: &[Complex64],
+        lda: usize,
+        b: &[Complex64],
+        ldb: usize,
+        beta: Complex64,
+        c: &mut [Complex64],
+        ldc: usize,
+    ) -> ComputeFidelity {
+        let fid = self.charge(blaskernels::zgemm_flops(m, n, k), self.cfg.gemm_efficiency);
+        if fid == ComputeFidelity::Exact {
+            blaskernels::zgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        }
+        fid
+    }
+
+    /// `DGEMV` with timing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dgemv(
+        &self,
+        trans: Transpose,
+        m: usize,
+        n: usize,
+        alpha: f64,
+        a: &[f64],
+        lda: usize,
+        x: &[f64],
+        beta: f64,
+        y: &mut [f64],
+    ) -> ComputeFidelity {
+        let fid = self.charge(2.0 * m as f64 * n as f64, self.cfg.gemm_efficiency);
+        if fid == ComputeFidelity::Exact {
+            blaskernels::dgemv(trans, m, n, alpha, a, lda, x, beta, y);
+        }
+        fid
+    }
+
+    /// `DAXPY` with timing. Level-1 calls are always exact (they are
+    /// memory-bound and cheap).
+    pub fn daxpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        self.clock.advance(self.cfg.cpu.compute_time(2.0 * x.len() as f64, 0.3));
+        blaskernels::daxpy(alpha, x, y);
+    }
+
+    /// `DDOT` with timing.
+    pub fn ddot(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.clock.advance(self.cfg.cpu.compute_time(2.0 * x.len() as f64, 0.3));
+        blaskernels::ddot(x, y)
+    }
+
+    /// `DSCAL` with timing.
+    pub fn dscal(&self, alpha: f64, x: &mut [f64]) {
+        self.clock.advance(self.cfg.cpu.compute_time(x.len() as f64, 0.3));
+        blaskernels::dscal(alpha, x);
+    }
+
+    /// `IDAMAX` with timing.
+    pub fn idamax(&self, x: &[f64]) -> usize {
+        self.clock.advance(self.cfg.cpu.compute_time(x.len() as f64, 0.3));
+        blaskernels::idamax(x)
+    }
+
+    /// The bound clock (for tests).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+/// Host FFT bound to a virtual clock ("FFTW").
+pub struct HostFft {
+    clock: SimClock,
+    cfg: HostLibConfig,
+}
+
+impl HostFft {
+    /// Create a host FFT charging time to `clock`.
+    pub fn new(clock: SimClock, cfg: HostLibConfig) -> Self {
+        Self { clock, cfg }
+    }
+
+    /// In-place complex transform with timing.
+    pub fn execute(&self, data: &mut [Complex64], dir: FftDirection) -> ComputeFidelity {
+        let flops = fftkernels::fft_flops(data.len());
+        self.clock.advance(self.cfg.cpu.compute_time(flops, self.cfg.fft_efficiency));
+        if flops <= self.cfg.exact_flops_limit {
+            fftkernels::fft_in_place(data, dir);
+            ComputeFidelity::Exact
+        } else {
+            ComputeFidelity::Modeled
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blas() -> HostBlas {
+        HostBlas::new(SimClock::new(), HostLibConfig::default())
+    }
+
+    #[test]
+    fn dgemm_charges_time_and_computes() {
+        let b = blas();
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // identity
+        let x = vec![3.0, 4.0, 5.0, 6.0];
+        let mut c = vec![0.0; 4];
+        let fid =
+            b.dgemm(Transpose::N, Transpose::N, 2, 2, 2, 1.0, &a, 2, &x, 2, 0.0, &mut c, 2);
+        assert_eq!(fid, ComputeFidelity::Exact);
+        assert_eq!(c, x);
+        assert!(b.clock().now() > 0.0);
+    }
+
+    #[test]
+    fn huge_gemm_is_timing_only() {
+        let b = blas();
+        let n = 4096; // 2*4096^3 ≈ 1.4e11 flops >> limit
+        let a = vec![0.0; 1]; // operands can be tiny: they are not touched
+        let mut c = vec![0.0; 1];
+        let before = b.clock().now();
+        let fid = b.dgemm(Transpose::N, Transpose::N, n, n, n, 1.0, &a, n, &a, n, 0.0, &mut c, n);
+        assert_eq!(fid, ComputeFidelity::Modeled);
+        // 1.37e11 flops at ~8.2 GF/s → tens of seconds of *virtual* time
+        assert!(b.clock().now() - before > 5.0);
+        assert_eq!(c[0], 0.0); // untouched
+    }
+
+    #[test]
+    fn virtual_time_scales_with_problem_size() {
+        let b = blas();
+        let a = vec![0.0; 1];
+        let mut c = vec![0.0; 1];
+        let t0 = b.clock().now();
+        b.dgemm(Transpose::N, Transpose::N, 512, 512, 512, 1.0, &a, 512, &a, 512, 0.0, &mut c, 512);
+        let t1 = b.clock().now();
+        b.dgemm(Transpose::N, Transpose::N, 1024, 1024, 1024, 1.0, &a, 1024, &a, 1024, 0.0, &mut c, 1024);
+        let t2 = b.clock().now();
+        let ratio = (t2 - t1) / (t1 - t0);
+        assert!((ratio - 8.0).abs() < 0.01, "gemm should scale cubically, ratio {ratio}");
+    }
+
+    #[test]
+    fn level1_calls_are_cheap_and_exact() {
+        let b = blas();
+        let mut y = vec![1.0; 100];
+        b.daxpy(2.0, &vec![1.0; 100], &mut y);
+        assert_eq!(y[0], 3.0);
+        assert!(b.clock().now() < 1e-6);
+        assert_eq!(b.ddot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(b.idamax(&[1.0, -5.0, 2.0]), 1);
+        let mut z = vec![2.0];
+        b.dscal(0.5, &mut z);
+        assert_eq!(z, vec![1.0]);
+    }
+
+    #[test]
+    fn host_fft_times_and_computes() {
+        let f = HostFft::new(SimClock::new(), HostLibConfig::default());
+        let mut x = vec![Complex64::ZERO; 64];
+        x[0] = Complex64::ONE;
+        let fid = f.execute(&mut x, FftDirection::Forward);
+        assert_eq!(fid, ComputeFidelity::Exact);
+        assert!((x[5] - Complex64::ONE).abs() < 1e-9);
+    }
+}

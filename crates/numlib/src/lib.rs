@@ -1,0 +1,33 @@
+//! # ipm-numlib
+//!
+//! Numerical libraries for the IPM reproduction, in two tiers:
+//!
+//! * **Host baselines** ([`host`]): sequential "MKL" BLAS and "FFTW" FFT
+//!   running on the CPU compute model — the unaccelerated configuration in
+//!   the paper's PARATEC study.
+//! * **Accelerated libraries** ([`cublas`], [`cufft`]): CUBLAS- and
+//!   CUFFT-like APIs layered over the interposable CUDA seam, including the
+//!   Fortran *thunking* wrappers whose blocking transfer behavior the paper
+//!   analyzes (§IV-D).
+//!
+//! Both tiers share the *reference kernels* ([`blaskernels`],
+//! [`fftkernels`]): real math, tested against hand results and analytic
+//! identities, so the workspace's applications compute genuinely correct
+//! answers wherever problem sizes permit (see `host` docs on the exactness
+//! threshold).
+
+pub mod api;
+pub mod blaskernels;
+pub mod complex;
+pub mod cublas;
+pub mod cufft;
+pub mod fftkernels;
+pub mod host;
+
+pub use api::{BlasApi, FftApi};
+pub use blaskernels::Transpose;
+pub use complex::Complex64;
+pub use cublas::{thunking, CublasContext, DeviceLibConfig};
+pub use cufft::{CufftConfig, CufftContext, FftType, PlanId};
+pub use fftkernels::FftDirection;
+pub use host::{ComputeFidelity, HostBlas, HostFft, HostLibConfig};

@@ -1,0 +1,161 @@
+//! Monotone virtual clocks.
+//!
+//! A [`SimClock`] tracks virtual seconds as an `f64` stored in an
+//! `AtomicU64`. For non-negative IEEE-754 doubles the raw bit pattern is
+//! monotone in the numeric value, so `fetch_max` on the bits implements
+//! "advance the clock to at least `t`" without a lock. This matters because
+//! device timelines are shared between MPI rank threads when several ranks
+//! share one GPU (Section IV-D of the paper runs up to 8 ranks per device).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shareable, monotone virtual clock measured in seconds.
+///
+/// Cloning a `SimClock` yields a handle to the *same* clock (it is an `Arc`
+/// internally); use [`SimClock::new`] for an independent clock.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    bits: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Create a new clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a new clock starting at `t0` seconds.
+    pub fn starting_at(t0: f64) -> Self {
+        assert!(t0 >= 0.0 && t0.is_finite(), "clock origin must be finite and >= 0");
+        Self { bits: Arc::new(AtomicU64::new(t0.to_bits())) }
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Advance the clock by `dt` seconds (must be non-negative) and return
+    /// the new time.
+    ///
+    /// This is the common case on a rank-private clock. It is implemented
+    /// with a CAS loop so it stays correct even if the clock is shared.
+    #[inline]
+    pub fn advance(&self, dt: f64) -> f64 {
+        debug_assert!(dt >= 0.0, "cannot advance a clock backwards (dt = {dt})");
+        let mut cur = self.bits.load(Ordering::Acquire);
+        loop {
+            let next = (f64::from_bits(cur) + dt).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return f64::from_bits(next),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Advance the clock to at least `t` seconds; later times win. Returns
+    /// the resulting time (which may exceed `t` if another thread advanced
+    /// the clock further).
+    ///
+    /// Non-negative doubles compare the same as their bit patterns, so this
+    /// is a plain atomic `fetch_max`.
+    #[inline]
+    pub fn advance_to(&self, t: f64) -> f64 {
+        debug_assert!(t >= 0.0 && t.is_finite());
+        let prev = self.bits.fetch_max(t.to_bits(), Ordering::AcqRel);
+        f64::from_bits(prev.max(t.to_bits()))
+    }
+
+    /// Convenience: wait (in virtual time) until `t`, i.e. `advance_to` but
+    /// returning how long the caller blocked.
+    #[inline]
+    pub fn block_until(&self, t: f64) -> f64 {
+        let before = self.now();
+        self.advance_to(t);
+        (t - before).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        c.advance(1.5);
+        c.advance(0.25);
+        assert!((c.now() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = SimClock::starting_at(10.0);
+        c.advance_to(5.0); // earlier time must not rewind
+        assert_eq!(c.now(), 10.0);
+        c.advance_to(12.0);
+        assert_eq!(c.now(), 12.0);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(3.0);
+        assert_eq!(b.now(), 3.0);
+    }
+
+    #[test]
+    fn block_until_reports_wait() {
+        let c = SimClock::starting_at(1.0);
+        let waited = c.block_until(4.0);
+        assert!((waited - 3.0).abs() < 1e-12);
+        assert_eq!(c.now(), 4.0);
+        // blocking until a past time is free
+        assert_eq!(c.block_until(2.0), 0.0);
+        assert_eq!(c.now(), 4.0);
+    }
+
+    #[test]
+    fn concurrent_advance_never_loses_updates() {
+        let c = SimClock::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(0.001);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!((c.now() - 8.0).abs() < 1e-6, "got {}", c.now());
+    }
+
+    #[test]
+    fn concurrent_advance_to_takes_max() {
+        let c = SimClock::new();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let c = c.clone();
+                thread::spawn(move || c.advance_to(i as f64))
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.now(), 7.0);
+    }
+}

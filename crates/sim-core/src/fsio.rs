@@ -1,0 +1,286 @@
+//! Simulated file I/O.
+//!
+//! IPM's event inventory covers file I/O alongside MPI and CUDA (paper
+//! §II: "recently been extended to cover a number of other domains such as
+//! OpenMP and file-I/O"). This module is the substrate for that domain: an
+//! in-memory shared filesystem with a simple performance model (open/close
+//! latency, stream bandwidth), real byte contents, and an interposable
+//! [`IoApi`] trait the monitoring layer wraps like the stdio calls
+//! (`fopen`/`fread`/`fwrite`/`fclose`) the real tool intercepts.
+
+use crate::clock::SimClock;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// File-I/O failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// Opening a non-existent file for reading.
+    NotFound,
+    /// Using a closed or unknown handle.
+    BadHandle,
+    /// Reading from a write-only handle or vice versa.
+    WrongMode,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsError::NotFound => "no such file",
+            FsError::BadHandle => "bad file handle",
+            FsError::WrongMode => "operation not permitted by open mode",
+        })
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias for file operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Open mode, like `fopen`'s `"r"` / `"w"` / `"a"`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpenMode {
+    Read,
+    Write,
+    Append,
+}
+
+/// An open-file handle (the `FILE*`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FileHandle(u64);
+
+/// Performance model of the (parallel) filesystem.
+#[derive(Clone, Copy, Debug)]
+pub struct FsConfig {
+    /// Metadata latency per open/close (seconds). GPFS-era: ~1 ms.
+    pub open_latency: f64,
+    /// Streaming read bandwidth per client, bytes/s.
+    pub read_bandwidth: f64,
+    /// Streaming write bandwidth per client, bytes/s.
+    pub write_bandwidth: f64,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        Self { open_latency: 1.2e-3, read_bandwidth: 350e6, write_bandwidth: 250e6 }
+    }
+}
+
+struct OpenFile {
+    path: String,
+    mode: OpenMode,
+    cursor: usize,
+}
+
+struct FsInner {
+    files: HashMap<String, Vec<u8>>,
+    open: HashMap<FileHandle, OpenFile>,
+    next: u64,
+}
+
+/// The shared simulated filesystem (one per cluster, like the scratch FS).
+pub struct SimFs {
+    cfg: FsConfig,
+    inner: Mutex<FsInner>,
+}
+
+impl SimFs {
+    /// An empty filesystem with the given performance model.
+    pub fn new(cfg: FsConfig) -> Arc<Self> {
+        Arc::new(Self {
+            cfg,
+            inner: Mutex::new(FsInner { files: HashMap::new(), open: HashMap::new(), next: 1 }),
+        })
+    }
+
+    /// `fopen`: charges metadata latency to `clock`.
+    pub fn open(&self, clock: &SimClock, path: &str, mode: OpenMode) -> FsResult<FileHandle> {
+        clock.advance(self.cfg.open_latency);
+        let mut inner = self.inner.lock();
+        let exists = inner.files.contains_key(path);
+        match mode {
+            OpenMode::Read if !exists => return Err(FsError::NotFound),
+            OpenMode::Write => {
+                inner.files.insert(path.to_owned(), Vec::new());
+            }
+            OpenMode::Append if !exists => {
+                inner.files.insert(path.to_owned(), Vec::new());
+            }
+            _ => {}
+        }
+        let cursor = match mode {
+            OpenMode::Append => inner.files.get(path).map(Vec::len).unwrap_or(0),
+            _ => 0,
+        };
+        let h = FileHandle(inner.next);
+        inner.next += 1;
+        inner.open.insert(h, OpenFile { path: path.to_owned(), mode, cursor });
+        Ok(h)
+    }
+
+    /// `fread`: returns the bytes read (short reads at EOF).
+    pub fn read(&self, clock: &SimClock, h: FileHandle, buf: &mut [u8]) -> FsResult<usize> {
+        let mut inner = self.inner.lock();
+        let of = inner.open.get(&h).ok_or(FsError::BadHandle)?;
+        if of.mode != OpenMode::Read {
+            return Err(FsError::WrongMode);
+        }
+        let (path, cursor) = (of.path.clone(), of.cursor);
+        let data = inner.files.get(&path).ok_or(FsError::NotFound)?;
+        let n = buf.len().min(data.len().saturating_sub(cursor));
+        buf[..n].copy_from_slice(&data[cursor..cursor + n]);
+        inner.open.get_mut(&h).expect("checked").cursor += n;
+        drop(inner);
+        clock.advance(n as f64 / self.cfg.read_bandwidth);
+        Ok(n)
+    }
+
+    /// `fwrite`.
+    pub fn write(&self, clock: &SimClock, h: FileHandle, data: &[u8]) -> FsResult<usize> {
+        let mut inner = self.inner.lock();
+        let of = inner.open.get(&h).ok_or(FsError::BadHandle)?;
+        if of.mode == OpenMode::Read {
+            return Err(FsError::WrongMode);
+        }
+        let (path, cursor) = (of.path.clone(), of.cursor);
+        let file = inner.files.get_mut(&path).ok_or(FsError::NotFound)?;
+        if file.len() < cursor + data.len() {
+            file.resize(cursor + data.len(), 0);
+        }
+        file[cursor..cursor + data.len()].copy_from_slice(data);
+        inner.open.get_mut(&h).expect("checked").cursor += data.len();
+        drop(inner);
+        clock.advance(data.len() as f64 / self.cfg.write_bandwidth);
+        Ok(data.len())
+    }
+
+    /// `fclose`.
+    pub fn close(&self, clock: &SimClock, h: FileHandle) -> FsResult<()> {
+        clock.advance(self.cfg.open_latency * 0.5);
+        match self.inner.lock().open.remove(&h) {
+            Some(_) => Ok(()),
+            None => Err(FsError::BadHandle),
+        }
+    }
+
+    /// Size of a file, if it exists (no timing: test/inspection helper).
+    pub fn size_of(&self, path: &str) -> Option<usize> {
+        self.inner.lock().files.get(path).map(Vec::len)
+    }
+}
+
+/// The interposable stdio-like surface (what IPM's I/O wrappers cover).
+pub trait IoApi: Send + Sync {
+    /// `fopen`.
+    fn fopen(&self, path: &str, mode: OpenMode) -> FsResult<FileHandle>;
+    /// `fread`.
+    fn fread(&self, h: FileHandle, buf: &mut [u8]) -> FsResult<usize>;
+    /// `fwrite`.
+    fn fwrite(&self, h: FileHandle, data: &[u8]) -> FsResult<usize>;
+    /// `fclose`.
+    fn fclose(&self, h: FileHandle) -> FsResult<()>;
+}
+
+/// The bare (unmonitored) binding of a filesystem to one rank's clock.
+pub struct RankFs {
+    pub fs: Arc<SimFs>,
+    pub clock: SimClock,
+}
+
+impl IoApi for RankFs {
+    fn fopen(&self, path: &str, mode: OpenMode) -> FsResult<FileHandle> {
+        self.fs.open(&self.clock, path, mode)
+    }
+    fn fread(&self, h: FileHandle, buf: &mut [u8]) -> FsResult<usize> {
+        self.fs.read(&self.clock, h, buf)
+    }
+    fn fwrite(&self, h: FileHandle, data: &[u8]) -> FsResult<usize> {
+        self.fs.write(&self.clock, h, data)
+    }
+    fn fclose(&self, h: FileHandle) -> FsResult<()> {
+        self.fs.close(&self.clock, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<SimFs>, SimClock) {
+        (SimFs::new(FsConfig::default()), SimClock::new())
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let (fs, clock) = setup();
+        let h = fs.open(&clock, "/scratch/traj.crd", OpenMode::Write).unwrap();
+        fs.write(&clock, h, b"frame-one").unwrap();
+        fs.close(&clock, h).unwrap();
+        let h = fs.open(&clock, "/scratch/traj.crd", OpenMode::Read).unwrap();
+        let mut buf = [0u8; 16];
+        let n = fs.read(&clock, h, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"frame-one");
+        // short read at EOF
+        assert_eq!(fs.read(&clock, h, &mut buf).unwrap(), 0);
+        fs.close(&clock, h).unwrap();
+    }
+
+    #[test]
+    fn append_extends_the_file() {
+        let (fs, clock) = setup();
+        let h = fs.open(&clock, "f", OpenMode::Write).unwrap();
+        fs.write(&clock, h, b"aaa").unwrap();
+        fs.close(&clock, h).unwrap();
+        let h = fs.open(&clock, "f", OpenMode::Append).unwrap();
+        fs.write(&clock, h, b"bbb").unwrap();
+        fs.close(&clock, h).unwrap();
+        assert_eq!(fs.size_of("f"), Some(6));
+        // write mode truncates
+        let h = fs.open(&clock, "f", OpenMode::Write).unwrap();
+        fs.close(&clock, h).unwrap();
+        assert_eq!(fs.size_of("f"), Some(0));
+    }
+
+    #[test]
+    fn io_charges_virtual_time() {
+        let (fs, clock) = setup();
+        let before = clock.now();
+        let h = fs.open(&clock, "big", OpenMode::Write).unwrap();
+        let open_cost = clock.now() - before;
+        assert!(open_cost >= 1e-3);
+        let before = clock.now();
+        fs.write(&clock, h, &vec![0u8; 250_000_000]).unwrap();
+        let write_cost = clock.now() - before;
+        assert!((write_cost - 1.0).abs() < 0.05, "250 MB at 250 MB/s: {write_cost}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (fs, clock) = setup();
+        assert_eq!(fs.open(&clock, "nope", OpenMode::Read).unwrap_err(), FsError::NotFound);
+        let h = fs.open(&clock, "f", OpenMode::Write).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read(&clock, h, &mut buf).unwrap_err(), FsError::WrongMode);
+        fs.close(&clock, h).unwrap();
+        assert_eq!(fs.close(&clock, h).unwrap_err(), FsError::BadHandle);
+        assert_eq!(fs.write(&clock, h, b"x").unwrap_err(), FsError::BadHandle);
+    }
+
+    #[test]
+    fn filesystem_is_shared_between_clocks() {
+        let (fs, clock_a) = setup();
+        let clock_b = SimClock::new();
+        let h = fs.open(&clock_a, "shared", OpenMode::Write).unwrap();
+        fs.write(&clock_a, h, b"from-a").unwrap();
+        fs.close(&clock_a, h).unwrap();
+        let rank_b = RankFs { fs: fs.clone(), clock: clock_b.clone() };
+        let h = rank_b.fopen("shared", OpenMode::Read).unwrap();
+        let mut buf = [0u8; 6];
+        rank_b.fread(h, &mut buf).unwrap();
+        assert_eq!(&buf, b"from-a");
+        // only B's clock advanced for B's reads
+        assert!(clock_b.now() > 0.0);
+    }
+}

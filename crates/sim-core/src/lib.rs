@@ -1,0 +1,32 @@
+//! # ipm-sim-core
+//!
+//! The simulation substrate shared by every other crate in the `ipm-rs`
+//! workspace: a monotone **virtual clock**, a deterministic **RNG**, the
+//! **noise model** used to emulate run-to-run variability on a shared
+//! cluster, simple **cost models** (latency/bandwidth transfers, log-tree
+//! collectives), and small **statistics** helpers (running min/avg/max,
+//! histograms).
+//!
+//! ## Why virtual time
+//!
+//! The paper measures applications on real hardware (NERSC Dirac). We have
+//! no GPU and no interconnect, so every duration in this reproduction is
+//! *virtual*: operations advance a per-rank [`clock::SimClock`] by modeled
+//! amounts. Blocking semantics (a synchronous `cudaMemcpy` waiting for an
+//! outstanding kernel, an `MPI_Allreduce` waiting for the slowest rank) are
+//! preserved exactly, which is what the paper's monitoring methodology
+//! observes. Virtual time makes every experiment deterministic and lets the
+//! full evaluation run in milliseconds of wall time.
+
+pub mod clock;
+pub mod fsio;
+pub mod model;
+pub mod noise;
+pub mod rng;
+pub mod stats;
+pub mod units;
+
+pub use clock::SimClock;
+pub use noise::NoiseModel;
+pub use rng::SimRng;
+pub use stats::{Histogram, RunningStats};

@@ -1,0 +1,253 @@
+//! Reusable analytic cost models.
+//!
+//! Both substrate simulators (GPU and MPI) price their operations with the
+//! same two primitives:
+//!
+//! * [`TransferModel`] — the classic α+β model: a fixed latency plus a
+//!   size-proportional term. Used for PCIe transfers and network messages.
+//! * [`collective_cost`] — log-tree / linear cost formulas for the MPI
+//!   collectives the paper's applications exercise.
+//!
+//! The default constants are calibrated to the paper's testbed (NERSC Dirac:
+//! PCIe gen2 x16 to a Tesla C2050, QDR InfiniBand between nodes) — close
+//! enough that the *shapes* of the evaluation figures come out right; see
+//! `EXPERIMENTS.md` for the calibration notes.
+
+/// Latency/bandwidth (α + n·β) transfer cost model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferModel {
+    /// Fixed per-operation latency in seconds.
+    pub latency: f64,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl TransferModel {
+    /// Construct a model; bandwidth must be positive.
+    pub fn new(latency: f64, bandwidth: f64) -> Self {
+        assert!(latency >= 0.0 && bandwidth > 0.0);
+        Self { latency, bandwidth }
+    }
+
+    /// Time in seconds to move `bytes` bytes.
+    #[inline]
+    pub fn time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// PCIe gen2 x16 host→device with pageable host memory (Dirac-era):
+    /// ~10 µs launch latency, ~3.3 GB/s effective.
+    pub fn pcie_h2d_pageable() -> Self {
+        Self::new(10e-6, 3.3e9)
+    }
+
+    /// PCIe gen2 x16 device→host with pageable host memory: slightly slower
+    /// than H2D on Fermi-era systems.
+    pub fn pcie_d2h_pageable() -> Self {
+        Self::new(10e-6, 3.0e9)
+    }
+
+    /// PCIe with pinned (page-locked) host memory: ~5.8 GB/s both ways.
+    pub fn pcie_pinned() -> Self {
+        Self::new(8e-6, 5.8e9)
+    }
+
+    /// On-device (GDDR5) copy bandwidth for device→device transfers.
+    pub fn device_local() -> Self {
+        Self::new(3e-6, 90e9)
+    }
+
+    /// QDR InfiniBand point-to-point: ~1.7 µs latency, ~3.2 GB/s.
+    pub fn qdr_infiniband() -> Self {
+        Self::new(1.7e-6, 3.2e9)
+    }
+
+    /// Intra-node shared-memory MPI transport.
+    pub fn shared_memory() -> Self {
+        Self::new(0.4e-6, 6.0e9)
+    }
+}
+
+/// The collective operations priced by [`collective_cost`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Gather,
+    Allgather,
+    Scatter,
+    Alltoall,
+}
+
+/// Cost (seconds beyond the synchronization point) of a collective over
+/// `nranks` ranks moving `bytes` per rank, on a network described by `net`.
+///
+/// Formulas are the standard ones from the MPI performance literature
+/// (binomial trees for broadcast/reduction, linear root-bound gathers,
+/// pairwise exchange for all-to-all). The important qualitative property for
+/// the paper's Fig. 10 is that **Gather is linear in `nranks` at the root**,
+/// which is why `MPI_Gather` blows up for PARATEC at 256 processes.
+pub fn collective_cost(kind: CollectiveKind, nranks: usize, bytes: u64, net: &TransferModel) -> f64 {
+    assert!(nranks > 0);
+    if nranks == 1 {
+        // self-collectives degenerate to a local copy
+        return match kind {
+            CollectiveKind::Barrier => 0.0,
+            _ => net.latency,
+        };
+    }
+    let p = nranks as f64;
+    let log_p = p.log2().ceil();
+    let n = bytes as f64;
+    let beta = 1.0 / net.bandwidth;
+    match kind {
+        CollectiveKind::Barrier => log_p * net.latency,
+        CollectiveKind::Bcast => log_p * (net.latency + n * beta),
+        // reduction: tree latency + per-hop transfer + a small compute term
+        CollectiveKind::Reduce | CollectiveKind::Allreduce => {
+            let gamma = 0.4e-9; // seconds per reduced byte (SIMD add)
+            let allreduce_extra = if kind == CollectiveKind::Allreduce { 1.0 } else { 0.0 };
+            (log_p + allreduce_extra) * net.latency + log_p * n * (beta + gamma)
+        }
+        // root receives (p-1) contributions serially: the linear-in-p term
+        CollectiveKind::Gather | CollectiveKind::Scatter => (p - 1.0) * (net.latency + n * beta),
+        CollectiveKind::Allgather => log_p * net.latency + (p - 1.0) * n * beta,
+        CollectiveKind::Alltoall => (p - 1.0) * (net.latency + n * beta),
+    }
+}
+
+/// Fermi-era GPU compute model used by the kernel cost helpers.
+///
+/// A Tesla C2050 peaks at ~515 GFlop/s double precision and ~144 GB/s
+/// device-memory bandwidth; a kernel is priced by the roofline maximum of
+/// its flop time and its memory time plus a fixed launch/drain overhead.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuComputeModel {
+    /// Peak double-precision flops per second.
+    pub flops: f64,
+    /// Device memory bandwidth in bytes per second.
+    pub mem_bandwidth: f64,
+    /// Fixed per-kernel overhead (scheduling, drain) in seconds.
+    pub kernel_overhead: f64,
+}
+
+impl GpuComputeModel {
+    /// NVIDIA Tesla C2050 ("Fermi"), the Dirac GPU.
+    pub fn tesla_c2050() -> Self {
+        Self { flops: 515e9, mem_bandwidth: 144e9, kernel_overhead: 4e-6 }
+    }
+
+    /// Roofline duration of a kernel doing `flops` floating-point operations
+    /// over `bytes` of device traffic at the given `efficiency` (0..=1] of
+    /// peak.
+    pub fn kernel_time(&self, flops: f64, bytes: f64, efficiency: f64) -> f64 {
+        assert!(efficiency > 0.0 && efficiency <= 1.0);
+        let compute = flops / (self.flops * efficiency);
+        let memory = bytes / (self.mem_bandwidth * efficiency);
+        self.kernel_overhead + compute.max(memory)
+    }
+}
+
+/// Host (Nehalem-era Xeon) compute model for CPU-side numerical work,
+/// used to price the MKL-style host BLAS baseline in the PARATEC study.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuComputeModel {
+    /// Sustained flops per second for a single MPI rank (one core running
+    /// threaded-but-shared MKL gets roughly one core's worth in the paper's
+    /// one-rank-per-core configuration).
+    pub flops: f64,
+}
+
+impl CpuComputeModel {
+    /// One core of an Intel Xeon 5530 (2.4 GHz Nehalem, 4 DP flops/cycle).
+    pub fn xeon_5530_core() -> Self {
+        Self { flops: 9.6e9 }
+    }
+
+    /// Duration of `flops` floating-point operations at `efficiency` of peak.
+    pub fn compute_time(&self, flops: f64, efficiency: f64) -> f64 {
+        assert!(efficiency > 0.0 && efficiency <= 1.0);
+        flops / (self.flops * efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_affine() {
+        let m = TransferModel::new(1e-5, 1e9);
+        assert!((m.time(0) - 1e-5).abs() < 1e-15);
+        let t1 = m.time(1_000_000);
+        assert!((t1 - (1e-5 + 1e-3)).abs() < 1e-12);
+        // doubling bytes more than doubles nothing, strictly increases
+        assert!(m.time(2_000_000) > t1);
+    }
+
+    #[test]
+    fn pinned_beats_pageable() {
+        let n = 64 << 20;
+        assert!(TransferModel::pcie_pinned().time(n) < TransferModel::pcie_h2d_pageable().time(n));
+    }
+
+    #[test]
+    fn gather_is_linear_bcast_is_logarithmic() {
+        let net = TransferModel::qdr_infiniband();
+        let g64 = collective_cost(CollectiveKind::Gather, 64, 8192, &net);
+        let g256 = collective_cost(CollectiveKind::Gather, 256, 8192, &net);
+        let b64 = collective_cost(CollectiveKind::Bcast, 64, 8192, &net);
+        let b256 = collective_cost(CollectiveKind::Bcast, 256, 8192, &net);
+        // gather scales ~4x for 4x ranks; bcast only by log ratio (8/6)
+        assert!(g256 / g64 > 3.5, "gather ratio {}", g256 / g64);
+        assert!(b256 / b64 < 1.5, "bcast ratio {}", b256 / b64);
+    }
+
+    #[test]
+    fn allreduce_costs_more_than_reduce() {
+        let net = TransferModel::qdr_infiniband();
+        let r = collective_cost(CollectiveKind::Reduce, 128, 4096, &net);
+        let ar = collective_cost(CollectiveKind::Allreduce, 128, 4096, &net);
+        assert!(ar > r);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_cheap() {
+        let net = TransferModel::qdr_infiniband();
+        for kind in [
+            CollectiveKind::Barrier,
+            CollectiveKind::Bcast,
+            CollectiveKind::Allreduce,
+            CollectiveKind::Gather,
+            CollectiveKind::Alltoall,
+        ] {
+            assert!(collective_cost(kind, 1, 1 << 20, &net) <= net.latency);
+        }
+    }
+
+    #[test]
+    fn roofline_picks_binding_resource() {
+        let gpu = GpuComputeModel::tesla_c2050();
+        // compute bound: many flops, no memory
+        let t_c = gpu.kernel_time(515e9, 0.0, 1.0);
+        assert!((t_c - (1.0 + 4e-6)).abs() < 1e-5);
+        // memory bound: no flops, lots of bytes
+        let t_m = gpu.kernel_time(0.0, 144e9, 1.0);
+        assert!((t_m - (1.0 + 4e-6)).abs() < 1e-5);
+        // overhead floors tiny kernels
+        assert!(gpu.kernel_time(1.0, 1.0, 1.0) >= gpu.kernel_overhead);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_big_gemm() {
+        // sanity for the PARATEC experiment: a large zgemm is much faster on
+        // the device model than on one Nehalem core
+        let n = 2048f64;
+        let flops = 8.0 * n * n * n; // complex gemm
+        let gpu = GpuComputeModel::tesla_c2050().kernel_time(flops, 3.0 * 16.0 * n * n, 0.6);
+        let cpu = CpuComputeModel::xeon_5530_core().compute_time(flops, 0.85);
+        assert!(cpu / gpu > 5.0, "cpu {cpu} gpu {gpu}");
+    }
+}

@@ -1,0 +1,113 @@
+//! System-noise model.
+//!
+//! Section IV-B of the paper performs an *ensemble study*: 120 runs of HPL
+//! with IPM and 120 without, showing that IPM's runtime dilatation (~0.21%)
+//! is smaller than the natural run-to-run variation caused by "system load,
+//! noise and jitter" on a shared cluster. To reproduce that experiment we
+//! need a controllable stand-in for the cluster's variability.
+//!
+//! The model is multiplicative log-normal: a run whose noise-free virtual
+//! duration is `T` observes `T * exp(N(mu, sigma))`, with `mu` chosen so the
+//! multiplier has unit mean (`mu = -sigma^2 / 2`). Log-normal noise is the
+//! standard choice for OS-jitter-dominated run-time distributions: it is
+//! positive, right-skewed, and multiplicative — long runs see proportionally
+//! more interference. A per-event additive jitter term models fine-grained
+//! perturbation (e.g. the µs-scale spread of CUDA event timestamps).
+
+use crate::rng::SimRng;
+
+/// Parameters of the cluster noise model.
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseModel {
+    /// Standard deviation of the log multiplier applied to whole-run
+    /// durations. `0.0` disables run-level noise. The paper's Fig. 8
+    /// histogram spans roughly ±1% around the mean, i.e. `sigma ~ 0.004`.
+    pub run_sigma: f64,
+    /// Half-width (seconds) of the uniform per-event jitter. Models
+    /// timestamping granularity and PCIe/OS scheduling wiggle on individual
+    /// operations. Typical: a few microseconds.
+    pub event_jitter: f64,
+}
+
+impl NoiseModel {
+    /// A noiseless model: every duration is exactly its modeled value.
+    /// Used by all deterministic unit tests.
+    pub const QUIET: NoiseModel = NoiseModel { run_sigma: 0.0, event_jitter: 0.0 };
+
+    /// Noise calibrated to the paper's Dirac ensemble study (Fig. 8):
+    /// run-to-run spread around ±0.5–1%, per-event jitter of ~2 µs.
+    pub const DIRAC: NoiseModel = NoiseModel { run_sigma: 0.004, event_jitter: 2.0e-6 };
+
+    /// Multiplier to apply to a whole-run duration. Unit mean.
+    pub fn run_multiplier(&self, rng: &mut SimRng) -> f64 {
+        if self.run_sigma == 0.0 {
+            return 1.0;
+        }
+        let mu = -self.run_sigma * self.run_sigma / 2.0;
+        rng.lognormal(mu, self.run_sigma)
+    }
+
+    /// Perturb a single operation duration `d` (seconds). The result is
+    /// clamped to be non-negative; jitter is uniform in
+    /// `[-event_jitter, +event_jitter]`.
+    pub fn perturb_event(&self, d: f64, rng: &mut SimRng) -> f64 {
+        if self.event_jitter == 0.0 {
+            return d;
+        }
+        (d + rng.uniform_in(-self.event_jitter, self.event_jitter)).max(0.0)
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::QUIET
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_model_is_identity() {
+        let mut rng = SimRng::new(1);
+        assert_eq!(NoiseModel::QUIET.run_multiplier(&mut rng), 1.0);
+        assert_eq!(NoiseModel::QUIET.perturb_event(0.5, &mut rng), 0.5);
+    }
+
+    #[test]
+    fn run_multiplier_has_unit_mean() {
+        let m = NoiseModel { run_sigma: 0.05, event_jitter: 0.0 };
+        let mut rng = SimRng::new(2);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| m.run_multiplier(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.002, "mean = {mean}");
+    }
+
+    #[test]
+    fn event_perturbation_stays_nonnegative_and_bounded() {
+        let m = NoiseModel { run_sigma: 0.0, event_jitter: 1e-6 };
+        let mut rng = SimRng::new(3);
+        for _ in 0..10_000 {
+            let d = m.perturb_event(2e-6, &mut rng);
+            assert!(d >= 0.0);
+            assert!(d <= 3.0001e-6);
+        }
+        // a zero-duration event can only grow or stay zero
+        for _ in 0..1000 {
+            assert!(m.perturb_event(0.0, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dirac_spread_matches_fig8_scale() {
+        // the calibrated model should put the vast majority of runs within
+        // +-1.5% of the mean, like the paper's histogram
+        let mut rng = SimRng::new(4);
+        let within = (0..10_000)
+            .map(|_| NoiseModel::DIRAC.run_multiplier(&mut rng))
+            .filter(|m| (m - 1.0).abs() < 0.015)
+            .count();
+        assert!(within > 9_900, "within = {within}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Deterministic random numbers for the simulation.
+//!
+//! Every stochastic element of the reproduction (event-bracketing jitter,
+//! system noise, workload imbalance) is drawn from a [`SimRng`] seeded from
+//! the experiment configuration, so that every table and figure regenerates
+//! bit-identically. The generator is SplitMix64 — tiny, fast, and with
+//! well-understood statistical quality for simulation purposes (it is the
+//! recommended seeder for the xoshiro family).
+
+/// A 64-bit SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Create a generator from a seed. Two generators with the same seed
+    /// produce identical streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derive an independent child stream, e.g. one per MPI rank. Children
+    /// with distinct `salt` values are decorrelated.
+    pub fn fork(&self, salt: u64) -> Self {
+        // Mix the salt through one SplitMix64 step of a copied state so the
+        // parent stream is not consumed.
+        let mut child = Self { state: self.state ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) };
+        child.next_u64();
+        child
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform double in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Uses rejection to avoid modulo bias.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Standard normal via Box–Muller (one value per call; the twin is
+    /// discarded for simplicity — throughput is irrelevant here).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE); // (0, 1]
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with explicit mean and standard deviation.
+    #[inline]
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+
+    /// Log-normal: `exp(N(mu, sigma))`. Used by the system-noise model —
+    /// noise on shared clusters is multiplicative and right-skewed.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Exponential with the given rate.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        -(1.0 - self.uniform()).ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let root = SimRng::new(7);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SimRng::new(1);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut r = SimRng::new(3);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[r.below(5) as usize] += 1;
+        }
+        for &c in &counts {
+            // each bucket expects 10_000; allow 5% deviation
+            assert!((c as i64 - 10_000).abs() < 500, "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::new(9);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = r.normal();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = SimRng::new(11);
+        for _ in 0..1000 {
+            assert!(r.lognormal(0.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::new(13);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Small statistics containers used across the workspace.
+//!
+//! [`RunningStats`] mirrors the per-entry record of IPM's performance data
+//! hash table (count, total, min, max — Fig. 1 of the paper). [`Histogram`]
+//! supports the ensemble study of Fig. 8.
+
+/// Count / total / min / max accumulator — one hash-table entry's statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunningStats {
+    pub count: u64,
+    pub total: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self { count: 0, total: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl RunningStats {
+    /// Fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.total += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Mean of the recorded observations, or 0 when empty (IPM reports
+    /// zero-count entries as zeros in the banner).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total / self.count as f64
+        }
+    }
+
+    /// Merge another accumulator into this one (cross-rank aggregation).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Fixed-bin histogram over a closed interval.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Observations falling outside `[lo, hi]`.
+    pub outliers: u64,
+    values: RunningStats,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbins` equal-width bins over `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo && nbins > 0);
+        Self { lo, hi, bins: vec![0; nbins], outliers: 0, values: RunningStats::new() }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.values.record(v);
+        if v < self.lo || v > self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// The bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Summary statistics over *all* observations (including outliers).
+    pub fn stats(&self) -> &RunningStats {
+        &self.values
+    }
+
+    /// Total recorded observations including outliers.
+    pub fn count(&self) -> u64 {
+        self.values.count
+    }
+
+    /// Render as rows of `bin_lo  count` with a proportional ASCII bar —
+    /// this is the textual analogue of the paper's Fig. 8 plot.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width).div_ceil(peak as usize).min(width));
+            out.push_str(&format!("{:>10.3} | {:>4} | {}\n", self.bin_lo(i), c, bar));
+        }
+        out
+    }
+}
+
+/// Sample standard deviation of a slice (n-1 denominator); 0 for n < 2.
+pub fn sample_std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_tracks_extremes() {
+        let mut s = RunningStats::new();
+        for v in [3.0, 1.0, 2.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_mean_is_zero() {
+        assert_eq!(RunningStats::new().mean(), 0.0);
+        assert!(RunningStats::new().is_empty());
+    }
+
+    #[test]
+    fn merge_combines_disjoint_streams() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        a.record(1.0);
+        a.record(2.0);
+        b.record(10.0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.max, 10.0);
+        assert_eq!(a.min, 1.0);
+        assert!((a.total - 13.0).abs() < 1e-12);
+        // merging an empty accumulator is a no-op
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [0.5, 1.5, 1.6, 9.99, -1.0, 11.0] {
+            h.record(v);
+        }
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_upper_edge_lands_in_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(1.0);
+        assert_eq!(h.bins()[3], 1);
+        assert_eq!(h.outliers, 0);
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        h.record(0.1);
+        let text = h.render_ascii(20);
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn std_dev_matches_hand_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        // known sample sd of this classic dataset = 2.138...
+        assert!((sample_std_dev(&xs) - 2.13809).abs() < 1e-4);
+        assert_eq!(sample_std_dev(&[1.0]), 0.0);
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+    }
+}

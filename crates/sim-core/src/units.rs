@@ -1,0 +1,64 @@
+//! Formatting helpers for the IPM banner and reports.
+
+/// Format a duration in seconds the way IPM's banner does: two decimals for
+/// the `[time]` column.
+pub fn fmt_secs(t: f64) -> String {
+    format!("{:.2}", t + 0.0) // +0.0 normalizes -0.0
+}
+
+/// Format seconds with microsecond resolution (used by the timeline and the
+/// accuracy table, which report sub-millisecond kernels).
+pub fn fmt_secs_precise(t: f64) -> String {
+    format!("{t:.6}")
+}
+
+/// Format a byte count with a binary-unit suffix (`B`, `KiB`, `MiB`, `GiB`).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+/// Format gigabytes with two decimals, as in the banner's `mem [GB]` row.
+pub fn fmt_gb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e9)
+}
+
+/// Percentage with two decimals, as in the banner's `<%wall>` column.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.2}", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_formats() {
+        assert_eq!(fmt_secs(2.433), "2.43");
+        assert_eq!(fmt_secs_precise(0.0000015), "0.000002");
+    }
+
+    #[test]
+    fn bytes_pick_sensible_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.00 MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.00 GiB");
+    }
+
+    #[test]
+    fn pct_and_gb() {
+        assert_eq!(fmt_pct(0.6771), "67.71");
+        assert_eq!(fmt_gb(4_410_000_000), "4.41");
+    }
+}

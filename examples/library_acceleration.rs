@@ -1,0 +1,77 @@
+//! Monitor accelerated numerical libraries (the PARATEC workflow).
+//!
+//! §III-D of the paper: developers exploring GPUs by re-linking against
+//! CUBLAS need performance data in terms of the *library* calls. This
+//! example multiplies complex matrices through the thunking CUBLAS
+//! wrappers under IPM and shows (a) the cublas* entries with operand
+//! sizes, (b) the library's *internal* CUDA calls — intercepted too, as
+//! `LD_PRELOAD` composes — and (c) the transfer-vs-compute breakdown that
+//! motivated the paper's PARATEC analysis.
+//!
+//! ```text
+//! cargo run --example library_acceleration
+//! ```
+
+use ipm_repro::gpu::{CudaApi, GpuConfig, GpuRuntime};
+use ipm_repro::ipm::{Ipm, IpmConfig, IpmCuda};
+use ipm_repro::numlib::{thunking, Complex64, CublasContext, DeviceLibConfig, Transpose};
+use std::sync::Arc;
+
+fn main() {
+    // monitored stack: IPM around CUDA, CUBLAS built over the monitored API
+    let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+    let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
+    ipm.set_metadata(0, 1, "dirac03", "paratec-like");
+    let cuda: Arc<dyn CudaApi> = Arc::new(IpmCuda::new(ipm.clone(), rt));
+    let blas = CublasContext::init(cuda.clone(), DeviceLibConfig::default());
+
+    // a few thunking zgemms, like a Fortran code linked with the wrappers
+    let n = 48;
+    let a: Vec<Complex64> =
+        (0..n * n).map(|i| Complex64::new((i % 13) as f64, -((i % 7) as f64))).collect();
+    let b: Vec<Complex64> =
+        (0..n * n).map(|i| Complex64::new(1.0 / (1 + i % 5) as f64, 0.25)).collect();
+    let mut c = vec![Complex64::ZERO; n * n];
+    for _ in 0..4 {
+        thunking::zgemm(
+            &blas,
+            Transpose::N,
+            Transpose::N,
+            n,
+            n,
+            n,
+            Complex64::ONE,
+            &a,
+            n,
+            &b,
+            n,
+            Complex64::ZERO,
+            &mut c,
+            n,
+        )
+        .expect("zgemm");
+    }
+    println!("C[0] = {:?} (real math through the device library)\n", c[0]);
+
+    let profile = ipm.profile();
+    println!("library-level view (what the thunking wrapper costs):");
+    for name in ["cudaMemcpy(H2D)", "cudaMemcpy(D2H)", "cudaLaunch", "cudaMalloc", "cudaFree"] {
+        println!(
+            "  {:<18} {:>3} calls  {:>9.6} s",
+            name,
+            profile.count_of(name),
+            profile.time_of(name)
+        );
+    }
+    let transfers = profile.time_of("cudaMemcpy(H2D)") + profile.time_of("cudaMemcpy(D2H)");
+    let kernel = profile.time_of("@CUDA_EXEC_STRM00");
+    println!("\ntransfer time {transfers:.6} s vs zgemm kernel time {kernel:.6} s");
+    println!(
+        "(the paper's PARATEC finding: for thunking-wrapper usage the\n\
+         blocking transfers dwarf the accelerated compute — the profile\n\
+         points straight at overlap/direct-interface tuning)"
+    );
+
+    let breakdown = profile.kernel_breakdown();
+    println!("\nGPU kernels seen inside the library: {:?}", breakdown[0].0);
+}

@@ -1,0 +1,19 @@
+//! `ipm-repro` — umbrella crate for the IPM GPU-cluster monitoring reproduction.
+//!
+//! This crate re-exports the public APIs of all workspace members so that the
+//! examples and integration tests can exercise the whole stack through a
+//! single dependency, the same way a downstream user would consume a released
+//! `ipm` package.
+//!
+//! The reproduced paper is *"Comprehensive Performance Monitoring for GPU
+//! Cluster Systems"* (Fürlinger, Wright, Skinner — IPPS/IPDPS 2011). See
+//! `DESIGN.md` at the repository root for the system inventory and the
+//! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use ipm_apps as apps;
+pub use ipm_core as ipm;
+pub use ipm_gpu_sim as gpu;
+pub use ipm_interpose as interpose;
+pub use ipm_mpi_sim as mpi;
+pub use ipm_numlib as numlib;
+pub use ipm_sim_core as sim;

@@ -1,0 +1,347 @@
+//! Property-based tests over the core data structures and invariants.
+
+use ipm_repro::ipm::{from_xml, to_xml, EventSignature, PerfTable, ProfileEntry, RankProfile};
+use ipm_repro::numlib::{blaskernels, fftkernels, Complex64, FftDirection, Transpose};
+use ipm_repro::sim::{RunningStats, SimClock, SimRng};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Performance hash table vs a reference model
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// PerfTable agrees with a naive HashMap model for any update stream.
+    #[test]
+    fn perf_table_matches_reference_model(
+        updates in prop::collection::vec(
+            ((0u8..6), (0u64..4), (0u16..3), 0.0f64..10.0),
+            1..200,
+        )
+    ) {
+        let names = ["cudaMemcpy(D2H)", "cudaLaunch", "MPI_Send", "@CUDA_HOST_IDLE", "cublasZgemm", "cufftExecZ2Z"];
+        let table = PerfTable::new();
+        let mut model: std::collections::HashMap<(u8, u64, u16), RunningStats> =
+            std::collections::HashMap::new();
+        for &(n, bytes, region, dur) in &updates {
+            let sig = EventSignature::call(names[n as usize], bytes).in_region(region);
+            table.update(&sig, dur);
+            model.entry((n, bytes, region)).or_default().record(dur);
+        }
+        prop_assert_eq!(table.len(), model.len());
+        for ((n, bytes, region), want) in model {
+            let sig = EventSignature::call(names[n as usize], bytes).in_region(region);
+            let got = table.get(&sig).expect("entry exists");
+            prop_assert_eq!(got.count, want.count);
+            prop_assert!((got.total - want.total).abs() < 1e-9);
+            prop_assert_eq!(got.min, want.min);
+            prop_assert_eq!(got.max, want.max);
+        }
+    }
+
+    /// Capacity caps are respected for arbitrary shapes.
+    #[test]
+    fn perf_table_never_exceeds_capacity(cap in 1usize..32, shards in 1usize..8, n in 0u64..200) {
+        let table = PerfTable::with_shape(cap, shards);
+        for i in 0..n {
+            table.update(&EventSignature::call("x", i), 0.5);
+        }
+        prop_assert!(table.len() <= cap);
+        prop_assert_eq!(table.len() as u64 + table.overflow(), n.min(u64::MAX));
+    }
+}
+
+// ---------------------------------------------------------------------
+// XML round trip for arbitrary profiles
+// ---------------------------------------------------------------------
+
+fn arb_profile() -> impl Strategy<Value = RankProfile> {
+    let entry = (
+        "[a-zA-Z@_()<>&\"0-9]{1,24}",
+        prop::option::of("[a-z_]{1,16}"),
+        any::<u32>(),
+        0u16..4,
+        1u64..1000,
+        0.0f64..100.0,
+    )
+        .prop_map(|(name, detail, bytes, region, count, total)| {
+            let mut stats = RunningStats::new();
+            for i in 0..count.min(5) {
+                stats.record(total / (i + 1) as f64);
+            }
+            ProfileEntry { name, detail, bytes: bytes as u64, region, stats }
+        });
+    (
+        0usize..512,
+        "[ -~]{0,40}",
+        prop::collection::vec(entry, 0..20),
+        0.0f64..1e5,
+    )
+        .prop_map(|(rank, command, entries, wallclock)| RankProfile {
+            rank,
+            nranks: rank + 1,
+            host: format!("dirac{:02}", rank % 48),
+            command,
+            wallclock,
+            regions: vec!["<program>".to_owned(), "solve & report".to_owned()],
+            entries,
+            dropped_events: rank as u64,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Any profile round-trips exactly through the XML dialect.
+    #[test]
+    fn xml_roundtrip_is_identity(profile in arb_profile()) {
+        let xml = to_xml(&profile);
+        let back = from_xml(&xml).expect("parse");
+        prop_assert_eq!(back, profile);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Numerics: FFT and GEMM invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Forward-then-inverse FFT recovers the signal (scaled by n).
+    #[test]
+    fn fft_roundtrip(signal in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..6)) {
+        // extend to the next power of two
+        let n = signal.len().next_power_of_two().max(2);
+        let mut data: Vec<Complex64> =
+            signal.iter().map(|&(re, im)| Complex64::new(re, im)).collect();
+        data.resize(n, Complex64::ZERO);
+        let orig = data.clone();
+        fftkernels::fft_in_place(&mut data, FftDirection::Forward);
+        fftkernels::fft_in_place(&mut data, FftDirection::Inverse);
+        for (got, want) in data.iter().zip(&orig) {
+            let scaled = got.scale(1.0 / n as f64);
+            prop_assert!((scaled - *want).abs() < 1e-6,
+                "{scaled:?} vs {want:?}");
+        }
+    }
+
+    /// Parseval: energy is preserved (up to the 1/n convention).
+    #[test]
+    fn fft_parseval(signal in prop::collection::vec(-1e2f64..1e2, 4..5)) {
+        let n = 16;
+        let mut data: Vec<Complex64> =
+            signal.iter().map(|&re| Complex64::new(re, 0.0)).collect();
+        data.resize(n, Complex64::ZERO);
+        let time_energy: f64 = data.iter().map(|c| c.norm_sqr()).sum();
+        fftkernels::fft_in_place(&mut data, FftDirection::Forward);
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-6 * time_energy.max(1.0));
+    }
+
+    /// GEMM: identity is neutral and alpha scales linearly.
+    #[test]
+    fn dgemm_identity_and_scaling(
+        vals in prop::collection::vec(-1e3f64..1e3, 9..10),
+        alpha in -8.0f64..8.0,
+    ) {
+        let n = 3;
+        let a = vals.clone();
+        let mut ident = vec![0.0; n * n];
+        for i in 0..n {
+            ident[i * n + i] = 1.0;
+        }
+        // I * A = A
+        let mut c = vec![0.0; n * n];
+        blaskernels::dgemm(Transpose::N, Transpose::N, n, n, n, 1.0, &ident, n, &a, n, 0.0, &mut c, n);
+        for (got, want) in c.iter().zip(&a) {
+            prop_assert!((got - want).abs() < 1e-9);
+        }
+        // alpha * (A*I) = alpha * A
+        let mut c2 = vec![0.0; n * n];
+        blaskernels::dgemm(Transpose::N, Transpose::N, n, n, n, alpha, &a, n, &ident, n, 0.0, &mut c2, n);
+        for (got, want) in c2.iter().zip(&a) {
+            prop_assert!((got - alpha * want).abs() < 1e-6 * want.abs().max(1.0));
+        }
+    }
+
+    /// Transposing both operands transposes the product:
+    /// (A^T B^T)^T = B A.
+    #[test]
+    fn dgemm_transpose_identity(
+        a in prop::collection::vec(-100.0f64..100.0, 4..5),
+        b in prop::collection::vec(-100.0f64..100.0, 4..5),
+    ) {
+        let n = 2;
+        let mut ba = vec![0.0; 4];
+        blaskernels::dgemm(Transpose::N, Transpose::N, n, n, n, 1.0, &b, n, &a, n, 0.0, &mut ba, n);
+        let mut atbt = vec![0.0; 4];
+        blaskernels::dgemm(Transpose::T, Transpose::T, n, n, n, 1.0, &a, n, &b, n, 0.0, &mut atbt, n);
+        // (A^T B^T) should equal (B A)^T
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((atbt[j * n + i] - ba[i * n + j]).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clock and RNG invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The virtual clock is monotone under any interleaving of advance
+    /// and advance_to.
+    #[test]
+    fn clock_is_monotone(ops in prop::collection::vec((any::<bool>(), 0.0f64..100.0), 1..50)) {
+        let clock = SimClock::new();
+        let mut last = 0.0;
+        for (kind, v) in ops {
+            if kind {
+                clock.advance(v);
+            } else {
+                clock.advance_to(v);
+            }
+            let now = clock.now();
+            prop_assert!(now >= last, "clock went backwards: {last} -> {now}");
+            last = now;
+        }
+    }
+
+    /// RunningStats invariants: min <= mean <= max, total = sum.
+    #[test]
+    fn running_stats_invariants(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut stats = RunningStats::new();
+        for &v in &values {
+            stats.record(v);
+        }
+        prop_assert_eq!(stats.count as usize, values.len());
+        prop_assert!(stats.min <= stats.mean() + 1e-9);
+        prop_assert!(stats.mean() <= stats.max + 1e-9);
+        let sum: f64 = values.iter().sum();
+        prop_assert!((stats.total - sum).abs() < 1e-6 * sum.abs().max(1.0));
+    }
+
+    /// SimRng uniform draws respect their bounds; below() respects n.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), lo in -1e3f64..0.0, width in 0.001f64..1e3, n in 1u64..1000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let u = rng.uniform_in(lo, lo + width);
+            prop_assert!(u >= lo && u < lo + width);
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MPI collectives vs sequential folds
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Allreduce equals the sequential fold over all contributions, for
+    /// any rank count and payload.
+    #[test]
+    fn allreduce_matches_sequential_fold(
+        nranks in 1usize..6,
+        base in prop::collection::vec(-1e3f64..1e3, 1..8),
+    ) {
+        use ipm_repro::mpi::{ReduceOp, World};
+        let base = std::sync::Arc::new(base);
+        let expected: Vec<f64> = base
+            .iter()
+            .map(|v| (0..nranks).map(|r| v + r as f64).sum())
+            .collect();
+        let outs = World::run(nranks, |rank| {
+            let mine: Vec<f64> = base.iter().map(|v| v + rank.rank() as f64).collect();
+            rank.allreduce_f64(&mine, ReduceOp::Sum).expect("allreduce")
+        });
+        for got in outs {
+            for (g, w) in got.iter().zip(&expected) {
+                prop_assert!((g - w).abs() < 1e-6 * w.abs().max(1.0));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// GPU runtime semantics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// For any sequence of kernels and syncs, a synchronous D2H copy never
+    /// completes before every previously launched kernel's device time has
+    /// elapsed — the implicit-blocking invariant IPM relies on.
+    #[test]
+    fn sync_d2h_waits_for_all_prior_kernels(
+        durations in prop::collection::vec(1e-4f64..5e-2, 1..10),
+    ) {
+        use ipm_repro::gpu::{launch_kernel, GpuConfig, GpuRuntime, Kernel, KernelCost, LaunchConfig};
+        let rt = GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0));
+        let dev = rt.malloc(64).expect("malloc");
+        let total: f64 = durations.iter().sum();
+        for &d in &durations {
+            let k = Kernel::timed("k", KernelCost::Fixed(d));
+            launch_kernel(&rt, &k, LaunchConfig::simple(1u32, 1u32), &[]).expect("launch");
+        }
+        let mut out = [0u8; 64];
+        rt.memcpy_d2h(&mut out, dev).expect("d2h");
+        prop_assert!(
+            rt.clock().now() >= total,
+            "host at {} before kernels totalling {total} finished",
+            rt.clock().now()
+        );
+    }
+
+    /// Event timestamps recorded on one stream are monotone in record
+    /// order, whatever work is interleaved.
+    #[test]
+    fn event_timestamps_are_monotone_per_stream(
+        plan in prop::collection::vec((any::<bool>(), 1e-5f64..1e-2), 2..12),
+    ) {
+        use ipm_repro::gpu::{launch_kernel, GpuConfig, GpuRuntime, Kernel, KernelCost, LaunchConfig, StreamId};
+        let rt = GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0));
+        let mut events = Vec::new();
+        for (do_kernel, dur) in plan {
+            if do_kernel {
+                let k = Kernel::timed("k", KernelCost::Fixed(dur));
+                launch_kernel(&rt, &k, LaunchConfig::simple(1u32, 1u32), &[]).expect("launch");
+            }
+            let ev = rt.event_create().expect("event");
+            rt.event_record(ev, StreamId::DEFAULT).expect("record");
+            events.push(ev);
+        }
+        rt.thread_synchronize().expect("sync");
+        for pair in events.windows(2) {
+            let dt = rt.event_elapsed_time(pair[0], pair[1]).expect("elapsed");
+            prop_assert!(dt >= 0.0, "events out of order: {dt}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MPI ordering
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Messages between one sender/receiver pair with one tag are
+    /// non-overtaking (MPI's ordering guarantee).
+    #[test]
+    fn same_tag_messages_do_not_overtake(n in 1usize..30) {
+        use ipm_repro::mpi::World;
+        let outs = World::run(2, |rank| {
+            if rank.rank() == 0 {
+                for i in 0..n {
+                    rank.send(1, 5, &[i as u8]).expect("send");
+                }
+                Vec::new()
+            } else {
+                (0..n).map(|_| rank.recv(Some(0), 5).expect("recv").1[0]).collect()
+            }
+        });
+        let got = &outs[1];
+        let want: Vec<u8> = (0..n as u8).collect();
+        prop_assert_eq!(got, &want);
+    }
+}
