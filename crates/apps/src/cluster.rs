@@ -10,7 +10,9 @@
 //! traits only, so the same application code runs monitored and
 //! unmonitored (the paper's no-relink deployment property).
 
-use ipm_core::{Ipm, IpmConfig, IpmBlas, IpmCuda, IpmFft, IpmIo, IpmMpi, RankProfile};
+use ipm_core::{
+    ClusterSnapshot, Ipm, IpmBlas, IpmConfig, IpmCuda, IpmFft, IpmIo, IpmMpi, RankProfile, Snapshot,
+};
 use ipm_gpu_sim::{CudaApi, Device, GpuConfig, GpuRuntime};
 use ipm_mpi_sim::{MpiApi, World, WorldConfig};
 use ipm_numlib::{
@@ -19,7 +21,8 @@ use ipm_numlib::{
 };
 use ipm_sim_core::fsio::{FsConfig, IoApi, RankFs, SimFs};
 use ipm_sim_core::{NoiseModel, SimClock, SimRng};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Cluster-run configuration.
 #[derive(Clone, Debug)]
@@ -44,7 +47,10 @@ impl ClusterConfig {
     /// A Dirac-like run: `nranks` over `nodes` nodes, monitored with IPM
     /// defaults, no noise.
     pub fn dirac(nranks: usize, nodes: usize) -> Self {
-        assert!(nodes > 0 && nranks >= nodes, "need at least one rank per node");
+        assert!(
+            nodes > 0 && nranks >= nodes,
+            "need at least one rank per node"
+        );
         Self {
             nranks,
             nodes,
@@ -139,6 +145,64 @@ impl RankCtx {
     }
 }
 
+/// Live view of a cluster run in flight, handed to the observer closure of
+/// [`run_cluster_observed`]. Ranks register their IPM context as they come
+/// up; the observer polls [`ClusterObserver::sample`] for cluster-wide
+/// telemetry deltas while the application is still running.
+pub struct ClusterObserver {
+    ipms: Mutex<Vec<(usize, Arc<Ipm>)>>,
+    done: AtomicBool,
+}
+
+impl ClusterObserver {
+    fn new() -> Self {
+        Self {
+            ipms: Mutex::new(Vec::new()),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn register(&self, rank: usize, ipm: Arc<Ipm>) {
+        self.ipms
+            .lock()
+            .expect("observer registry poisoned")
+            .push((rank, ipm));
+    }
+
+    fn finish(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Ranks that have come up (registered their IPM context) so far.
+    pub fn ranks_up(&self) -> usize {
+        self.ipms.lock().expect("observer registry poisoned").len()
+    }
+
+    /// True once every rank has returned from the application.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Take one telemetry sample: a [`Snapshot`] delta per registered rank,
+    /// merged into a cluster-wide view. Returns the merged snapshot plus
+    /// the widest per-rank interval (virtual seconds) it covers — the
+    /// denominator for busy-fraction displays. `None` until at least one
+    /// rank is up, and always `None` for unmonitored runs.
+    pub fn sample(&self) -> Option<(ClusterSnapshot, f64)> {
+        let ipms: Vec<(usize, Arc<Ipm>)> = self
+            .ipms
+            .lock()
+            .expect("observer registry poisoned")
+            .clone();
+        if ipms.is_empty() {
+            return None;
+        }
+        let snaps: Vec<Snapshot> = ipms.iter().map(|(_, ipm)| ipm.snapshot()).collect();
+        let interval = snaps.iter().map(|s| s.interval).fold(0.0, f64::max);
+        Some((ClusterSnapshot::merge(&snaps), interval))
+    }
+}
+
 /// The outcome of a cluster run.
 pub struct ClusterRun<R> {
     /// Per-rank application return values (rank order).
@@ -156,11 +220,34 @@ impl<R> ClusterRun<R> {
     }
 }
 
+/// The API facades plus monitor handles one rank's stack is built from,
+/// monitored or bare depending on [`ClusterConfig::ipm`].
+type RankStack = (
+    Arc<dyn CudaApi>,
+    Arc<dyn MpiApi>,
+    Option<Arc<Ipm>>,
+    Option<Arc<IpmCuda>>,
+);
+
 /// Run `app` on a simulated cluster. One OS thread per rank.
 pub fn run_cluster<R: Send>(
     config: &ClusterConfig,
     app: impl Fn(&mut RankCtx) -> R + Send + Sync,
 ) -> ClusterRun<R> {
+    run_cluster_observed(config, app, |_| {})
+}
+
+/// Like [`run_cluster`], but with a live observer: `observe` runs on its
+/// own thread concurrently with the ranks and receives a
+/// [`ClusterObserver`] for periodic [`ClusterObserver::sample`] calls — the
+/// cluster-wide live-telemetry view. The observer should poll
+/// [`ClusterObserver::is_done`] and return promptly once it flips.
+pub fn run_cluster_observed<R: Send>(
+    config: &ClusterConfig,
+    app: impl Fn(&mut RankCtx) -> R + Send + Sync,
+    observe: impl FnOnce(&ClusterObserver) + Send,
+) -> ClusterRun<R> {
+    let observer = ClusterObserver::new();
     let rpn = config.ranks_per_node();
     let devices: Vec<Arc<Device>> = (0..config.nodes)
         .map(|node| {
@@ -177,6 +264,8 @@ pub fn run_cluster<R: Send>(
     let scratch_fs = SimFs::new(FsConfig::default());
 
     let results: Vec<(R, f64, Option<RankProfile>)> = std::thread::scope(|s| {
+        let obs = &observer;
+        let watcher = s.spawn(move || observe(obs));
         let handles: Vec<_> = (0..config.nranks)
             .map(|r| {
                 let world = world.clone();
@@ -184,6 +273,7 @@ pub fn run_cluster<R: Send>(
                 let device = devices[(r / rpn).min(config.nodes - 1)].clone();
                 let app = &app;
                 let config = &config;
+                let obs = &observer;
                 s.spawn(move || {
                     let clock = SimClock::new();
                     let rank = world.rank_with_clock(r, clock.clone());
@@ -191,12 +281,7 @@ pub fn run_cluster<R: Send>(
                     let gpu = Arc::new(GpuRuntime::new(device, clock.clone()));
                     let mut rng = SimRng::new(config.seed).fork(r as u64);
 
-                    let (cuda, mpi, ipm, cuda_mon): (
-                        Arc<dyn CudaApi>,
-                        Arc<dyn MpiApi>,
-                        Option<Arc<Ipm>>,
-                        Option<Arc<IpmCuda>>,
-                    ) = match config.ipm {
+                    let (cuda, mpi, ipm, cuda_mon): RankStack = match config.ipm {
                         Some(ipm_cfg) => {
                             let ipm = Ipm::new(clock.clone(), ipm_cfg);
                             ipm.set_metadata(
@@ -211,9 +296,11 @@ pub fn run_cluster<R: Send>(
                         }
                         None => (gpu as Arc<dyn CudaApi>, Arc::new(rank), None, None),
                     };
+                    if let Some(ipm) = &ipm {
+                        obs.register(r, ipm.clone());
+                    }
 
-                    let blas_inner =
-                        CublasContext::init(cuda.clone(), DeviceLibConfig::default());
+                    let blas_inner = CublasContext::init(cuda.clone(), DeviceLibConfig::default());
                     let fft_inner =
                         Arc::new(CufftContext::new(cuda.clone(), CufftConfig::default()));
                     let (blas, fft): (Arc<dyn BlasApi>, Arc<dyn FftApi>) = match &ipm {
@@ -224,7 +311,10 @@ pub fn run_cluster<R: Send>(
                         None => (Arc::new(blas_inner), Arc::new(IpmFftLess(fft_inner))),
                     };
 
-                    let rank_fs = RankFs { fs: scratch_fs, clock: clock.clone() };
+                    let rank_fs = RankFs {
+                        fs: scratch_fs,
+                        clock: clock.clone(),
+                    };
                     let io: Arc<dyn IoApi> = match &ipm {
                         Some(ipm) => Arc::new(IpmIo::new(ipm.clone(), rank_fs)),
                         None => Arc::new(rank_fs),
@@ -251,7 +341,13 @@ pub fn run_cluster<R: Send>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        let results: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect();
+        observer.finish();
+        watcher.join().expect("observer thread panicked");
+        results
     });
 
     let mut outputs = Vec::with_capacity(results.len());
@@ -264,7 +360,11 @@ pub fn run_cluster<R: Send>(
             profiles.push(p);
         }
     }
-    ClusterRun { outputs, wallclocks, profiles }
+    ClusterRun {
+        outputs,
+        wallclocks,
+        profiles,
+    }
 }
 
 /// Adapter exposing an unmonitored `CufftContext` as `FftApi` behind an
@@ -313,9 +413,12 @@ mod tests {
         let run = run_cluster(&cfg, |ctx| {
             let d = ctx.cuda.cuda_malloc(1024).unwrap();
             let k = Kernel::timed("work", KernelCost::Fixed(0.1));
-            launch_kernel(ctx.cuda.as_ref(), &k, LaunchConfig::simple(8u32, 32u32), &[
-                KernelArg::Ptr(d),
-            ])
+            launch_kernel(
+                ctx.cuda.as_ref(),
+                &k,
+                LaunchConfig::simple(8u32, 32u32),
+                &[KernelArg::Ptr(d)],
+            )
             .unwrap();
             let mut out = vec![0u8; 1024];
             ctx.cuda.cuda_memcpy_d2h(&mut out, d).unwrap();
@@ -371,10 +474,76 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_samples_live_telemetry() {
+        use ipm_core::EventFamily;
+        let cfg = ClusterConfig::dirac(2, 1).with_command("observed");
+        let samples = Mutex::new(Vec::new());
+        let run = run_cluster_observed(
+            &cfg,
+            |ctx| {
+                for _ in 0..50 {
+                    let k = Kernel::timed("work", KernelCost::Fixed(0.01));
+                    launch_kernel(
+                        ctx.cuda.as_ref(),
+                        &k,
+                        LaunchConfig::simple(8u32, 32u32),
+                        &[],
+                    )
+                    .unwrap();
+                    ctx.cuda.cuda_thread_synchronize().unwrap();
+                    ctx.mpi.mpi_allreduce_f64(&[1.0], ReduceOp::Sum).unwrap();
+                }
+            },
+            |obs| {
+                while !obs.is_done() {
+                    if let Some(sample) = obs.sample() {
+                        samples.lock().unwrap().push(sample);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                // one last delta: everything booked since the final poll
+                if let Some(sample) = obs.sample() {
+                    samples.lock().unwrap().push(sample);
+                }
+            },
+        );
+        assert_eq!(run.profiles.len(), 2);
+        let samples = samples.into_inner().unwrap();
+        assert!(!samples.is_empty(), "observer never sampled");
+        // deltas are exhaustive: summed across samples they recover the
+        // cumulative per-family totals of the final profiles
+        let sampled_gpu: f64 = samples
+            .iter()
+            .filter_map(|(snap, _)| snap.family(EventFamily::GpuExec))
+            .map(|spread| spread.total)
+            .sum();
+        let booked_gpu: f64 = run
+            .profiles
+            .iter()
+            .map(|p| p.family_time(EventFamily::GpuExec))
+            .sum();
+        assert!(
+            booked_gpu > 0.9,
+            "workload booked {booked_gpu} s of GPU exec"
+        );
+        assert!(
+            (sampled_gpu - booked_gpu).abs() < 1e-9,
+            "sampled {sampled_gpu} vs booked {booked_gpu}"
+        );
+        // sequence numbers advance monotonically
+        let seqs: Vec<u64> = samples.iter().map(|(s, _)| s.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] <= w[1]), "{seqs:?}");
+    }
+
+    #[test]
     fn noise_spreads_wallclocks() {
-        let cfg = ClusterConfig::dirac(4, 4)
-            .unmonitored()
-            .with_noise(NoiseModel { run_sigma: 0.01, event_jitter: 0.0 }, 42);
+        let cfg = ClusterConfig::dirac(4, 4).unmonitored().with_noise(
+            NoiseModel {
+                run_sigma: 0.01,
+                event_jitter: 0.0,
+            },
+            42,
+        );
         let run = run_cluster(&cfg, |ctx| ctx.compute(100.0));
         let min = run.wallclocks.iter().copied().fold(f64::INFINITY, f64::min);
         let max = run.runtime();
@@ -414,9 +583,14 @@ mod tests {
                     4,
                 )
                 .unwrap();
-            let plan = ctx.fft.cufft_plan_1d(64, ipm_numlib::FftType::Z2Z, 1).unwrap();
+            let plan = ctx
+                .fft
+                .cufft_plan_1d(64, ipm_numlib::FftType::Z2Z, 1)
+                .unwrap();
             let dd = ctx.cuda.cuda_malloc(64 * 16).unwrap();
-            ctx.fft.cufft_exec_z2z(plan, dd, dd, ipm_numlib::FftDirection::Forward).unwrap();
+            ctx.fft
+                .cufft_exec_z2z(plan, dd, dd, ipm_numlib::FftDirection::Forward)
+                .unwrap();
         });
         let p = &run.profiles[0];
         assert_eq!(p.count_of("cublasDgemm"), 1);

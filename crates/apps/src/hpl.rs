@@ -15,9 +15,7 @@
 //! * computation is well balanced across ranks.
 
 use crate::cluster::RankCtx;
-use ipm_gpu_sim::{
-    launch_kernel, CudaResult, Dim3, Kernel, KernelArg, KernelCost, LaunchConfig,
-};
+use ipm_gpu_sim::{launch_kernel, CudaResult, Dim3, Kernel, KernelArg, KernelCost, LaunchConfig};
 use ipm_sim_core::model::{CpuComputeModel, GpuComputeModel};
 
 /// HPL workload parameters.
@@ -37,12 +35,20 @@ impl HplConfig {
     /// The paper's Fig. 8 configuration: 16 nodes of Dirac, ~126 s mean
     /// runtime.
     pub fn dirac16() -> Self {
-        Self { n: 97_280, nb: 512, overlap: 0.97 }
+        Self {
+            n: 97_280,
+            nb: 512,
+            overlap: 0.97,
+        }
     }
 
     /// A small, fast instance for tests.
     pub fn tiny() -> Self {
-        Self { n: 4_096, nb: 256, overlap: 0.9 }
+        Self {
+            n: 4_096,
+            nb: 256,
+            overlap: 0.9,
+        }
     }
 
     fn iterations(&self) -> usize {
@@ -111,7 +117,8 @@ pub fn run_hpl(ctx: &mut RankCtx, cfg: HplConfig) -> CudaResult<HplResult> {
         }
 
         // 3. upload panel asynchronously (pinned) and update on the GPU
-        ctx.cuda.cuda_memcpy_h2d_async(d_panel, &panel_host, stream)?;
+        ctx.cuda
+            .cuda_memcpy_h2d_async(d_panel, &panel_host, stream)?;
 
         let transpose = Kernel::timed(
             "transpose",
@@ -120,8 +127,11 @@ pub fn run_hpl(ctx: &mut RankCtx, cfg: HplConfig) -> CudaResult<HplResult> {
         launch_kernel(
             ctx.cuda.as_ref(),
             &transpose,
-            LaunchConfig::simple(Dim3::xy(cfg.nb as u32 / 16, cfg.nb as u32 / 16), Dim3::xy(16, 16))
-                .on_stream(stream),
+            LaunchConfig::simple(
+                Dim3::xy(cfg.nb as u32 / 16, cfg.nb as u32 / 16),
+                Dim3::xy(16, 16),
+            )
+            .on_stream(stream),
             &[KernelArg::Ptr(d_panel)],
         )?;
 
@@ -139,7 +149,11 @@ pub fn run_hpl(ctx: &mut RankCtx, cfg: HplConfig) -> CudaResult<HplResult> {
 
         let gemm_flops = 2.0 * rows as f64 * my_cols as f64 * cfg.nb as f64;
         let gemm_time = gpu_model.kernel_time(gemm_flops, 0.0, gemm_eff);
-        let gemm_name = if k % 4 == 3 { "dgemm_nt_tex_kernel" } else { "dgemm_nn_e_kernel" };
+        let gemm_name = if k % 4 == 3 {
+            "dgemm_nt_tex_kernel"
+        } else {
+            "dgemm_nn_e_kernel"
+        };
         let dgemm = Kernel::timed(gemm_name, KernelCost::Fixed(gemm_time));
         launch_kernel(
             ctx.cuda.as_ref(),
@@ -167,12 +181,22 @@ pub fn run_hpl(ctx: &mut RankCtx, cfg: HplConfig) -> CudaResult<HplResult> {
         let partner = rank ^ 1;
         if partner < p {
             if rank < partner {
-                ctx.mpi.mpi_send(partner, k as i32, &swap_buf).expect("swap send");
-                let (_, data) = ctx.mpi.mpi_recv(Some(partner), k as i32).expect("swap recv");
+                ctx.mpi
+                    .mpi_send(partner, k as i32, &swap_buf)
+                    .expect("swap send");
+                let (_, data) = ctx
+                    .mpi
+                    .mpi_recv(Some(partner), k as i32)
+                    .expect("swap recv");
                 swap_buf.copy_from_slice(&data);
             } else {
-                let (_, data) = ctx.mpi.mpi_recv(Some(partner), k as i32).expect("swap recv");
-                ctx.mpi.mpi_send(partner, k as i32, &data).expect("swap send");
+                let (_, data) = ctx
+                    .mpi
+                    .mpi_recv(Some(partner), k as i32)
+                    .expect("swap recv");
+                ctx.mpi
+                    .mpi_send(partner, k as i32, &data)
+                    .expect("swap send");
             }
         }
 
@@ -198,7 +222,10 @@ pub fn run_hpl(ctx: &mut RankCtx, cfg: HplConfig) -> CudaResult<HplResult> {
     ctx.cuda.cuda_free(d_tile)?;
     ctx.mpi.mpi_barrier().expect("final barrier");
 
-    Ok(HplResult { gpu_flops, seconds: ctx.clock.now() - start })
+    Ok(HplResult {
+        gpu_flops,
+        seconds: ctx.clock.now() - start,
+    })
 }
 
 /// Clamp device buffer sizes to something the 3 GiB heap holds comfortably
@@ -223,13 +250,18 @@ mod tests {
     #[test]
     fn fig9_kernel_inventory() {
         let (report, _) = run_tiny(4);
-        let kernels: Vec<String> =
-            report.kernel_shares().into_iter().map(|(k, _)| k).collect();
+        let kernels: Vec<String> = report.kernel_shares().into_iter().map(|(k, _)| k).collect();
         // the four kernels the paper observes in Fig. 9
-        for expected in
-            ["dgemm_nn_e_kernel", "dgemm_nt_tex_kernel", "dtrsm_gpu_64_mm", "transpose"]
-        {
-            assert!(kernels.contains(&expected.to_owned()), "missing kernel {expected}");
+        for expected in [
+            "dgemm_nn_e_kernel",
+            "dgemm_nt_tex_kernel",
+            "dtrsm_gpu_64_mm",
+            "transpose",
+        ] {
+            assert!(
+                kernels.contains(&expected.to_owned()),
+                "missing kernel {expected}"
+            );
         }
         // dgemm_nn dominates
         assert_eq!(report.kernel_shares()[0].0, "dgemm_nn_e_kernel");
@@ -269,7 +301,10 @@ mod tests {
         let total_flops: f64 = results.iter().map(|r| r.gpu_flops).sum();
         // 2/3 n^3 for LU; the GPU executes the trailing updates (the bulk)
         let lu_flops = 2.0 / 3.0 * (4096.0f64).powi(3);
-        assert!(total_flops > 0.5 * lu_flops, "gpu flops {total_flops} vs LU {lu_flops}");
+        assert!(
+            total_flops > 0.5 * lu_flops,
+            "gpu flops {total_flops} vs LU {lu_flops}"
+        );
         assert!(report.family_spread(EventFamily::GpuExec).total > 0.0);
         for r in &results {
             assert!(r.gflops() > 1.0, "implausibly slow: {} GF/s", r.gflops());

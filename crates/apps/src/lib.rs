@@ -20,7 +20,9 @@ pub mod sdk;
 pub mod square;
 
 pub use amber::{run_amber, AmberConfig, AmberResult};
-pub use cluster::{run_cluster, ClusterConfig, ClusterRun, RankCtx};
+pub use cluster::{
+    run_cluster, run_cluster_observed, ClusterConfig, ClusterObserver, ClusterRun, RankCtx,
+};
 pub use hpl::{run_hpl, HplConfig, HplResult};
 pub use paratec::{run_paratec, BlasBackend, ParatecConfig, ParatecResult};
 pub use sdk::{table1_suite, SdkBenchmark};

@@ -119,8 +119,9 @@ pub fn run_paratec(ctx: &mut RankCtx, cfg: ParatecConfig) -> CudaResult<ParatecR
             Complex64::new(x, -x / 3.0)
         })
         .collect();
-    let hpsi: Vec<Complex64> =
-        (0..k_phys * m).map(|i| Complex64::new(((i % 31) as f64) / 31.0, 0.1)).collect();
+    let hpsi: Vec<Complex64> = (0..k_phys * m)
+        .map(|i| Complex64::new(((i % 31) as f64) / 31.0, 0.1))
+        .collect();
     let mut overlap = vec![Complex64::ZERO; m * m];
     let mut energy = 0.0f64;
 
@@ -177,8 +178,8 @@ pub fn run_paratec(ctx: &mut RankCtx, cfg: ParatecConfig) -> CudaResult<ParatecR
         ctx.mpi.mpi_wait(&mut sreq).expect("halo wait");
 
         // 4. energy reduction (allreduce over band energies)
-        let local: f64 = overlap.iter().take(m).map(|c| c.re).sum::<f64>() / m as f64
-            + psi[0].re * 1e-3;
+        let local: f64 =
+            overlap.iter().take(m).map(|c| c.re).sum::<f64>() / m as f64 + psi[0].re * 1e-3;
         let summed = ctx
             .mpi
             .mpi_allreduce_f64(&[local], ReduceOp::Sum)
@@ -189,7 +190,9 @@ pub fn run_paratec(ctx: &mut RankCtx, cfg: ParatecConfig) -> CudaResult<ParatecR
         //    fixed bytes per rank, so the root cost is linear in ranks:
         //    this is what blows up at 256 processes in Fig. 10
         for _g in 0..cfg.gathers_per_iter {
-            ctx.mpi.mpi_gather(0, &vec![0u8; cfg.gather_bytes]).expect("gather");
+            ctx.mpi
+                .mpi_gather(0, &vec![0u8; cfg.gather_bytes])
+                .expect("gather");
         }
 
         // 5b. the remaining DFT machinery (pseudopotentials, density
@@ -198,14 +201,17 @@ pub fn run_paratec(ctx: &mut RankCtx, cfg: ParatecConfig) -> CudaResult<ParatecR
 
         // 6. small orthonormalization update on the CPU
         for (i, v) in psi.iter_mut().enumerate().take(m.min(64)) {
-            *v = *v + overlap[i % overlap.len()].scale(1e-6);
+            *v += overlap[i % overlap.len()].scale(1e-6);
         }
         ctx.compute(1e-4);
         ctx.region_exit();
     }
 
     ctx.mpi.mpi_barrier().expect("final barrier");
-    Ok(ParatecResult { energy, seconds: ctx.clock.now() - start })
+    Ok(ParatecResult {
+        energy,
+        seconds: ctx.clock.now() - start,
+    })
 }
 
 /// One thunking zgemm: device alloc, blocking set/get transfers, kernel,
@@ -228,7 +234,9 @@ fn thunking_zgemm(
     let db = blas.cublas_alloc(k * m, Z)?;
     let dc = blas.cublas_alloc(m * m, Z)?;
     let bytes = |xs: &[Complex64]| -> Vec<u8> {
-        xs.iter().flat_map(|z| [z.re.to_le_bytes(), z.im.to_le_bytes()].concat()).collect()
+        xs.iter()
+            .flat_map(|z| [z.re.to_le_bytes(), z.im.to_le_bytes()].concat())
+            .collect()
     };
     if k_phys < k {
         // paper scale: stage a 64 KiB prefix, model the full transfer
@@ -276,9 +284,13 @@ mod tests {
 
     fn run(backend: BlasBackend, ranks: usize) -> (ClusterReport, Vec<ParatecResult>) {
         let cfg = ClusterConfig::dirac(ranks, ranks.min(4)).with_command("paratec");
-        let run =
-            run_cluster(&cfg, |ctx| run_paratec(ctx, ParatecConfig::tiny(backend)).expect("scf"));
-        (ClusterReport::from_profiles(run.profiles.clone(), ranks.min(4)), run.outputs)
+        let run = run_cluster(&cfg, |ctx| {
+            run_paratec(ctx, ParatecConfig::tiny(backend)).expect("scf")
+        });
+        (
+            ClusterReport::from_profiles(run.profiles.clone(), ranks.min(4)),
+            run.outputs,
+        )
     }
 
     #[test]

@@ -47,13 +47,48 @@ pub fn table1_suite() -> Vec<SdkBenchmark> {
         d2h_every: 64,
     };
     vec![
-        bench("BlackScholes", "BlackScholesGPU", 512, 2.540677, 1, (480, 128)),
-        bench("FDTD3d", "FiniteDifferencesKernel", 5, 0.101354, 1, (576, 256)),
+        bench(
+            "BlackScholes",
+            "BlackScholesGPU",
+            512,
+            2.540677,
+            1,
+            (480, 128),
+        ),
+        bench(
+            "FDTD3d",
+            "FiniteDifferencesKernel",
+            5,
+            0.101354,
+            1,
+            (576, 256),
+        ),
         bench("MersenneTwister", "RandomGPU", 202, 1.126475, 1, (32, 128)),
-        bench("MonteCarlo", "MonteCarloOneBlockPerOption", 2, 0.001988, 1, (256, 256)),
+        bench(
+            "MonteCarlo",
+            "MonteCarloOneBlockPerOption",
+            2,
+            0.001988,
+            1,
+            (256, 256),
+        ),
         bench("concurrentKernels", "mykernel", 9, 0.613755, 8, (1, 1)),
-        bench("eigenvalues", "bisectKernelLarge", 300, 5.328266, 1, (86, 256)),
-        bench("quasirandomGenerator", "quasirandomGeneratorKernel", 42, 0.039536, 1, (128, 128)),
+        bench(
+            "eigenvalues",
+            "bisectKernelLarge",
+            300,
+            5.328266,
+            1,
+            (86, 256),
+        ),
+        bench(
+            "quasirandomGenerator",
+            "quasirandomGeneratorKernel",
+            42,
+            0.039536,
+            1,
+            (128, 128),
+        ),
         bench("scan", "scan_best_kernel", 3300, 1.412912, 1, (64, 256)),
     ]
 }
@@ -68,7 +103,9 @@ impl SdkBenchmark {
         let streams: Vec<StreamId> = if self.streams <= 1 {
             vec![StreamId::DEFAULT]
         } else {
-            (0..self.streams).map(|_| api.cuda_stream_create()).collect::<CudaResult<_>>()?
+            (0..self.streams)
+                .map(|_| api.cuda_stream_create())
+                .collect::<CudaResult<_>>()?
         };
         let kernel = Kernel::timed(self.kernel, KernelCost::Fixed(self.kernel_seconds));
         let (grid, block) = self.shape;
@@ -121,14 +158,19 @@ mod tests {
         let scan = suite.iter().find(|b| b.name == "scan").unwrap();
         assert_eq!(scan.invocations, 3300);
         assert!((scan.paper_total() - 1.412912).abs() < 1e-9);
-        let ck = suite.iter().find(|b| b.name == "concurrentKernels").unwrap();
+        let ck = suite
+            .iter()
+            .find(|b| b.name == "concurrentKernels")
+            .unwrap();
         assert_eq!(ck.streams, 8);
     }
 
     #[test]
     fn profiler_sees_exact_invocation_counts_and_times() {
         let rt = GpuRuntime::single(
-            GpuConfig::dirac_node().with_context_init(0.0).with_profiler(),
+            GpuConfig::dirac_node()
+                .with_context_init(0.0)
+                .with_profiler(),
         );
         let bench = &table1_suite()[3]; // MonteCarlo: 2 invocations, fast
         bench.run(&rt).unwrap();
@@ -142,7 +184,10 @@ mod tests {
     #[test]
     fn concurrent_kernels_overlap_across_streams() {
         let rt = GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0));
-        let ck = table1_suite().into_iter().find(|b| b.name == "concurrentKernels").unwrap();
+        let ck = table1_suite()
+            .into_iter()
+            .find(|b| b.name == "concurrentKernels")
+            .unwrap();
         ck.run(&rt).unwrap();
         let wall = rt.clock().now();
         // 9 kernels of 68 ms over 8 streams: ~2 serial waves ≈ 0.14 s,

@@ -21,7 +21,10 @@ pub struct SquareConfig {
 
 impl Default for SquareConfig {
     fn default() -> Self {
-        Self { n: 100_000, repeat: 10_000 }
+        Self {
+            n: 100_000,
+            repeat: 10_000,
+        }
     }
 }
 
@@ -126,13 +129,7 @@ mod tests {
         let rt = GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0));
         let cfg = SquareConfig::default();
         let k = ipm_gpu_sim::Kernel::timed("square", cfg.kernel_cost());
-        launch_kernel(
-            &rt,
-            &k,
-            LaunchConfig::simple(cfg.n as u32, 1u32),
-            &[],
-        )
-        .unwrap();
+        launch_kernel(&rt, &k, LaunchConfig::simple(cfg.n as u32, 1u32), &[]).unwrap();
         rt.thread_synchronize().unwrap();
         let t = rt.clock().now();
         assert!((0.8..1.6).contains(&t), "square kernel modeled at {t}s");

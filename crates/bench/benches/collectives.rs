@@ -13,27 +13,35 @@ fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("collective_rounds");
     group.sample_size(10);
     for ranks in [2usize, 8, 32] {
-        group.bench_with_input(BenchmarkId::new("barrier_x100", ranks), &ranks, |b, &ranks| {
-            b.iter(|| {
-                World::run(ranks, |rank| {
-                    for _ in 0..100 {
-                        rank.barrier().unwrap();
-                    }
+        group.bench_with_input(
+            BenchmarkId::new("barrier_x100", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    World::run(ranks, |rank| {
+                        for _ in 0..100 {
+                            rank.barrier().unwrap();
+                        }
+                    })
                 })
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("allreduce_x100", ranks), &ranks, |b, &ranks| {
-            b.iter(|| {
-                let outs = World::run(ranks, |rank| {
-                    let mut acc = 0.0;
-                    for _ in 0..100 {
-                        acc = rank.allreduce_f64(&[1.0], ReduceOp::Sum).unwrap()[0];
-                    }
-                    acc
-                });
-                black_box(outs)
-            })
-        });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_x100", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let outs = World::run(ranks, |rank| {
+                        let mut acc = 0.0;
+                        for _ in 0..100 {
+                            acc = rank.allreduce_f64(&[1.0], ReduceOp::Sum).unwrap()[0];
+                        }
+                        acc
+                    });
+                    black_box(outs)
+                })
+            },
+        );
     }
     group.finish();
 }

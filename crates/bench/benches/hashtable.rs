@@ -19,8 +19,9 @@ fn bench_single_thread(c: &mut Criterion) {
         b.iter(|| table.update(black_box(&sig), black_box(1.5e-6)))
     });
 
-    let sigs: Vec<EventSignature> =
-        (0..256).map(|i| EventSignature::call("cudaMemcpy(D2H)", i * 64)).collect();
+    let sigs: Vec<EventSignature> = (0..256)
+        .map(|i| EventSignature::call("cudaMemcpy(D2H)", i * 64))
+        .collect();
     let mut idx = 0usize;
     c.bench_function("table_update_rotating_256_sigs", |b| {
         b.iter(|| {
@@ -34,23 +35,27 @@ fn bench_contended(c: &mut Criterion) {
     let mut group = c.benchmark_group("table_contended_8_threads");
     group.sample_size(20);
     for shards in [1usize, 4, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
-            b.iter(|| {
-                let table = Arc::new(PerfTable::with_shape(32 * 1024, shards));
-                thread::scope(|s| {
-                    for t in 0..8 {
-                        let table = table.clone();
-                        s.spawn(move || {
-                            let sig = EventSignature::call("MPI_Send", t);
-                            for _ in 0..5_000 {
-                                table.update(&sig, 1e-6);
-                            }
-                        });
-                    }
-                });
-                black_box(table.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let table = Arc::new(PerfTable::with_shape(32 * 1024, shards));
+                    thread::scope(|s| {
+                        for t in 0..8 {
+                            let table = table.clone();
+                            s.spawn(move || {
+                                let sig = EventSignature::call("MPI_Send", t);
+                                for _ in 0..5_000 {
+                                    table.update(&sig, 1e-6);
+                                }
+                            });
+                        }
+                    });
+                    black_box(table.len())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -36,15 +36,22 @@ fn workload(cuda: &IpmCuda) {
 
 fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("ktt_policy");
-    for (label, policy) in
-        [("d2h_only", KttCheckPolicy::D2hOnly), ("every_call", KttCheckPolicy::EveryCall)]
-    {
+    for (label, policy) in [
+        ("d2h_only", KttCheckPolicy::D2hOnly),
+        ("every_call", KttCheckPolicy::EveryCall),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
             b.iter(|| {
-                let rt =
-                    Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
-                let ipm =
-                    Ipm::new(rt.clock().clone(), IpmConfig { ktt_policy: policy, ..IpmConfig::default() });
+                let rt = Arc::new(GpuRuntime::single(
+                    GpuConfig::dirac_node().with_context_init(0.0),
+                ));
+                let ipm = Ipm::new(
+                    rt.clock().clone(),
+                    IpmConfig {
+                        ktt_policy: policy,
+                        ..IpmConfig::default()
+                    },
+                );
                 let cuda = IpmCuda::new(ipm.clone(), rt);
                 workload(&cuda);
                 cuda.finalize();

@@ -21,7 +21,9 @@ fn bench_facades(c: &mut Criterion) {
         b.iter(|| black_box(bare.cuda_stream_query(StreamId::DEFAULT)))
     });
 
-    let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+    let rt = Arc::new(GpuRuntime::single(
+        GpuConfig::dirac_node().with_context_init(0.0),
+    ));
     let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
     let monitored = IpmCuda::new(ipm, rt);
     monitored.cuda_get_device_count().unwrap();

@@ -22,13 +22,18 @@ fn big_profile(entries: usize) -> RankProfile {
         entries: (0..entries)
             .map(|i| ProfileEntry {
                 name: format!("cudaMemcpy(D2H)#{}", i % 40),
-                detail: if i % 5 == 0 { Some(format!("kernel_{i}")) } else { None },
+                detail: if i % 5 == 0 {
+                    Some(format!("kernel_{i}"))
+                } else {
+                    None
+                },
                 bytes: (i as u64) * 640,
                 region: (i % 2) as u16,
                 stats,
             })
             .collect(),
         dropped_events: 0,
+        monitor: Default::default(),
     }
 }
 
@@ -37,7 +42,9 @@ fn bench_xml(c: &mut Criterion) {
     let xml = to_xml(&profile);
     let mut group = c.benchmark_group("xml");
     group.throughput(Throughput::Bytes(xml.len() as u64));
-    group.bench_function("write_2k_entries", |b| b.iter(|| black_box(to_xml(&profile))));
+    group.bench_function("write_2k_entries", |b| {
+        b.iter(|| black_box(to_xml(&profile)))
+    });
     group.bench_function("parse_2k_entries", |b| {
         b.iter(|| black_box(from_xml(&xml).expect("roundtrip")))
     });

@@ -7,7 +7,9 @@ use ipm_gpu_sim::{launch_kernel, GpuConfig, GpuRuntime, Kernel, KernelCost, Laun
 
 fn main() {
     let rt = GpuRuntime::single(
-        GpuConfig::dirac_node().with_context_init(0.0).with_counters(),
+        GpuConfig::dirac_node()
+            .with_context_init(0.0)
+            .with_counters(),
     );
     let workloads = [
         ("dgemm_like", 50_000.0, 16.0, 0.6, 200u32),
@@ -18,7 +20,11 @@ fn main() {
     for (name, flops, bytes, eff, blocks) in workloads {
         let k = Kernel::timed(
             name,
-            KernelCost::Roofline { flops_per_thread: flops, bytes_per_thread: bytes, efficiency: eff },
+            KernelCost::Roofline {
+                flops_per_thread: flops,
+                bytes_per_thread: bytes,
+                efficiency: eff,
+            },
         );
         for _ in 0..8 {
             launch_kernel(&rt, &k, LaunchConfig::simple(blocks, 256u32), &[]).unwrap();

@@ -33,9 +33,12 @@ fn main() {
     println!("Fig. 10 — the scaling of PARATEC (per-rank seconds; wallclock is job max)\n");
     println!("{}", render(&rows));
     if !quick {
-        let mkl32 = rows.iter().find(|r| r.procs == 32 && r.backend == BlasBackend::HostMkl);
-        let dev32 =
-            rows.iter().find(|r| r.procs == 32 && r.backend == BlasBackend::CublasThunking);
+        let mkl32 = rows
+            .iter()
+            .find(|r| r.procs == 32 && r.backend == BlasBackend::HostMkl);
+        let dev32 = rows
+            .iter()
+            .find(|r| r.procs == 32 && r.backend == BlasBackend::CublasThunking);
         if let (Some(m), Some(d)) = (mkl32, dev32) {
             println!(
                 "paper @32 procs: 1976 s (MKL) -> 1285 s (CUBLAS), ~35% faster\n\

@@ -16,7 +16,10 @@ fn main() {
     } else {
         (16, AmberConfig::jac_dhfr())
     };
-    println!("Fig. 11 — profile of Amber (PMEMD) on {nranks} ranks, {} steps\n", cfg.steps);
+    println!(
+        "Fig. 11 — profile of Amber (PMEMD) on {nranks} ranks, {} steps\n",
+        cfg.steps
+    );
     let result = run_fig11(nranks, cfg);
     println!("{}", result.banner());
     println!("{}", render_comparison(&result));

@@ -7,7 +7,11 @@ use ipm_bench::fig8::{run_fig8, Fig8Config};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { Fig8Config::quick() } else { Fig8Config::paper() };
+    let cfg = if quick {
+        Fig8Config::quick()
+    } else {
+        Fig8Config::paper()
+    };
     println!(
         "Fig. 8 — HPL runtime histograms, {} ranks, {}+{} runs\n",
         cfg.nranks, cfg.runs, cfg.runs

@@ -10,8 +10,11 @@ use ipm_bench::fig9::run_fig9;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let xml = std::env::args().any(|a| a == "--xml");
-    let (nranks, cfg) =
-        if quick { (4, HplConfig::tiny()) } else { (16, HplConfig::dirac16()) };
+    let (nranks, cfg) = if quick {
+        (4, HplConfig::tiny())
+    } else {
+        (16, HplConfig::dirac16())
+    };
     println!("Fig. 9 — CUDA + MPI profile of HPL on {nranks} ranks (CUBE view)\n");
     let result = run_fig9(nranks, cfg);
     println!("{}", result.render());
@@ -19,7 +22,10 @@ fn main() {
         "host idle: {:.3} s total ({:.2}% of wallclock) — asynchronous\n\
          transfers leave almost no implicit blocking, as the paper observes;\n\
          cudaEventSynchronize: {:.2} s per task (paper: 2-5 s).",
-        result.report.family_spread(ipm_core::EventFamily::HostIdle).total,
+        result
+            .report
+            .family_spread(ipm_core::EventFamily::HostIdle)
+            .total,
         result.report.host_idle_fraction() * 100.0,
         result.report.time_of("cudaEventSynchronize") / nranks as f64,
     );

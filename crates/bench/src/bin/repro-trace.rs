@@ -1,0 +1,38 @@
+//! Emit a Chrome/Perfetto trace of a monitored two-rank run.
+//!
+//! Runs the demo workload of [`ipm_bench::trace_fig`] and prints the
+//! Chrome trace-event JSON to stdout (or writes it to the file given as
+//! the first argument). Load the output in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+//!
+//! ```text
+//! cargo run --release -p ipm-bench --bin repro-trace -- trace.json
+//! ```
+
+use ipm_bench::trace_fig::build_demo_trace;
+
+fn main() -> std::process::ExitCode {
+    let out = std::env::args().nth(1);
+    let demo = build_demo_trace(2);
+    eprintln!(
+        "repro-trace: {} slices over {} lanes ({} ranks), {} flow arrows; \
+         ring captured {} / dropped {}",
+        demo.stats.slices,
+        demo.stats.lanes,
+        demo.stats.processes,
+        demo.stats.flow_pairs,
+        demo.captured,
+        demo.dropped,
+    );
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &demo.json) {
+                eprintln!("repro-trace: cannot write {path}: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+            eprintln!("repro-trace: wrote {path} — open it in chrome://tracing or ui.perfetto.dev");
+        }
+        None => print!("{}", demo.json),
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -124,9 +124,14 @@ mod tests {
     #[test]
     fn cublas_beats_mkl_at_small_scale() {
         let rows = quick_sweep();
-        let mkl = rows.iter().find(|r| r.procs == 4 && r.backend == BlasBackend::HostMkl).unwrap();
-        let dev =
-            rows.iter().find(|r| r.procs == 4 && r.backend == BlasBackend::CublasThunking).unwrap();
+        let mkl = rows
+            .iter()
+            .find(|r| r.procs == 4 && r.backend == BlasBackend::HostMkl)
+            .unwrap();
+        let dev = rows
+            .iter()
+            .find(|r| r.procs == 4 && r.backend == BlasBackend::CublasThunking)
+            .unwrap();
         assert!(
             dev.wallclock < mkl.wallclock,
             "CUBLAS {} not faster than MKL {}",
@@ -138,7 +143,10 @@ mod tests {
     #[test]
     fn transfers_dwarf_zgemm_compute() {
         let rows = quick_sweep();
-        for r in rows.iter().filter(|r| r.backend == BlasBackend::CublasThunking) {
+        for r in rows
+            .iter()
+            .filter(|r| r.backend == BlasBackend::CublasThunking)
+        {
             let transfers = r.cublas_set_matrix + r.cublas_get_matrix;
             assert!(
                 transfers > r.zgemm_kernel,
@@ -159,7 +167,12 @@ mod tests {
                 .unwrap()
                 .mpi_gather
         };
-        assert!(gather(16) > 2.0 * gather(4), "gather {} -> {}", gather(4), gather(16));
+        assert!(
+            gather(16) > 2.0 * gather(4),
+            "gather {} -> {}",
+            gather(4),
+            gather(16)
+        );
     }
 
     #[test]

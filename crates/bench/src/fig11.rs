@@ -34,7 +34,9 @@ fn run_fig11_inner(nranks: usize, cfg: AmberConfig, steady: bool) -> Fig11Result
         cluster.gpu = cluster.gpu.with_context_init(0.0);
     }
     let run = run_cluster(&cluster, |ctx| run_amber(ctx, cfg).expect("md"));
-    Fig11Result { report: ClusterReport::from_profiles(run.profiles, nranks) }
+    Fig11Result {
+        report: ClusterReport::from_profiles(run.profiles, nranks),
+    }
 }
 
 impl Fig11Result {
@@ -47,33 +49,66 @@ impl Fig11Result {
     pub fn headline_metrics(&self) -> Vec<(&'static str, f64, f64)> {
         let r = &self.report;
         let shares = r.kernel_shares();
-        let share = |k: &str| shares.iter().find(|(n, _)| n == k).map(|(_, s)| *s).unwrap_or(0.0);
+        let share = |k: &str| {
+            shares
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0)
+        };
         let imb = r.kernel_imbalance();
-        let imbalance =
-            |k: &str| imb.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap_or(0.0);
+        let imbalance = |k: &str| {
+            imb.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
         vec![
-            ("GPU utilization (%wall)", 35.96, r.gpu_utilization() * 100.0),
+            (
+                "GPU utilization (%wall)",
+                35.96,
+                r.gpu_utilization() * 100.0,
+            ),
             (
                 "cudaThreadSynchronize (%wall)",
                 22.50,
                 100.0 * r.time_of("cudaThreadSynchronize") / r.wallclock_total,
             ),
-            ("@CUDA_HOST_IDLE (%wall)", 0.08, r.host_idle_fraction() * 100.0),
+            (
+                "@CUDA_HOST_IDLE (%wall)",
+                0.08,
+                r.host_idle_fraction() * 100.0,
+            ),
             ("%comm", 0.60, r.comm_fraction() * 100.0),
-            ("Nonbond kernel share (%GPU)", 37.0, share("CalculatePMEOrthogonalNonbondForces") * 100.0),
-            ("ReduceForces share (%GPU)", 18.0, share("ReduceForces") * 100.0),
+            (
+                "Nonbond kernel share (%GPU)",
+                37.0,
+                share("CalculatePMEOrthogonalNonbondForces") * 100.0,
+            ),
+            (
+                "ReduceForces share (%GPU)",
+                18.0,
+                share("ReduceForces") * 100.0,
+            ),
             ("PMEShake share (%GPU)", 10.0, share("PMEShake") * 100.0),
-            ("ClearForces share (%GPU)", 8.0, share("ClearForces") * 100.0),
+            (
+                "ClearForces share (%GPU)",
+                8.0,
+                share("ClearForces") * 100.0,
+            ),
             ("PMEUpdate share (%GPU)", 7.0, share("PMEUpdate") * 100.0),
-            ("ReduceForces imbalance (%)", 55.0, imbalance("ReduceForces") * 100.0),
+            (
+                "ReduceForces imbalance (%)",
+                55.0,
+                imbalance("ReduceForces") * 100.0,
+            ),
         ]
     }
 }
 
 /// Render the paper-vs-measured comparison.
 pub fn render_comparison(result: &Fig11Result) -> String {
-    let mut out =
-        String::from("metric                              paper     measured\n");
+    let mut out = String::from("metric                              paper     measured\n");
     for (label, paper, measured) in result.headline_metrics() {
         out.push_str(&format!("{label:<34} {paper:>7.2} {measured:>11.2}\n"));
     }

@@ -48,7 +48,12 @@ mod tests {
     fn cube_shows_the_four_kernels_per_stream() {
         let r = result();
         let text = r.render();
-        for k in ["dgemm_nn_e_kernel", "dgemm_nt_tex_kernel", "dtrsm_gpu_64_mm", "transpose"] {
+        for k in [
+            "dgemm_nn_e_kernel",
+            "dgemm_nt_tex_kernel",
+            "dtrsm_gpu_64_mm",
+            "transpose",
+        ] {
             assert!(text.contains(k), "cube missing {k}");
         }
         assert!(text.contains("@CUDA_EXEC_STRM"), "no per-stream nodes");
@@ -59,8 +64,11 @@ mod tests {
     fn host_idle_is_negligible_in_the_cube() {
         let r = result();
         let cuda = &r.cube.children[0];
-        let idle =
-            cuda.children.iter().find(|c| c.name == "@CUDA_HOST_IDLE").expect("idle node");
+        let idle = cuda
+            .children
+            .iter()
+            .find(|c| c.name == "@CUDA_HOST_IDLE")
+            .expect("idle node");
         assert!(
             idle.total() < 0.01 * r.report.wallclock_total,
             "host idle {} vs wallclock {}",
@@ -76,7 +84,10 @@ mod tests {
         assert!(xml.contains("<cube version=\"4.0\">"));
         assert!(xml.contains("dgemm_nn_e_kernel"));
         // 4 ranks → severity lists have 4 comma-separated values
-        let line = xml.lines().find(|l| l.contains("dgemm_nn_e_kernel")).unwrap();
+        let line = xml
+            .lines()
+            .find(|l| l.contains("dgemm_nn_e_kernel"))
+            .unwrap();
         let severity = line.split("severity=\"").nth(1).unwrap();
         assert_eq!(severity.split(',').count(), 4, "line: {line}");
     }
@@ -87,6 +98,9 @@ mod tests {
         let per_rank = r.report.time_of("cudaEventSynchronize") / 4.0;
         let wall = r.report.wallclock_max;
         assert!(per_rank > 0.0);
-        assert!(per_rank < 0.2 * wall, "event sync {per_rank} vs wall {wall}");
+        assert!(
+            per_rank < 0.2 * wall,
+            "event sync {per_rank} vs wall {wall}"
+        );
     }
 }

@@ -16,6 +16,7 @@
 //! | Fig. 10 | [`fig10`] | `repro-fig10` |
 //! | Fig. 11 | [`fig11`] | `repro-fig11` |
 //! | §III-C microbenchmark | re-exported from `ipm-core` | `repro-blocking` |
+//! | streaming trace (Perfetto export) | [`trace_fig`] | `repro-trace` |
 
 pub mod fig10;
 pub mod fig11;
@@ -23,3 +24,4 @@ pub mod fig8;
 pub mod fig9;
 pub mod square_fig;
 pub mod table1;
+pub mod trace_fig;

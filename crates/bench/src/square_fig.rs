@@ -47,7 +47,10 @@ pub fn run_square_fig(mode: SquareMode, cfg: SquareConfig) -> SquareResult {
     let cuda = IpmCuda::new(ipm.clone(), rt.clone());
     run_square(&cuda, cfg).expect("square");
     cuda.finalize();
-    SquareResult { profile: ipm.profile(), trace: rt.profiler_records() }
+    SquareResult {
+        profile: ipm.profile(),
+        trace: rt.profiler_records(),
+    }
 }
 
 impl SquareResult {
@@ -88,7 +91,10 @@ mod tests {
         let exec6 = fig6.profile.time_of("@CUDA_EXEC_STRM00");
         assert!(idle > 1.0, "idle {idle}");
         assert!(fig6.profile.time_of("cudaMemcpy(D2H)") < 0.05);
-        assert!((exec6 - idle).abs() / exec6 < 0.02, "exec {exec6} vs idle {idle}");
+        assert!(
+            (exec6 - idle).abs() / exec6 < 0.02,
+            "exec {exec6} vs idle {idle}"
+        );
     }
 
     #[test]
@@ -98,8 +104,10 @@ mod tests {
         let lines: Vec<&str> = banner.lines().collect();
         // find the first table row (right after the [time] column header):
         // cudaMalloc leads, as in the paper's Figs. 4-6
-        let header_idx =
-            lines.iter().position(|l| l.contains("[time]")).expect("column header");
+        let header_idx = lines
+            .iter()
+            .position(|l| l.contains("[time]"))
+            .expect("column header");
         let first_row = lines[header_idx + 1];
         assert!(first_row.contains("cudaMalloc"), "first row: {first_row}");
         assert!(banner.contains("@CUDA_EXEC_STRM00"));

@@ -39,11 +39,16 @@ impl Table1Row {
 /// Run one benchmark under simultaneous profiler + IPM observation.
 pub fn measure(bench: &SdkBenchmark, correction: Option<f64>) -> Table1Row {
     let rt = Arc::new(GpuRuntime::single(
-        GpuConfig::dirac_node().with_context_init(0.0).with_profiler(),
+        GpuConfig::dirac_node()
+            .with_context_init(0.0)
+            .with_profiler(),
     ));
     let ipm = Ipm::new(
         rt.clock().clone(),
-        IpmConfig { exec_time_correction: correction, ..IpmConfig::default() },
+        IpmConfig {
+            exec_time_correction: correction,
+            ..IpmConfig::default()
+        },
     );
     let cuda = IpmCuda::new(ipm.clone(), rt.clone());
     bench.run(&cuda).expect("benchmark run");
@@ -59,7 +64,10 @@ pub fn measure(bench: &SdkBenchmark, correction: Option<f64>) -> Table1Row {
 
 /// Regenerate the full Table I.
 pub fn run_table1(correction: Option<f64>) -> Vec<Table1Row> {
-    table1_suite().iter().map(|b| measure(b, correction)).collect()
+    table1_suite()
+        .iter()
+        .map(|b| measure(b, correction))
+        .collect()
 }
 
 /// Render the table in the paper's layout.
@@ -112,7 +120,10 @@ mod tests {
         // compare the shortest-kernel benchmark (MonteCarlo, ~1 ms per
         // invocation) with the longest (concurrentKernels, ~68 ms)
         let mc = rows.iter().find(|r| r.benchmark == "MonteCarlo").unwrap();
-        let ck = rows.iter().find(|r| r.benchmark == "concurrentKernels").unwrap();
+        let ck = rows
+            .iter()
+            .find(|r| r.benchmark == "concurrentKernels")
+            .unwrap();
         assert!(
             mc.difference_pct() > ck.difference_pct(),
             "short-kernel error {} <= long-kernel error {}",
@@ -131,7 +142,13 @@ mod tests {
                 .unwrap()
                 .paper_total();
             let rel = (row.profiler_s - paper).abs() / paper;
-            assert!(rel < 1e-9, "{}: {} vs paper {}", row.benchmark, row.profiler_s, paper);
+            assert!(
+                rel < 1e-9,
+                "{}: {} vs paper {}",
+                row.benchmark,
+                row.profiler_s,
+                paper
+            );
         }
     }
 

@@ -28,12 +28,24 @@ pub trait CudaApi: Send + Sync {
     /// Scale adapter: a synchronous H2D copy of `total_bytes` virtual
     /// bytes of which only the `src` prefix is physically transferred
     /// (see `GpuRuntime::memcpy_h2d_sized`).
-    fn cuda_memcpy_h2d_sized(&self, dst: DevicePtr, src: &[u8], total_bytes: u64) -> CudaResult<()>;
+    fn cuda_memcpy_h2d_sized(&self, dst: DevicePtr, src: &[u8], total_bytes: u64)
+        -> CudaResult<()>;
     /// Scale adapter: the D2H counterpart of `cuda_memcpy_h2d_sized`.
-    fn cuda_memcpy_d2h_sized(&self, dst: &mut [u8], src: DevicePtr, total_bytes: u64) -> CudaResult<()>;
+    fn cuda_memcpy_d2h_sized(
+        &self,
+        dst: &mut [u8],
+        src: DevicePtr,
+        total_bytes: u64,
+    ) -> CudaResult<()>;
     fn cuda_memcpy_d2d(&self, dst: DevicePtr, src: DevicePtr, len: usize) -> CudaResult<()>;
-    fn cuda_memcpy_h2d_async(&self, dst: DevicePtr, src: &[u8], stream: StreamId) -> CudaResult<()>;
-    fn cuda_memcpy_d2h_async(&self, dst: &mut [u8], src: DevicePtr, stream: StreamId) -> CudaResult<()>;
+    fn cuda_memcpy_h2d_async(&self, dst: DevicePtr, src: &[u8], stream: StreamId)
+        -> CudaResult<()>;
+    fn cuda_memcpy_d2h_async(
+        &self,
+        dst: &mut [u8],
+        src: DevicePtr,
+        stream: StreamId,
+    ) -> CudaResult<()>;
     fn cuda_memcpy_to_symbol(&self, symbol: &str, src: &[u8]) -> CudaResult<()>;
     fn cuda_memset(&self, dst: DevicePtr, value: u8, len: usize) -> CudaResult<()>;
     fn cuda_configure_call(&self, config: LaunchConfig) -> CudaResult<()>;
@@ -55,6 +67,22 @@ pub trait CudaApi: Send + Sync {
     fn cuda_get_device_properties(&self) -> CudaResult<DeviceProperties>;
     /// `cudaGetLastError`: returns and clears the sticky error.
     fn cuda_get_last_error(&self) -> Option<crate::error::CudaError>;
+
+    /// Correlation id of the calling thread's most recent kernel launch
+    /// (the CUPTI `correlationId` analogue), 0 when the backend does not
+    /// track launches. Defaulted so alternative backends and wrappers stay
+    /// source-compatible.
+    fn cuda_last_launch_correlation_id(&self) -> u64 {
+        0
+    }
+
+    /// Absolute device completion timestamp of a recorded event, for
+    /// placing event-bracketed intervals on the device timeline. Defaulted
+    /// to "unsupported" (`EventNotRecorded`) for backends without
+    /// timestamp introspection; consumers must degrade gracefully.
+    fn cuda_event_timestamp(&self, _event: EventId) -> CudaResult<f64> {
+        Err(crate::error::CudaError::EventNotRecorded)
+    }
 }
 
 impl CudaApi for GpuRuntime {
@@ -70,19 +98,39 @@ impl CudaApi for GpuRuntime {
     fn cuda_memcpy_d2h(&self, dst: &mut [u8], src: DevicePtr) -> CudaResult<()> {
         self.memcpy_d2h(dst, src)
     }
-    fn cuda_memcpy_h2d_sized(&self, dst: DevicePtr, src: &[u8], total_bytes: u64) -> CudaResult<()> {
+    fn cuda_memcpy_h2d_sized(
+        &self,
+        dst: DevicePtr,
+        src: &[u8],
+        total_bytes: u64,
+    ) -> CudaResult<()> {
         self.memcpy_h2d_sized(dst, src, total_bytes)
     }
-    fn cuda_memcpy_d2h_sized(&self, dst: &mut [u8], src: DevicePtr, total_bytes: u64) -> CudaResult<()> {
+    fn cuda_memcpy_d2h_sized(
+        &self,
+        dst: &mut [u8],
+        src: DevicePtr,
+        total_bytes: u64,
+    ) -> CudaResult<()> {
         self.memcpy_d2h_sized(dst, src, total_bytes)
     }
     fn cuda_memcpy_d2d(&self, dst: DevicePtr, src: DevicePtr, len: usize) -> CudaResult<()> {
         self.memcpy_d2d(dst, src, len)
     }
-    fn cuda_memcpy_h2d_async(&self, dst: DevicePtr, src: &[u8], stream: StreamId) -> CudaResult<()> {
+    fn cuda_memcpy_h2d_async(
+        &self,
+        dst: DevicePtr,
+        src: &[u8],
+        stream: StreamId,
+    ) -> CudaResult<()> {
         self.memcpy_h2d_async(dst, src, stream)
     }
-    fn cuda_memcpy_d2h_async(&self, dst: &mut [u8], src: DevicePtr, stream: StreamId) -> CudaResult<()> {
+    fn cuda_memcpy_d2h_async(
+        &self,
+        dst: &mut [u8],
+        src: DevicePtr,
+        stream: StreamId,
+    ) -> CudaResult<()> {
         self.memcpy_d2h_async(dst, src, stream)
     }
     fn cuda_memcpy_to_symbol(&self, symbol: &str, src: &[u8]) -> CudaResult<()> {
@@ -145,6 +193,12 @@ impl CudaApi for GpuRuntime {
     fn cuda_get_last_error(&self) -> Option<crate::error::CudaError> {
         self.get_last_error()
     }
+    fn cuda_last_launch_correlation_id(&self) -> u64 {
+        crate::runtime::last_launch_correlation_id()
+    }
+    fn cuda_event_timestamp(&self, event: EventId) -> CudaResult<f64> {
+        self.event_timestamp(event)
+    }
 }
 
 /// Launch `kernel` via the canonical `cudaConfigureCall` →
@@ -203,7 +257,13 @@ mod tests {
     fn launch_helper_uses_the_trio() {
         let rt = rt();
         let k = Kernel::timed("k", KernelCost::Fixed(0.01));
-        launch_kernel(&rt, &k, LaunchConfig::simple(4u32, 64u32), &[KernelArg::I32(7)]).unwrap();
+        launch_kernel(
+            &rt,
+            &k,
+            LaunchConfig::simple(4u32, 64u32),
+            &[KernelArg::I32(7)],
+        )
+        .unwrap();
         rt.cuda_thread_synchronize().unwrap();
         assert!(rt.clock().now() >= 0.01);
     }

@@ -149,7 +149,10 @@ mod tests {
 
     #[test]
     fn builder_toggles() {
-        let c = GpuConfig::dirac_node().with_profiler().with_launch_blocking().with_seed(7);
+        let c = GpuConfig::dirac_node()
+            .with_profiler()
+            .with_launch_blocking()
+            .with_seed(7);
         assert!(c.profile);
         assert!(c.launch_blocking);
         assert_eq!(c.seed, 7);

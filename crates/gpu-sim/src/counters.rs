@@ -80,7 +80,10 @@ pub struct CounterStore {
 impl CounterStore {
     /// A store in the given state; disabled stores drop events.
     pub fn new(enabled: bool) -> Self {
-        Self { enabled, per_kernel: HashMap::new() }
+        Self {
+            enabled,
+            per_kernel: HashMap::new(),
+        }
     }
 
     /// Whether counting is active.
@@ -93,7 +96,10 @@ impl CounterStore {
         if !self.enabled {
             return;
         }
-        self.per_kernel.entry(name.to_owned()).or_default().add(flops, bytes, threads, time);
+        self.per_kernel
+            .entry(name.to_owned())
+            .or_default()
+            .add(flops, bytes, threads, time);
     }
 
     /// Counters for one kernel symbol.
@@ -103,10 +109,15 @@ impl CounterStore {
 
     /// Snapshot of all counters, sorted by device time descending.
     pub fn snapshot(&self) -> Vec<(String, KernelCounters)> {
-        let mut out: Vec<_> =
-            self.per_kernel.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut out: Vec<_> = self
+            .per_kernel
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
         out.sort_by(|a, b| {
-            b.1.device_time.partial_cmp(&a.1.device_time).expect("finite device time")
+            b.1.device_time
+                .partial_cmp(&a.1.device_time)
+                .expect("finite device time")
         });
         out
     }

@@ -131,7 +131,9 @@ impl Device {
     }
 
     fn sharing(&self) -> bool {
-        self.attached_contexts().max(self.expected_contexts.load(Ordering::Acquire)) > 1
+        self.attached_contexts()
+            .max(self.expected_contexts.load(Ordering::Acquire))
+            > 1
     }
 
     /// Reserve the cross-context compute timeline for a kernel proposing to
@@ -223,8 +225,10 @@ mod tests {
 
     #[test]
     fn heap_capacity_shared_between_contexts() {
-        let mut cfg = GpuConfig::default();
-        cfg.device_memory = 100;
+        let cfg = GpuConfig {
+            device_memory: 100,
+            ..GpuConfig::default()
+        };
         let d = Device::new(cfg);
         let p = d.with_heap(|h| h.malloc(80)).unwrap();
         assert!(d.with_heap(|h| h.malloc(40)).is_err());

@@ -217,7 +217,13 @@ impl DriverContext {
         self.check_init()?;
         let mut modules = self.modules.lock();
         let id = ModuleHandle(modules.len() as u64 + 1);
-        modules.insert(id, Module { name: name.to_owned(), functions: Vec::new() });
+        modules.insert(
+            id,
+            Module {
+                name: name.to_owned(),
+                functions: Vec::new(),
+            },
+        );
         Ok(id)
     }
 
@@ -225,7 +231,9 @@ impl DriverContext {
     /// (the analogue of the kernel being present in the cubin).
     pub fn register_function(&self, module: ModuleHandle, kernel: Kernel) -> CudaResult<()> {
         let mut modules = self.modules.lock();
-        let m = modules.get_mut(&module).ok_or(CudaError::InvalidResourceHandle)?;
+        let m = modules
+            .get_mut(&module)
+            .ok_or(CudaError::InvalidResourceHandle)?;
         m.functions.push(kernel);
         Ok(())
     }
@@ -234,8 +242,14 @@ impl DriverContext {
     pub fn cu_module_get_function(&self, module: ModuleHandle, name: &str) -> CudaResult<Kernel> {
         self.check_init()?;
         let modules = self.modules.lock();
-        let m = modules.get(&module).ok_or(CudaError::InvalidResourceHandle)?;
-        m.functions.iter().find(|k| k.name() == name).cloned().ok_or(CudaError::InvalidValue)
+        let m = modules
+            .get(&module)
+            .ok_or(CudaError::InvalidResourceHandle)?;
+        m.functions
+            .iter()
+            .find(|k| k.name() == name)
+            .cloned()
+            .ok_or(CudaError::InvalidValue)
     }
 
     /// `cuFuncSetBlockShape`.
@@ -315,7 +329,10 @@ mod tests {
     #[test]
     fn calls_before_cu_init_fail() {
         let c = ctx();
-        assert_eq!(c.cu_device_get_count().unwrap_err(), CudaError::NotInitialized);
+        assert_eq!(
+            c.cu_device_get_count().unwrap_err(),
+            CudaError::NotInitialized
+        );
         assert_eq!(c.cu_mem_alloc(64).unwrap_err(), CudaError::NotInitialized);
         c.cu_init(0).unwrap();
         assert_eq!(c.cu_device_get_count().unwrap(), 1);
@@ -354,7 +371,8 @@ mod tests {
         let c = ctx();
         c.cu_init(0).unwrap();
         let k = Kernel::timed("drv_kernel", KernelCost::Fixed(0.2));
-        c.cu_launch_kernel(&k, LaunchConfig::simple(8u32, 32u32), &[]).unwrap();
+        c.cu_launch_kernel(&k, LaunchConfig::simple(8u32, 32u32), &[])
+            .unwrap();
         let before = c.runtime().clock().now();
         c.cu_ctx_synchronize().unwrap();
         assert!(c.runtime().clock().now() >= before + 0.19);
@@ -365,8 +383,11 @@ mod tests {
         let c = ctx();
         c.cu_init(0).unwrap();
         let m = c.cu_module_load("hpl_kernels.cubin").unwrap();
-        c.register_function(m, Kernel::timed("dgemm_nn_e_kernel", KernelCost::Fixed(0.05)))
-            .unwrap();
+        c.register_function(
+            m,
+            Kernel::timed("dgemm_nn_e_kernel", KernelCost::Fixed(0.05)),
+        )
+        .unwrap();
         let f = c.cu_module_get_function(m, "dgemm_nn_e_kernel").unwrap();
         assert_eq!(f.name(), "dgemm_nn_e_kernel");
         assert_eq!(
@@ -389,7 +410,10 @@ mod tests {
     fn bad_block_shape_rejected() {
         let c = ctx();
         c.cu_init(0).unwrap();
-        assert_eq!(c.cu_func_set_block_shape(0, 1, 1).unwrap_err(), CudaError::InvalidValue);
+        assert_eq!(
+            c.cu_func_set_block_shape(0, 1, 1).unwrap_err(),
+            CudaError::InvalidValue
+        );
     }
 
     #[test]
@@ -400,10 +424,11 @@ mod tests {
         let stop = c.cu_event_create().unwrap();
         c.cu_event_record(start, StreamId::DEFAULT).unwrap();
         let k = Kernel::timed("k", KernelCost::Fixed(0.1));
-        c.cu_launch_kernel(&k, LaunchConfig::simple(1u32, 1u32), &[]).unwrap();
+        c.cu_launch_kernel(&k, LaunchConfig::simple(1u32, 1u32), &[])
+            .unwrap();
         c.cu_event_record(stop, StreamId::DEFAULT).unwrap();
         c.cu_ctx_synchronize().unwrap();
         let dt = c.cu_event_elapsed_time(start, stop).unwrap();
-        assert!(dt >= 0.1 && dt < 0.1 + 1e-3, "dt = {dt}");
+        assert!((0.1..0.1 + 1e-3).contains(&dt), "dt = {dt}");
     }
 }

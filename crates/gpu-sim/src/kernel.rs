@@ -93,7 +93,11 @@ pub enum KernelCost {
 impl KernelCost {
     /// A roofline cost with a typical 60% efficiency.
     pub fn roofline(flops_per_thread: f64, bytes_per_thread: f64) -> Self {
-        KernelCost::Roofline { flops_per_thread, bytes_per_thread, efficiency: 0.6 }
+        KernelCost::Roofline {
+            flops_per_thread,
+            bytes_per_thread,
+            efficiency: 0.6,
+        }
     }
 }
 
@@ -157,7 +161,11 @@ pub struct Kernel {
 impl Kernel {
     /// A kernel with a cost model and no semantic effect (pure timing).
     pub fn timed(name: &str, cost: KernelCost) -> Self {
-        Self { name: Arc::from(name), cost, effect: None }
+        Self {
+            name: Arc::from(name),
+            cost,
+            effect: None,
+        }
     }
 
     /// A kernel with both a cost model and a real effect on device memory.
@@ -166,7 +174,11 @@ impl Kernel {
         cost: KernelCost,
         effect: impl Fn(&mut KernelCtx<'_>) + Send + Sync + 'static,
     ) -> Self {
-        Self { name: Arc::from(name), cost, effect: Some(Arc::new(effect)) }
+        Self {
+            name: Arc::from(name),
+            cost,
+            effect: Some(Arc::new(effect)),
+        }
     }
 
     /// The kernel symbol name (as reported in profiles).
@@ -185,12 +197,24 @@ impl Kernel {
     }
 
     /// Duration of one launch under `model`, before jitter.
-    pub fn duration(&self, config: &LaunchConfig, model: &ipm_sim_core::model::GpuComputeModel) -> f64 {
+    pub fn duration(
+        &self,
+        config: &LaunchConfig,
+        model: &ipm_sim_core::model::GpuComputeModel,
+    ) -> f64 {
         match self.cost {
             KernelCost::Fixed(d) => d,
-            KernelCost::Roofline { flops_per_thread, bytes_per_thread, efficiency } => {
+            KernelCost::Roofline {
+                flops_per_thread,
+                bytes_per_thread,
+                efficiency,
+            } => {
                 let threads = config.total_threads() as f64;
-                model.kernel_time(flops_per_thread * threads, bytes_per_thread * threads, efficiency)
+                model.kernel_time(
+                    flops_per_thread * threads,
+                    bytes_per_thread * threads,
+                    efficiency,
+                )
             }
         }
     }

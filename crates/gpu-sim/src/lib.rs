@@ -57,4 +57,4 @@ pub use error::{CudaError, CudaResult};
 pub use kernel::{Dim3, Kernel, KernelArg, KernelCost, KernelCtx, LaunchConfig};
 pub use memory::{DeviceHeap, DevicePtr};
 pub use profiler::{ProfKind, ProfRecord, Profiler};
-pub use runtime::GpuRuntime;
+pub use runtime::{last_launch_correlation_id, GpuRuntime};

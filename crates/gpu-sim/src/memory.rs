@@ -21,11 +21,17 @@ pub struct DevicePtr {
 
 impl DevicePtr {
     /// A null device pointer (never valid to dereference).
-    pub const NULL: DevicePtr = DevicePtr { alloc: 0, offset: 0 };
+    pub const NULL: DevicePtr = DevicePtr {
+        alloc: 0,
+        offset: 0,
+    };
 
     /// Pointer `bytes` past this one, still within the same allocation.
     pub fn byte_add(self, bytes: usize) -> DevicePtr {
-        DevicePtr { alloc: self.alloc, offset: self.offset + bytes }
+        DevicePtr {
+            alloc: self.alloc,
+            offset: self.offset + bytes,
+        }
     }
 
     /// True for [`DevicePtr::NULL`].
@@ -101,10 +107,19 @@ impl DeviceHeap {
         let id = self.next_id;
         self.next_id += 1;
         let backing = size.min(self.fidelity_limit);
-        self.allocs.insert(id, Alloc { logical: size, data: vec![0u8; backing] });
+        self.allocs.insert(
+            id,
+            Alloc {
+                logical: size,
+                data: vec![0u8; backing],
+            },
+        );
         self.used += size as u64;
         self.peak = self.peak.max(self.used);
-        Ok(DevicePtr { alloc: id, offset: 0 })
+        Ok(DevicePtr {
+            alloc: id,
+            offset: 0,
+        })
     }
 
     /// Free an allocation. The pointer must be the allocation base
@@ -124,15 +139,26 @@ impl DeviceHeap {
 
     /// Size in bytes of the allocation containing `ptr`, minus the offset.
     pub fn remaining_len(&self, ptr: DevicePtr) -> CudaResult<usize> {
-        let a = self.allocs.get(&ptr.alloc).ok_or(CudaError::InvalidDevicePointer)?;
-        a.logical.checked_sub(ptr.offset).ok_or(CudaError::InvalidValue)
+        let a = self
+            .allocs
+            .get(&ptr.alloc)
+            .ok_or(CudaError::InvalidDevicePointer)?;
+        a.logical
+            .checked_sub(ptr.offset)
+            .ok_or(CudaError::InvalidValue)
     }
 
     /// Copy host bytes into device memory. Bounds-checked against the full
     /// logical allocation; the physical copy stops at the backing store.
     pub fn write(&mut self, dst: DevicePtr, src: &[u8]) -> CudaResult<()> {
-        let a = self.allocs.get_mut(&dst.alloc).ok_or(CudaError::InvalidDevicePointer)?;
-        let end = dst.offset.checked_add(src.len()).ok_or(CudaError::InvalidValue)?;
+        let a = self
+            .allocs
+            .get_mut(&dst.alloc)
+            .ok_or(CudaError::InvalidDevicePointer)?;
+        let end = dst
+            .offset
+            .checked_add(src.len())
+            .ok_or(CudaError::InvalidValue)?;
         if end > a.logical {
             return Err(CudaError::InvalidValue);
         }
@@ -146,8 +172,14 @@ impl DeviceHeap {
     /// Copy device bytes out to host memory. Reads beyond the backing
     /// store yield zeros (see the fidelity-limit docs).
     pub fn read(&self, src: DevicePtr, dst: &mut [u8]) -> CudaResult<()> {
-        let a = self.allocs.get(&src.alloc).ok_or(CudaError::InvalidDevicePointer)?;
-        let end = src.offset.checked_add(dst.len()).ok_or(CudaError::InvalidValue)?;
+        let a = self
+            .allocs
+            .get(&src.alloc)
+            .ok_or(CudaError::InvalidDevicePointer)?;
+        let end = src
+            .offset
+            .checked_add(dst.len())
+            .ok_or(CudaError::InvalidValue)?;
         if end > a.logical {
             return Err(CudaError::InvalidValue);
         }
@@ -169,7 +201,10 @@ impl DeviceHeap {
 
     /// `cudaMemset`: fill `len` bytes with `value`.
     pub fn memset(&mut self, dst: DevicePtr, value: u8, len: usize) -> CudaResult<()> {
-        let a = self.allocs.get_mut(&dst.alloc).ok_or(CudaError::InvalidDevicePointer)?;
+        let a = self
+            .allocs
+            .get_mut(&dst.alloc)
+            .ok_or(CudaError::InvalidDevicePointer)?;
         let end = dst.offset.checked_add(len).ok_or(CudaError::InvalidValue)?;
         if end > a.logical {
             return Err(CudaError::InvalidValue);
@@ -268,7 +303,10 @@ mod tests {
         let mut h = heap();
         let p = h.malloc(8).unwrap();
         assert_eq!(h.write(p, &[0u8; 9]).unwrap_err(), CudaError::InvalidValue);
-        assert_eq!(h.write(p.byte_add(4), &[0u8; 5]).unwrap_err(), CudaError::InvalidValue);
+        assert_eq!(
+            h.write(p.byte_add(4), &[0u8; 5]).unwrap_err(),
+            CudaError::InvalidValue
+        );
     }
 
     #[test]
@@ -293,7 +331,10 @@ mod tests {
     fn free_of_interior_pointer_fails() {
         let mut h = heap();
         let p = h.malloc(8).unwrap();
-        assert_eq!(h.free(p.byte_add(4)).unwrap_err(), CudaError::InvalidDevicePointer);
+        assert_eq!(
+            h.free(p.byte_add(4)).unwrap_err(),
+            CudaError::InvalidDevicePointer
+        );
     }
 
     #[test]
@@ -338,7 +379,7 @@ mod tests {
         h.read(p, &mut out).unwrap();
         assert_eq!(&out[..8], &[7u8; 8]); // backed prefix is real
         assert_eq!(&out[8..], &[0u8; 24]); // beyond backing reads zero
-        // but true out-of-bounds is still an error
+                                           // but true out-of-bounds is still an error
         assert_eq!(h.write(p, &[0u8; 33]).unwrap_err(), CudaError::InvalidValue);
         // capacity accounting uses the logical size
         assert_eq!(h.used(), 32);
@@ -353,7 +394,10 @@ mod tests {
     fn null_pointer_is_invalid() {
         let h = heap();
         let mut out = [0u8; 1];
-        assert_eq!(h.read(DevicePtr::NULL, &mut out).unwrap_err(), CudaError::InvalidDevicePointer);
+        assert_eq!(
+            h.read(DevicePtr::NULL, &mut out).unwrap_err(),
+            CudaError::InvalidDevicePointer
+        );
         assert!(DevicePtr::NULL.is_null());
     }
 }

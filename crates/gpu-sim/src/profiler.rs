@@ -34,6 +34,11 @@ pub struct ProfRecord {
     pub gputime: f64,
     /// Host-side duration of the submitting call (virtual seconds).
     pub cputime: f64,
+    /// Process-unique correlation id linking this device record to the
+    /// host-side API call that submitted it (0 when untracked). The
+    /// nvprof/CUPTI `correlationId` analogue; trace exporters use it to
+    /// draw launch→kernel flow arrows.
+    pub corr: u64,
 }
 
 /// Accumulates profiler records for one context.
@@ -46,7 +51,10 @@ pub struct Profiler {
 impl Profiler {
     /// A profiler in the given state; disabled profilers drop records.
     pub fn new(enabled: bool) -> Self {
-        Self { enabled, records: Vec::new() }
+        Self {
+            enabled,
+            records: Vec::new(),
+        }
     }
 
     /// Whether recording is active.
@@ -79,12 +87,19 @@ impl Profiler {
 
     /// Sum of true device durations over *all* kernels.
     pub fn all_kernel_time(&self) -> f64 {
-        self.records.iter().filter(|r| r.kind == ProfKind::Kernel).map(|r| r.gputime).sum()
+        self.records
+            .iter()
+            .filter(|r| r.kind == ProfKind::Kernel)
+            .map(|r| r.gputime)
+            .sum()
     }
 
     /// Number of kernel invocations of `name`.
     pub fn kernel_invocations(&self, name: &str) -> usize {
-        self.records.iter().filter(|r| r.kind == ProfKind::Kernel && r.method == name).count()
+        self.records
+            .iter()
+            .filter(|r| r.kind == ProfKind::Kernel && r.method == name)
+            .count()
     }
 
     /// Distinct kernel names seen, in first-seen order.
@@ -132,6 +147,7 @@ mod tests {
             start: 0.0,
             gputime,
             cputime: 1e-6,
+            corr: 0,
         }
     }
 

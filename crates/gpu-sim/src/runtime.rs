@@ -37,11 +37,31 @@ use crate::memory::DevicePtr;
 use crate::profiler::{ProfKind, ProfRecord, Profiler};
 use ipm_sim_core::{SimClock, SimRng};
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Maximum threads per block on compute capability 2.0.
 const MAX_THREADS_PER_BLOCK: u64 = 1024;
+
+/// Process-global correlation-id source (the CUPTI `correlationId`
+/// analogue). Globally unique even when several contexts share one device,
+/// so a merged multi-rank trace never aliases two launches.
+static NEXT_CORRELATION: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Correlation id of the most recent kernel enqueued *by this thread*.
+    /// Ranks are one-thread-per-process in the simulation, so this is the
+    /// per-process "last launch" an interposition layer asks about.
+    static LAST_LAUNCH_CORR: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Correlation id assigned to the calling thread's most recent kernel
+/// launch (0 if this thread has not launched a kernel yet).
+pub fn last_launch_correlation_id() -> u64 {
+    LAST_LAUNCH_CORR.with(Cell::get)
+}
 
 #[derive(Debug, Clone, Copy)]
 struct StreamState {
@@ -108,7 +128,11 @@ impl GpuRuntime {
             last_error: None,
             device_ordinal: 0,
         };
-        Self { device, clock, inner: Mutex::new(inner) }
+        Self {
+            device,
+            clock,
+            inner: Mutex::new(inner),
+        }
     }
 
     /// Convenience: a fresh single-context runtime over a new device.
@@ -165,7 +189,11 @@ impl GpuRuntime {
     /// Device time at which *all* outstanding work of this context is done
     /// (the legacy default-stream synchronization point).
     fn sync_point(inner: &Inner) -> f64 {
-        inner.streams.values().map(|s| s.last_end).fold(0.0, f64::max)
+        inner
+            .streams
+            .values()
+            .map(|s| s.last_end)
+            .fold(0.0, f64::max)
     }
 
     fn record_err(&self, inner: &mut Inner, e: CudaError) -> CudaError {
@@ -177,7 +205,9 @@ impl GpuRuntime {
     /// earliest start not violating the device's concurrent-kernel limit.
     fn admit_kernel(inner: &mut Inner, proposed: f64, limit: usize) -> f64 {
         // retire kernels finished by `proposed`
-        inner.active_kernel_ends.retain(|&bits| f64::from_bits(bits) > proposed);
+        inner
+            .active_kernel_ends
+            .retain(|&bits| f64::from_bits(bits) > proposed);
         if inner.active_kernel_ends.len() < limit {
             return proposed;
         }
@@ -199,7 +229,10 @@ impl GpuRuntime {
         config: LaunchConfig,
         args: &[KernelArg],
     ) -> CudaResult<()> {
-        if config.block.count() > MAX_THREADS_PER_BLOCK || config.grid.count() == 0 || config.block.count() == 0 {
+        if config.block.count() > MAX_THREADS_PER_BLOCK
+            || config.grid.count() == 0
+            || config.block.count() == 0
+        {
             return Err(self.record_err(inner, CudaError::InvalidConfiguration));
         }
         if !inner.streams.contains_key(&config.stream) {
@@ -210,7 +243,7 @@ impl GpuRuntime {
         let mut proposed = now.max(inner.streams[&config.stream].last_end);
         if config.stream == StreamId::DEFAULT {
             // legacy default stream serializes against all other streams
-            proposed = proposed.max(Self::sync_point(&inner));
+            proposed = proposed.max(Self::sync_point(inner));
         }
         proposed = Self::admit_kernel(inner, proposed, cfg.max_concurrent_kernels);
 
@@ -221,9 +254,15 @@ impl GpuRuntime {
         };
         let start = self.device.reserve_compute(proposed, duration);
         let end = start + duration;
-        inner.streams.get_mut(&config.stream).expect("checked").last_end = end;
+        inner
+            .streams
+            .get_mut(&config.stream)
+            .expect("checked")
+            .last_end = end;
         inner.active_kernel_ends.push(end.to_bits());
 
+        let corr = NEXT_CORRELATION.fetch_add(1, Ordering::Relaxed);
+        LAST_LAUNCH_CORR.with(|c| c.set(corr));
         inner.profiler.record(ProfRecord {
             method: kernel.name().to_owned(),
             kind: ProfKind::Kernel,
@@ -231,17 +270,25 @@ impl GpuRuntime {
             start,
             gputime: duration,
             cputime: cfg.launch_overhead,
+            corr,
         });
         if inner.counters.enabled() {
             let threads = config.total_threads();
             let (flops, bytes) = match kernel.cost() {
                 crate::kernel::KernelCost::Roofline {
-                    flops_per_thread, bytes_per_thread, ..
-                } => (flops_per_thread * threads as f64, bytes_per_thread * threads as f64),
+                    flops_per_thread,
+                    bytes_per_thread,
+                    ..
+                } => (
+                    flops_per_thread * threads as f64,
+                    bytes_per_thread * threads as f64,
+                ),
                 // fixed-cost kernels carry no arithmetic model
                 crate::kernel::KernelCost::Fixed(_) => (0.0, 0.0),
             };
-            inner.counters.record(kernel.name(), flops, bytes, threads, duration);
+            inner
+                .counters
+                .record(kernel.name(), flops, bytes, threads, duration);
         }
 
         // Apply the kernel's semantic effect eagerly: program order on this
@@ -275,17 +322,24 @@ impl GpuRuntime {
         self.clock.advance(cfg.api_overhead);
         let host_before = self.clock.now();
         // implicit host blocking: wait for every outstanding device op
-        self.clock.advance_to(Self::sync_point(&inner));
+        self.clock.advance_to(Self::sync_point(inner));
         let model = match kind {
             ProfKind::MemcpyH2D | ProfKind::MemcpyToSymbol => &cfg.h2d,
             ProfKind::MemcpyD2H => &cfg.d2h,
             ProfKind::MemcpyD2D | ProfKind::Memset => &cfg.d2d,
             ProfKind::Kernel => unreachable!("kernels do not use sync_transfer"),
         };
-        let duration = cfg.noise.perturb_event(model.time(bytes), &mut inner.rng).max(0.0);
+        let duration = cfg
+            .noise
+            .perturb_event(model.time(bytes), &mut inner.rng)
+            .max(0.0);
         let start = self.clock.now();
         let end = self.clock.advance(duration);
-        inner.streams.get_mut(&StreamId::DEFAULT).expect("default stream").last_end = end;
+        inner
+            .streams
+            .get_mut(&StreamId::DEFAULT)
+            .expect("default stream")
+            .last_end = end;
         inner.profiler.record(ProfRecord {
             method: method.to_owned(),
             kind,
@@ -293,6 +347,7 @@ impl GpuRuntime {
             start,
             gputime: duration,
             cputime: end - host_before,
+            corr: 0,
         });
         (start, end)
     }
@@ -358,7 +413,12 @@ impl GpuRuntime {
 
     /// Synchronous D2H copy whose *virtual* size is `total_bytes` while
     /// only `dst` (a prefix) is physically read back.
-    pub fn memcpy_d2h_sized(&self, dst: &mut [u8], src: DevicePtr, total_bytes: u64) -> CudaResult<()> {
+    pub fn memcpy_d2h_sized(
+        &self,
+        dst: &mut [u8],
+        src: DevicePtr,
+        total_bytes: u64,
+    ) -> CudaResult<()> {
         let mut inner = self.inner.lock();
         self.ensure_init(&mut inner);
         if (dst.len() as u64) > total_bytes {
@@ -402,15 +462,24 @@ impl GpuRuntime {
         self.device
             .with_heap(|h| h.write(ptr, src))
             .map_err(|e| self.record_err(&mut inner, e))?;
-        self.sync_transfer(&mut inner, src.len() as u64, ProfKind::MemcpyToSymbol, "memcpyToSymbol");
+        self.sync_transfer(
+            &mut inner,
+            src.len() as u64,
+            ProfKind::MemcpyToSymbol,
+            "memcpyToSymbol",
+        );
         Ok(())
     }
 
     /// Asynchronous `cudaMemcpyAsync` host→device on `stream` (pinned-rate).
     pub fn memcpy_h2d_async(&self, dst: DevicePtr, src: &[u8], stream: StreamId) -> CudaResult<()> {
-        self.async_transfer(src.len() as u64, stream, ProfKind::MemcpyH2D, "memcpyHtoDasync", |dev| {
-            dev.with_heap(|h| h.write(dst, src))
-        })
+        self.async_transfer(
+            src.len() as u64,
+            stream,
+            ProfKind::MemcpyH2D,
+            "memcpyHtoDasync",
+            |dev| dev.with_heap(|h| h.write(dst, src)),
+        )
     }
 
     /// Asynchronous `cudaMemcpyAsync` device→host on `stream` (pinned-rate).
@@ -418,10 +487,19 @@ impl GpuRuntime {
     /// Data lands in `dst` immediately (Rust cannot defer the write), but
     /// virtual time treats the copy as completing on the stream; call
     /// [`GpuRuntime::stream_synchronize`] before trusting *timing*.
-    pub fn memcpy_d2h_async(&self, dst: &mut [u8], src: DevicePtr, stream: StreamId) -> CudaResult<()> {
-        self.async_transfer(dst.len() as u64, stream, ProfKind::MemcpyD2H, "memcpyDtoHasync", |dev| {
-            dev.with_heap(|h| h.read(src, dst))
-        })
+    pub fn memcpy_d2h_async(
+        &self,
+        dst: &mut [u8],
+        src: DevicePtr,
+        stream: StreamId,
+    ) -> CudaResult<()> {
+        self.async_transfer(
+            dst.len() as u64,
+            stream,
+            ProfKind::MemcpyD2H,
+            "memcpyDtoHasync",
+            |dev| dev.with_heap(|h| h.read(src, dst)),
+        )
     }
 
     fn async_transfer(
@@ -444,7 +522,10 @@ impl GpuRuntime {
         if stream == StreamId::DEFAULT {
             start = start.max(Self::sync_point(&inner));
         }
-        let duration = cfg.noise.perturb_event(cfg.pinned.time(bytes), &mut inner.rng).max(0.0);
+        let duration = cfg
+            .noise
+            .perturb_event(cfg.pinned.time(bytes), &mut inner.rng)
+            .max(0.0);
         let end = start + duration;
         inner.streams.get_mut(&stream).expect("checked").last_end = end;
         inner.profiler.record(ProfRecord {
@@ -454,6 +535,7 @@ impl GpuRuntime {
             start,
             gputime: duration,
             cputime: cfg.launch_overhead,
+            corr: 0,
         });
         self.clock.advance(cfg.launch_overhead);
         Ok(())
@@ -470,8 +552,11 @@ impl GpuRuntime {
             .map_err(|e| self.record_err(&mut inner, e))?;
         let start = self.clock.now().max(Self::sync_point(&inner));
         let duration = cfg.d2d.time(len as u64);
-        inner.streams.get_mut(&StreamId::DEFAULT).expect("default stream").last_end =
-            start + duration;
+        inner
+            .streams
+            .get_mut(&StreamId::DEFAULT)
+            .expect("default stream")
+            .last_end = start + duration;
         inner.profiler.record(ProfRecord {
             method: "memset".to_owned(),
             kind: ProfKind::Memset,
@@ -479,6 +564,7 @@ impl GpuRuntime {
             start,
             gputime: duration,
             cputime: cfg.api_overhead,
+            corr: 0,
         });
         self.clock.advance(cfg.api_overhead);
         Ok(())
@@ -493,7 +579,10 @@ impl GpuRuntime {
         let mut inner = self.inner.lock();
         self.ensure_init(&mut inner);
         self.clock.advance(self.cfg().api_overhead);
-        inner.launch_stack.push(PendingLaunch { config, args: Vec::new() });
+        inner.launch_stack.push(PendingLaunch {
+            config,
+            args: Vec::new(),
+        });
         Ok(())
     }
 
@@ -642,9 +731,9 @@ impl GpuRuntime {
         self.ensure_init(&mut inner);
         self.clock.advance(self.cfg().api_overhead);
         match inner.events.get(&event) {
-            Some(EventState { recorded_at: Some(ts) }) if *ts > self.clock.now() => {
-                Err(CudaError::NotReady)
-            }
+            Some(EventState {
+                recorded_at: Some(ts),
+            }) if *ts > self.clock.now() => Err(CudaError::NotReady),
             Some(_) => Ok(()),
             None => Err(self.record_err(&mut inner, CudaError::InvalidResourceHandle)),
         }
@@ -656,7 +745,9 @@ impl GpuRuntime {
         self.ensure_init(&mut inner);
         self.clock.advance(self.cfg().api_overhead);
         match inner.events.get(&event) {
-            Some(EventState { recorded_at: Some(ts) }) => {
+            Some(EventState {
+                recorded_at: Some(ts),
+            }) => {
                 self.clock.advance_to(*ts);
                 Ok(())
             }
@@ -674,7 +765,9 @@ impl GpuRuntime {
         self.clock.advance(self.cfg().api_overhead);
         let get = |inner: &Inner, id: EventId| -> CudaResult<f64> {
             match inner.events.get(&id) {
-                Some(EventState { recorded_at: Some(ts) }) => Ok(*ts),
+                Some(EventState {
+                    recorded_at: Some(ts),
+                }) => Ok(*ts),
                 Some(_) => Err(CudaError::EventNotRecorded),
                 None => Err(CudaError::InvalidResourceHandle),
             }
@@ -686,6 +779,26 @@ impl GpuRuntime {
             return Err(CudaError::NotReady);
         }
         Ok(t1 - t0)
+    }
+
+    /// Absolute device completion timestamp of a recorded event (virtual
+    /// seconds on the shared timeline). Not a `cuda*` entry point — this is
+    /// the introspection hook trace exporters use to place event-bracketed
+    /// intervals on the device timeline. Free of API overhead so probing
+    /// does not perturb the run. Errors if the event was never recorded or
+    /// has not completed yet.
+    pub fn event_timestamp(&self, event: EventId) -> CudaResult<f64> {
+        let mut inner = self.inner.lock();
+        match inner.events.get(&event) {
+            Some(EventState {
+                recorded_at: Some(ts),
+            }) if *ts <= self.clock.now() => Ok(*ts),
+            Some(EventState {
+                recorded_at: Some(_),
+            }) => Err(CudaError::NotReady),
+            Some(_) => Err(CudaError::EventNotRecorded),
+            None => Err(self.record_err(&mut inner, CudaError::InvalidResourceHandle)),
+        }
     }
 
     // ----------------------------------------------------------------
@@ -788,7 +901,9 @@ mod tests {
     #[test]
     fn launch_blocking_waits() {
         let rt = GpuRuntime::single(
-            GpuConfig::dirac_node().with_context_init(0.0).with_launch_blocking(),
+            GpuConfig::dirac_node()
+                .with_context_init(0.0)
+                .with_launch_blocking(),
         );
         let k = fixed_kernel(0.5);
         let before = rt.clock().now();
@@ -811,7 +926,8 @@ mod tests {
             let n = ctx.args[1].as_i32().unwrap() as usize;
             ctx.heap.map_f64(p, n, |_, v| v * v).unwrap();
         });
-        rt.configure_call(LaunchConfig::simple(Dim3::x(n as u32), 1u32)).unwrap();
+        rt.configure_call(LaunchConfig::simple(Dim3::x(n as u32), 1u32))
+            .unwrap();
         rt.setup_argument(KernelArg::Ptr(dev)).unwrap();
         rt.setup_argument(KernelArg::I32(n as i32)).unwrap();
         rt.launch(&k).unwrap();
@@ -870,7 +986,10 @@ mod tests {
         let rt = rt();
         let ev = rt.event_create().unwrap();
         assert!(rt.event_query(ev).is_ok());
-        assert_eq!(rt.event_synchronize(ev).unwrap_err(), CudaError::EventNotRecorded);
+        assert_eq!(
+            rt.event_synchronize(ev).unwrap_err(),
+            CudaError::EventNotRecorded
+        );
     }
 
     #[test]
@@ -880,7 +999,10 @@ mod tests {
         rt.event_record(a, StreamId::DEFAULT).unwrap();
         launch(&rt, &fixed_kernel(1.0), LaunchConfig::simple(1u32, 1u32));
         rt.event_record(b, StreamId::DEFAULT).unwrap();
-        assert_eq!(rt.event_elapsed_time(a, b).unwrap_err(), CudaError::NotReady);
+        assert_eq!(
+            rt.event_elapsed_time(a, b).unwrap_err(),
+            CudaError::NotReady
+        );
     }
 
     #[test]
@@ -934,7 +1056,8 @@ mod tests {
     fn invalid_configuration_rejected() {
         let rt = rt();
         let k = fixed_kernel(0.1);
-        rt.configure_call(LaunchConfig::simple(1u32, 2048u32)).unwrap();
+        rt.configure_call(LaunchConfig::simple(1u32, 2048u32))
+            .unwrap();
         assert_eq!(rt.launch(&k).unwrap_err(), CudaError::InvalidConfiguration);
     }
 
@@ -943,8 +1066,14 @@ mod tests {
         let rt = rt();
         let s = rt.stream_create().unwrap();
         rt.stream_destroy(s).unwrap();
-        assert_eq!(rt.stream_synchronize(s).unwrap_err(), CudaError::InvalidResourceHandle);
-        assert_eq!(rt.stream_destroy(StreamId::DEFAULT).unwrap_err(), CudaError::InvalidResourceHandle);
+        assert_eq!(
+            rt.stream_synchronize(s).unwrap_err(),
+            CudaError::InvalidResourceHandle
+        );
+        assert_eq!(
+            rt.stream_destroy(StreamId::DEFAULT).unwrap_err(),
+            CudaError::InvalidResourceHandle
+        );
     }
 
     #[test]
@@ -960,7 +1089,9 @@ mod tests {
     #[test]
     fn profiler_captures_true_kernel_time() {
         let rt = GpuRuntime::single(
-            GpuConfig::dirac_node().with_context_init(0.0).with_profiler(),
+            GpuConfig::dirac_node()
+                .with_context_init(0.0)
+                .with_profiler(),
         );
         let k = fixed_kernel(0.25);
         launch(&rt, &k, LaunchConfig::simple(1u32, 1u32));
@@ -974,7 +1105,11 @@ mod tests {
     fn stream_query_reports_progress() {
         let rt = rt();
         let s = rt.stream_create().unwrap();
-        launch(&rt, &fixed_kernel(1.0), LaunchConfig::simple(1u32, 1u32).on_stream(s));
+        launch(
+            &rt,
+            &fixed_kernel(1.0),
+            LaunchConfig::simple(1u32, 1u32).on_stream(s),
+        );
         assert_eq!(rt.stream_query(s).unwrap_err(), CudaError::NotReady);
         rt.stream_synchronize(s).unwrap();
         assert!(rt.stream_query(s).is_ok());

@@ -29,8 +29,11 @@ impl Registry {
         calls.extend(cublas_calls());
         calls.extend_from_slice(CUFFT_CALLS);
         calls.extend_from_slice(MPI_CALLS);
-        let by_name =
-            calls.iter().enumerate().map(|(i, c)| (c.name, CallId(i as u32))).collect();
+        let by_name = calls
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name, CallId(i as u32)))
+            .collect();
         Self { calls, by_name }
     }
 
@@ -68,7 +71,9 @@ impl Registry {
     /// The **implicit blocking set**: the calls IPM instruments with a
     /// preceding `cudaStreamSynchronize` for host-idle attribution.
     pub fn implicit_blocking_set(&self) -> impl Iterator<Item = &CallSpec> {
-        self.calls.iter().filter(|c| c.blocking == BlockingClass::ImplicitSync)
+        self.calls
+            .iter()
+            .filter(|c| c.blocking == BlockingClass::ImplicitSync)
     }
 }
 
@@ -84,7 +89,10 @@ mod tests {
         assert_eq!(r.family(ApiFamily::Cublas).count(), 167);
         assert_eq!(r.family(ApiFamily::Cufft).count(), 13);
         assert!(r.family(ApiFamily::Mpi).count() > 10);
-        assert_eq!(r.len(), 65 + 99 + 167 + 13 + r.family(ApiFamily::Mpi).count());
+        assert_eq!(
+            r.len(),
+            65 + 99 + 167 + 13 + r.family(ApiFamily::Mpi).count()
+        );
         assert!(!r.is_empty());
     }
 

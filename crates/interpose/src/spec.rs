@@ -61,7 +61,12 @@ const fn call(
     blocking: BlockingClass,
     has_bytes: bool,
 ) -> CallSpec {
-    CallSpec { name, family, blocking, has_bytes }
+    CallSpec {
+        name,
+        family,
+        blocking,
+        has_bytes,
+    }
 }
 
 macro_rules! rt_local {
@@ -115,7 +120,12 @@ pub static CUDA_RUNTIME_CALLS: &[CallSpec] = &{
     ];
     j = 0;
     while j < sync_copies.len() {
-        push!(call(sync_copies[j], ApiFamily::CudaRuntime, BlockingClass::ImplicitSync, true));
+        push!(call(
+            sync_copies[j],
+            ApiFamily::CudaRuntime,
+            BlockingClass::ImplicitSync,
+            true
+        ));
         j += 1;
     }
     // asynchronous copies
@@ -128,14 +138,24 @@ pub static CUDA_RUNTIME_CALLS: &[CallSpec] = &{
     ];
     j = 0;
     while j < async_copies.len() {
-        push!(call(async_copies[j], ApiFamily::CudaRuntime, BlockingClass::NonBlocking, true));
+        push!(call(
+            async_copies[j],
+            ApiFamily::CudaRuntime,
+            BlockingClass::NonBlocking,
+            true
+        ));
         j += 1;
     }
     // memsets: synchronous in name, but NOT implicitly blocking (paper §III-C)
     let memsets = ["cudaMemset", "cudaMemset2D", "cudaMemset3D"];
     j = 0;
     while j < memsets.len() {
-        push!(call(memsets[j], ApiFamily::CudaRuntime, BlockingClass::NonBlocking, true));
+        push!(call(
+            memsets[j],
+            ApiFamily::CudaRuntime,
+            BlockingClass::NonBlocking,
+            true
+        ));
         j += 1;
     }
     // info + symbols + device management + execution control
@@ -179,12 +199,26 @@ pub static CUDA_RUNTIME_CALLS: &[CallSpec] = &{
         j += 1;
     }
     // kernel launch: asynchronous submission
-    push!(call("cudaLaunch", ApiFamily::CudaRuntime, BlockingClass::NonBlocking, false));
+    push!(call(
+        "cudaLaunch",
+        ApiFamily::CudaRuntime,
+        BlockingClass::NonBlocking,
+        false
+    ));
     // explicit synchronization
-    let syncs = ["cudaStreamSynchronize", "cudaEventSynchronize", "cudaThreadSynchronize"];
+    let syncs = [
+        "cudaStreamSynchronize",
+        "cudaEventSynchronize",
+        "cudaThreadSynchronize",
+    ];
     j = 0;
     while j < syncs.len() {
-        push!(call(syncs[j], ApiFamily::CudaRuntime, BlockingClass::ExplicitSync, false));
+        push!(call(
+            syncs[j],
+            ApiFamily::CudaRuntime,
+            BlockingClass::ExplicitSync,
+            false
+        ));
         j += 1;
     }
     assert!(i == 65, "runtime API spec must list exactly 65 calls");
@@ -258,7 +292,12 @@ pub static CUDA_DRIVER_CALLS: &[CallSpec] = &{
     ];
     j = 0;
     while j < sync_copies.len() {
-        push!(call(sync_copies[j], ApiFamily::CudaDriver, BlockingClass::ImplicitSync, true));
+        push!(call(
+            sync_copies[j],
+            ApiFamily::CudaDriver,
+            BlockingClass::ImplicitSync,
+            true
+        ));
         j += 1;
     }
     let async_copies = [
@@ -272,15 +311,31 @@ pub static CUDA_DRIVER_CALLS: &[CallSpec] = &{
     ];
     j = 0;
     while j < async_copies.len() {
-        push!(call(async_copies[j], ApiFamily::CudaDriver, BlockingClass::NonBlocking, true));
+        push!(call(
+            async_copies[j],
+            ApiFamily::CudaDriver,
+            BlockingClass::NonBlocking,
+            true
+        ));
         j += 1;
     }
     // memsets: NOT in the implicit blocking set (paper §III-C)
-    let memsets =
-        ["cuMemsetD8", "cuMemsetD16", "cuMemsetD32", "cuMemsetD2D8", "cuMemsetD2D16", "cuMemsetD2D32"];
+    let memsets = [
+        "cuMemsetD8",
+        "cuMemsetD16",
+        "cuMemsetD32",
+        "cuMemsetD2D8",
+        "cuMemsetD2D16",
+        "cuMemsetD2D32",
+    ];
     j = 0;
     while j < memsets.len() {
-        push!(call(memsets[j], ApiFamily::CudaDriver, BlockingClass::NonBlocking, true));
+        push!(call(
+            memsets[j],
+            ApiFamily::CudaDriver,
+            BlockingClass::NonBlocking,
+            true
+        ));
         j += 1;
     }
     let more_locals = drv_local![
@@ -328,13 +383,27 @@ pub static CUDA_DRIVER_CALLS: &[CallSpec] = &{
     let launches = ["cuLaunch", "cuLaunchGrid", "cuLaunchGridAsync"];
     j = 0;
     while j < launches.len() {
-        push!(call(launches[j], ApiFamily::CudaDriver, BlockingClass::NonBlocking, false));
+        push!(call(
+            launches[j],
+            ApiFamily::CudaDriver,
+            BlockingClass::NonBlocking,
+            false
+        ));
         j += 1;
     }
-    let syncs = ["cuCtxSynchronize", "cuEventSynchronize", "cuStreamSynchronize"];
+    let syncs = [
+        "cuCtxSynchronize",
+        "cuEventSynchronize",
+        "cuStreamSynchronize",
+    ];
     j = 0;
     while j < syncs.len() {
-        push!(call(syncs[j], ApiFamily::CudaDriver, BlockingClass::ExplicitSync, false));
+        push!(call(
+            syncs[j],
+            ApiFamily::CudaDriver,
+            BlockingClass::ExplicitSync,
+            false
+        ));
         j += 1;
     }
     assert!(i == 99, "driver API spec must list exactly 99 calls");
@@ -391,7 +460,9 @@ pub fn cublas_calls() -> Vec<CallSpec> {
         ] {
             out.push(computational(r));
         }
-        for r in ["axpy", "copy", "dot", "nrm2", "rot", "rotg", "rotm", "rotmg", "scal", "swap"] {
+        for r in [
+            "axpy", "copy", "dot", "nrm2", "rot", "rotg", "rotm", "rotmg", "scal", "swap",
+        ] {
             out.push(computational(format!("cublas{}{}", t.to_uppercase(), r)));
         }
     }
@@ -405,11 +476,17 @@ pub fn cublas_calls() -> Vec<CallSpec> {
             out.push(computational(r));
         }
         let tt = t.to_uppercase();
-        for r in ["axpy", "copy", "dotu", "dotc", "rot", "rotg", "scal", "swap"] {
+        for r in [
+            "axpy", "copy", "dotu", "dotc", "rot", "rotg", "scal", "swap",
+        ] {
             out.push(computational(format!("cublas{tt}{r}")));
         }
         // mixed real-complex scal / rot (csscal, zdscal, csrot, zdrot)
-        let mixed = if t == "c" { ["cublasCsscal", "cublasCsrot"] } else { ["cublasZdscal", "cublasZdrot"] };
+        let mixed = if t == "c" {
+            ["cublasCsscal", "cublasCsrot"]
+        } else {
+            ["cublasZdscal", "cublasZdrot"]
+        };
         for r in mixed {
             out.push(computational(r.to_owned()));
         }
@@ -440,7 +517,9 @@ pub fn cublas_calls() -> Vec<CallSpec> {
         }
     }
     for t in ["C", "Z"] {
-        for r in ["gemm", "symm", "hemm", "syrk", "herk", "syr2k", "her2k", "trmm", "trsm"] {
+        for r in [
+            "gemm", "symm", "hemm", "syrk", "herk", "syr2k", "her2k", "trmm", "trsm",
+        ] {
             out.push(computational(format!("cublas{t}{r}")));
         }
     }
@@ -452,35 +531,155 @@ pub static CUFFT_CALLS: &[CallSpec] = &[
     call("cufftPlan1d", ApiFamily::Cufft, BlockingClass::Local, true),
     call("cufftPlan2d", ApiFamily::Cufft, BlockingClass::Local, true),
     call("cufftPlan3d", ApiFamily::Cufft, BlockingClass::Local, true),
-    call("cufftPlanMany", ApiFamily::Cufft, BlockingClass::Local, true),
-    call("cufftDestroy", ApiFamily::Cufft, BlockingClass::Local, false),
-    call("cufftExecC2C", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
-    call("cufftExecR2C", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
-    call("cufftExecC2R", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
-    call("cufftExecZ2Z", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
-    call("cufftExecD2Z", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
-    call("cufftExecZ2D", ApiFamily::Cufft, BlockingClass::NonBlocking, true),
-    call("cufftSetStream", ApiFamily::Cufft, BlockingClass::Local, false),
-    call("cufftSetCompatibilityMode", ApiFamily::Cufft, BlockingClass::Local, false),
+    call(
+        "cufftPlanMany",
+        ApiFamily::Cufft,
+        BlockingClass::Local,
+        true,
+    ),
+    call(
+        "cufftDestroy",
+        ApiFamily::Cufft,
+        BlockingClass::Local,
+        false,
+    ),
+    call(
+        "cufftExecC2C",
+        ApiFamily::Cufft,
+        BlockingClass::NonBlocking,
+        true,
+    ),
+    call(
+        "cufftExecR2C",
+        ApiFamily::Cufft,
+        BlockingClass::NonBlocking,
+        true,
+    ),
+    call(
+        "cufftExecC2R",
+        ApiFamily::Cufft,
+        BlockingClass::NonBlocking,
+        true,
+    ),
+    call(
+        "cufftExecZ2Z",
+        ApiFamily::Cufft,
+        BlockingClass::NonBlocking,
+        true,
+    ),
+    call(
+        "cufftExecD2Z",
+        ApiFamily::Cufft,
+        BlockingClass::NonBlocking,
+        true,
+    ),
+    call(
+        "cufftExecZ2D",
+        ApiFamily::Cufft,
+        BlockingClass::NonBlocking,
+        true,
+    ),
+    call(
+        "cufftSetStream",
+        ApiFamily::Cufft,
+        BlockingClass::Local,
+        false,
+    ),
+    call(
+        "cufftSetCompatibilityMode",
+        ApiFamily::Cufft,
+        BlockingClass::Local,
+        false,
+    ),
 ];
 
 /// The MPI calls IPM traditionally monitors (a representative subset of the
 /// PMPI surface — IPM's MPI coverage predates this paper).
 pub static MPI_CALLS: &[CallSpec] = &[
-    call("MPI_Send", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
-    call("MPI_Recv", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
-    call("MPI_Isend", ApiFamily::Mpi, BlockingClass::NonBlocking, true),
-    call("MPI_Irecv", ApiFamily::Mpi, BlockingClass::NonBlocking, true),
-    call("MPI_Wait", ApiFamily::Mpi, BlockingClass::ExplicitSync, false),
-    call("MPI_Waitall", ApiFamily::Mpi, BlockingClass::ExplicitSync, false),
-    call("MPI_Barrier", ApiFamily::Mpi, BlockingClass::ExplicitSync, false),
-    call("MPI_Bcast", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
-    call("MPI_Reduce", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
-    call("MPI_Allreduce", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
-    call("MPI_Gather", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
-    call("MPI_Allgather", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
-    call("MPI_Scatter", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
-    call("MPI_Alltoall", ApiFamily::Mpi, BlockingClass::ExplicitSync, true),
+    call(
+        "MPI_Send",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        true,
+    ),
+    call(
+        "MPI_Recv",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        true,
+    ),
+    call(
+        "MPI_Isend",
+        ApiFamily::Mpi,
+        BlockingClass::NonBlocking,
+        true,
+    ),
+    call(
+        "MPI_Irecv",
+        ApiFamily::Mpi,
+        BlockingClass::NonBlocking,
+        true,
+    ),
+    call(
+        "MPI_Wait",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        false,
+    ),
+    call(
+        "MPI_Waitall",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        false,
+    ),
+    call(
+        "MPI_Barrier",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        false,
+    ),
+    call(
+        "MPI_Bcast",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        true,
+    ),
+    call(
+        "MPI_Reduce",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        true,
+    ),
+    call(
+        "MPI_Allreduce",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        true,
+    ),
+    call(
+        "MPI_Gather",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        true,
+    ),
+    call(
+        "MPI_Allgather",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        true,
+    ),
+    call(
+        "MPI_Scatter",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        true,
+    ),
+    call(
+        "MPI_Alltoall",
+        ApiFamily::Mpi,
+        BlockingClass::ExplicitSync,
+        true,
+    ),
     call("MPI_Comm_rank", ApiFamily::Mpi, BlockingClass::Local, false),
     call("MPI_Comm_size", ApiFamily::Mpi, BlockingClass::Local, false),
     call("MPI_Wtime", ApiFamily::Mpi, BlockingClass::Local, false),
@@ -503,7 +702,13 @@ mod tests {
 
     #[test]
     fn names_are_unique_within_each_family() {
-        for calls in [CUDA_RUNTIME_CALLS.to_vec(), CUDA_DRIVER_CALLS.to_vec(), CUFFT_CALLS.to_vec(), cublas_calls(), MPI_CALLS.to_vec()] {
+        for calls in [
+            CUDA_RUNTIME_CALLS.to_vec(),
+            CUDA_DRIVER_CALLS.to_vec(),
+            CUFFT_CALLS.to_vec(),
+            cublas_calls(),
+            MPI_CALLS.to_vec(),
+        ] {
             let set: HashSet<&str> = calls.iter().map(|c| c.name).collect();
             assert_eq!(set.len(), calls.len(), "duplicate names in a family");
         }
@@ -515,11 +720,19 @@ mod tests {
         // "with the notable exception of cudaMemset and cuMemset"
         for c in CUDA_RUNTIME_CALLS.iter().chain(CUDA_DRIVER_CALLS) {
             if c.name.contains("Memset") || c.name.contains("emsetD") {
-                assert_ne!(c.blocking, BlockingClass::ImplicitSync, "{} misclassified", c.name);
+                assert_ne!(
+                    c.blocking,
+                    BlockingClass::ImplicitSync,
+                    "{} misclassified",
+                    c.name
+                );
             }
         }
         // while plain cudaMemcpy is in the set
-        let memcpy = CUDA_RUNTIME_CALLS.iter().find(|c| c.name == "cudaMemcpy").unwrap();
+        let memcpy = CUDA_RUNTIME_CALLS
+            .iter()
+            .find(|c| c.name == "cudaMemcpy")
+            .unwrap();
         assert_eq!(memcpy.blocking, BlockingClass::ImplicitSync);
     }
 
@@ -527,7 +740,12 @@ mod tests {
     fn async_copies_never_block() {
         for c in CUDA_RUNTIME_CALLS.iter().chain(CUDA_DRIVER_CALLS) {
             if c.name.ends_with("Async") {
-                assert_eq!(c.blocking, BlockingClass::NonBlocking, "{} misclassified", c.name);
+                assert_eq!(
+                    c.blocking,
+                    BlockingClass::NonBlocking,
+                    "{} misclassified",
+                    c.name
+                );
             }
         }
     }
@@ -539,14 +757,21 @@ mod tests {
                 assert!(c.has_bytes, "{} should record bytes", c.name);
             }
         }
-        let zgemm = cublas_calls().into_iter().find(|c| c.name == "cublasZgemm").unwrap();
+        let zgemm = cublas_calls()
+            .into_iter()
+            .find(|c| c.name == "cublasZgemm")
+            .unwrap();
         assert!(zgemm.has_bytes);
     }
 
     #[test]
     fn families_are_tagged_consistently() {
-        assert!(CUDA_RUNTIME_CALLS.iter().all(|c| c.family == ApiFamily::CudaRuntime));
-        assert!(CUDA_DRIVER_CALLS.iter().all(|c| c.family == ApiFamily::CudaDriver));
+        assert!(CUDA_RUNTIME_CALLS
+            .iter()
+            .all(|c| c.family == ApiFamily::CudaRuntime));
+        assert!(CUDA_DRIVER_CALLS
+            .iter()
+            .all(|c| c.family == ApiFamily::CudaDriver));
         assert!(CUFFT_CALLS.iter().all(|c| c.family == ApiFamily::Cufft));
         assert!(cublas_calls().iter().all(|c| c.family == ApiFamily::Cublas));
         assert!(MPI_CALLS.iter().all(|c| c.family == ApiFamily::Mpi));
@@ -570,11 +795,23 @@ mod tests {
             assert!(rt.contains(name), "runtime spec missing {name}");
         }
         let drv: HashSet<&str> = CUDA_DRIVER_CALLS.iter().map(|c| c.name).collect();
-        for name in ["cuInit", "cuMemAlloc", "cuMemcpyHtoD", "cuLaunchGrid", "cuCtxSynchronize"] {
+        for name in [
+            "cuInit",
+            "cuMemAlloc",
+            "cuMemcpyHtoD",
+            "cuLaunchGrid",
+            "cuCtxSynchronize",
+        ] {
             assert!(drv.contains(name), "driver spec missing {name}");
         }
         let blas: HashSet<String> = cublas_calls().iter().map(|c| c.name.to_owned()).collect();
-        for name in ["cublasZgemm", "cublasDgemm", "cublasSetMatrix", "cublasGetMatrix", "cublasInit"] {
+        for name in [
+            "cublasZgemm",
+            "cublasDgemm",
+            "cublasSetMatrix",
+            "cublasGetMatrix",
+            "cublasInit",
+        ] {
             assert!(blas.contains(name), "cublas spec missing {name}");
         }
     }

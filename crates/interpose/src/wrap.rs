@@ -26,6 +26,14 @@ pub trait MonitorSink: Send + Sync {
     /// Record one completed call: `name` (a registry name), the byte count
     /// attribute (0 when the call has none), and the host-side duration.
     fn update(&self, name: &'static str, bytes: u64, duration: f64);
+
+    /// Record one completed call with its begin/end timestamps. Sinks that
+    /// keep an event stream (the trace ring) override this to capture the
+    /// interval; the default forwards the duration to [`Self::update`], so
+    /// aggregate-only sinks need not care.
+    fn span(&self, name: &'static str, bytes: u64, begin: f64, end: f64) {
+        self.update(name, bytes, end - begin);
+    }
 }
 
 /// A sink that drops everything (monitoring disabled).
@@ -52,7 +60,7 @@ pub fn wrap_call<R>(
     let ret = real();
     clock.advance(overhead);
     let end = clock.now();
-    sink.update(name, bytes, end - begin);
+    sink.span(name, bytes, begin, end);
     ret
 }
 
@@ -130,6 +138,32 @@ mod tests {
         let err: Result<i32, &str> = wrap_call(&clock, &sink, "x", 0, 0.0, || Err("boom"));
         assert_eq!(ok, Ok(7));
         assert_eq!(err, Err("boom"));
+    }
+
+    #[derive(Default)]
+    struct SpanSink {
+        spans: Mutex<Vec<(&'static str, f64, f64)>>,
+    }
+
+    impl MonitorSink for SpanSink {
+        fn update(&self, _name: &'static str, _bytes: u64, _duration: f64) {}
+        fn span(&self, name: &'static str, _bytes: u64, begin: f64, end: f64) {
+            self.spans.lock().push((name, begin, end));
+        }
+    }
+
+    #[test]
+    fn span_override_sees_begin_and_end_timestamps() {
+        let clock = SimClock::new();
+        clock.advance(1.0);
+        let sink = SpanSink::default();
+        wrap_call(&clock, &sink, "cudaLaunch", 0, 0.0, || clock.advance(0.5));
+        let spans = sink.spans.lock();
+        assert_eq!(spans.len(), 1);
+        let (name, begin, end) = spans[0];
+        assert_eq!(name, "cudaLaunch");
+        assert!((begin - 1.0).abs() < 1e-12);
+        assert!((end - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! tables, per-kernel/per-rank matrices for imbalance analysis (Fig. 9),
 //! and load-imbalance metrics.
 
+use crate::monitor::Snapshot;
 use crate::profile::{EventFamily, RankProfile};
 use ipm_sim_core::RunningStats;
 use std::collections::HashMap;
@@ -80,7 +81,11 @@ impl ClusterReport {
 
     /// Per-rank spread of the time spent in a family.
     pub fn family_spread(&self, family: EventFamily) -> RankSpread {
-        let values: Vec<f64> = self.profiles.iter().map(|p| p.family_time(family)).collect();
+        let values: Vec<f64> = self
+            .profiles
+            .iter()
+            .map(|p| p.family_time(family))
+            .collect();
         RankSpread::from_values(&values)
     }
 
@@ -138,7 +143,10 @@ impl ClusterReport {
         }
         let mut out: Vec<_> = map.into_iter().collect();
         out.sort_by(|a, b| {
-            b.1.total.partial_cmp(&a.1.total).expect("finite").then_with(|| a.0.cmp(&b.0))
+            b.1.total
+                .partial_cmp(&a.1.total)
+                .expect("finite")
+                .then_with(|| a.0.cmp(&b.0))
         });
         out
     }
@@ -201,9 +209,93 @@ impl ClusterReport {
         let total: f64 = matrix.iter().map(|(_, t)| t.iter().sum::<f64>()).sum();
         let mut out: Vec<(String, f64)> = matrix
             .into_iter()
-            .map(|(k, t)| (k, if total > 0.0 { t.iter().sum::<f64>() / total } else { 0.0 }))
+            .map(|(k, t)| {
+                (
+                    k,
+                    if total > 0.0 {
+                        t.iter().sum::<f64>() / total
+                    } else {
+                        0.0
+                    },
+                )
+            })
             .collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        out
+    }
+}
+
+/// One instant of the cluster-wide **live** view: the same-interval
+/// snapshots of every rank, merged. This is what a monitoring dashboard
+/// polls while the job runs — no finalize, no XML, just deltas.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterSnapshot {
+    /// Sample number (from the member snapshots).
+    pub seq: u64,
+    /// Latest virtual timestamp across ranks.
+    pub at: f64,
+    pub nranks: usize,
+    /// Per-family `(total time, min rank time, max rank time)` over the
+    /// interval, families in no particular order, zero-activity omitted.
+    pub families: Vec<(EventFamily, RankSpread)>,
+}
+
+impl ClusterSnapshot {
+    /// Merge one snapshot per rank (all taken for the same interval).
+    pub fn merge(snaps: &[Snapshot]) -> Self {
+        assert!(!snaps.is_empty(), "cannot merge zero snapshots");
+        let mut per_family: HashMap<EventFamily, Vec<f64>> = HashMap::new();
+        for s in snaps {
+            for d in &s.families {
+                per_family.entry(d.family).or_default().push(d.time);
+            }
+        }
+        let mut families: Vec<(EventFamily, RankSpread)> = per_family
+            .into_iter()
+            .map(|(fam, times)| (fam, RankSpread::from_values(&times)))
+            .collect();
+        families.sort_by(|a, b| {
+            b.1.total
+                .partial_cmp(&a.1.total)
+                .expect("finite snapshot times")
+        });
+        Self {
+            seq: snaps.iter().map(|s| s.seq).max().expect("non-empty"),
+            at: snaps.iter().map(|s| s.at).fold(f64::NEG_INFINITY, f64::max),
+            nranks: snaps.len(),
+            families,
+        }
+    }
+
+    /// Spread for one family, if any rank was active in it.
+    pub fn family(&self, family: EventFamily) -> Option<RankSpread> {
+        self.families
+            .iter()
+            .find(|(f, _)| *f == family)
+            .map(|(_, s)| *s)
+    }
+
+    /// One-line dashboard rendering of this instant.
+    pub fn render_line(&self, interval: f64) -> String {
+        let mut out = format!("t={:>8.2}s", self.at);
+        for (fam, spread) in &self.families {
+            let label = match fam {
+                EventFamily::Mpi => "mpi",
+                EventFamily::Cuda => "cuda",
+                EventFamily::Cublas => "cublas",
+                EventFamily::Cufft => "cufft",
+                EventFamily::GpuExec => "gpu",
+                EventFamily::HostIdle => "idle",
+                EventFamily::Other => "other",
+            };
+            // busy fraction of the interval, averaged over ranks
+            let frac = if interval > 0.0 {
+                spread.total / (interval * self.nranks as f64)
+            } else {
+                0.0
+            };
+            out.push_str(&format!("  {label} {:>5.1}%", frac * 100.0));
+        }
         out
     }
 }
@@ -211,6 +303,7 @@ impl ClusterReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::monitor::FamilyDelta;
     use crate::profile::ProfileEntry;
 
     fn profile(rank: usize, wall: f64, entries: Vec<(&str, Option<&str>, f64)>) -> RankProfile {
@@ -236,6 +329,7 @@ mod tests {
                 })
                 .collect(),
             dropped_events: 0,
+            monitor: Default::default(),
         }
     }
 
@@ -329,5 +423,43 @@ mod tests {
     #[test]
     fn imbalance_of_empty_spread_is_zero() {
         assert_eq!(RankSpread::default().imbalance(), 0.0);
+    }
+
+    #[test]
+    fn cluster_snapshot_merges_rank_deltas() {
+        let snap = |rank: usize, gpu: f64, mpi: f64| Snapshot {
+            rank,
+            seq: 4,
+            at: 2.0 + rank as f64 * 0.01,
+            interval: 1.0,
+            families: vec![
+                FamilyDelta {
+                    family: EventFamily::GpuExec,
+                    count: 3,
+                    bytes: 0,
+                    time: gpu,
+                },
+                FamilyDelta {
+                    family: EventFamily::Mpi,
+                    count: 2,
+                    bytes: 128,
+                    time: mpi,
+                },
+            ],
+        };
+        let merged = ClusterSnapshot::merge(&[snap(0, 0.5, 0.1), snap(1, 0.7, 0.3)]);
+        assert_eq!(merged.seq, 4);
+        assert_eq!(merged.nranks, 2);
+        assert!((merged.at - 2.01).abs() < 1e-12);
+        let gpu = merged.family(EventFamily::GpuExec).unwrap();
+        assert!((gpu.total - 1.2).abs() < 1e-12);
+        assert_eq!(gpu.min, 0.5);
+        assert_eq!(gpu.max, 0.7);
+        // families ranked by total time: gpu before mpi
+        assert_eq!(merged.families[0].0, EventFamily::GpuExec);
+        assert!(merged.family(EventFamily::Cufft).is_none());
+        // 1.2s busy over 2 ranks × 1s interval = 60%
+        let line = merged.render_line(1.0);
+        assert!(line.contains("gpu  60.0%"), "{line}");
     }
 }

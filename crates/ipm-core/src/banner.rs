@@ -17,8 +17,7 @@ use ipm_sim_core::units::{fmt_pct, fmt_secs};
 use ipm_sim_core::RunningStats;
 use std::collections::HashMap;
 
-const RULE: &str =
-    "##IPMv2.0########################################################\n";
+const RULE: &str = "##IPMv2.0########################################################\n";
 
 /// Render a single-rank banner (Figs. 4–6). `max_rows` limits the function
 /// table (0 = unlimited).
@@ -30,11 +29,22 @@ pub fn render_banner(profile: &RankProfile, max_rows: usize) -> String {
     out.push_str(&format!("# host      : {}\n", profile.host));
     out.push_str(&format!("# wallclock : {}\n", fmt_secs(profile.wallclock)));
     out.push_str("#\n");
-    out.push_str(&format!("# {:<24} {:>8} {:>9} {:>9}\n", "", "[time]", "[count]", "<%wall>"));
+    out.push_str(&format!(
+        "# {:<24} {:>8} {:>9} {:>9}\n",
+        "", "[time]", "[count]", "<%wall>"
+    ));
     let totals = profile.totals_by_name();
-    let rows = if max_rows == 0 { totals.len() } else { max_rows.min(totals.len()) };
+    let rows = if max_rows == 0 {
+        totals.len()
+    } else {
+        max_rows.min(totals.len())
+    };
     for (name, stats) in totals.into_iter().take(rows) {
-        let pct = if profile.wallclock > 0.0 { stats.total / profile.wallclock } else { 0.0 };
+        let pct = if profile.wallclock > 0.0 {
+            stats.total / profile.wallclock
+        } else {
+            0.0
+        };
         out.push_str(&format!(
             "# {:<24} {:>8} {:>9} {:>9}\n",
             name,
@@ -44,7 +54,42 @@ pub fn render_banner(profile: &RankProfile, max_rows: usize) -> String {
         ));
     }
     out.push_str("#\n");
+    out.push_str(&render_monitor_section(profile));
     out.push_str(RULE);
+    out
+}
+
+/// Format wall-clock nanoseconds of monitor bookkeeping for the banner.
+fn fmt_wall_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The "monitor the monitor" banner section: what IPM itself cost, on the
+/// wall clock, plus trace-ring capture/drop accounting and memory.
+fn render_monitor_section(profile: &RankProfile) -> String {
+    let m = &profile.monitor;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# monitor   : self {} wall-clock\n",
+        fmt_wall_ns(m.self_wall_ns)
+    ));
+    out.push_str(&format!(
+        "#             trace {} captured / {} dropped / {} emitted\n",
+        m.trace_captured, m.trace_dropped, m.trace_emitted
+    ));
+    out.push_str(&format!(
+        "#             ring hwm {} bytes\n",
+        m.ring_hwm_bytes
+    ));
+    out.push_str("#\n");
     out
 }
 
@@ -89,10 +134,17 @@ pub fn render_cluster_banner(report: &ClusterReport, max_rows: usize) -> String 
         ));
     }
     out.push_str("#\n");
-    out.push_str(&format!("# {:<36} {:>10} {:>10} {:>9}\n", "", "[time]", "[count]", "<%wall>"));
+    out.push_str(&format!(
+        "# {:<36} {:>10} {:>10} {:>9}\n",
+        "", "[time]", "[count]", "<%wall>"
+    ));
     let totals = report.totals_by_name();
     let wall = report.wallclock_total;
-    let rows = if max_rows == 0 { totals.len() } else { max_rows.min(totals.len()) };
+    let rows = if max_rows == 0 {
+        totals.len()
+    } else {
+        max_rows.min(totals.len())
+    };
     for (name, stats) in totals.into_iter().take(rows) {
         let pct = if wall > 0.0 { stats.total / wall } else { 0.0 };
         out.push_str(&format!(
@@ -114,7 +166,11 @@ pub fn render_region_report(profile: &RankProfile, max_rows: usize) -> String {
     let mut out = String::new();
     for (region_id, region_name) in profile.regions.iter().enumerate() {
         let mut map: HashMap<&str, RunningStats> = HashMap::new();
-        for e in profile.entries.iter().filter(|e| e.region as usize == region_id) {
+        for e in profile
+            .entries
+            .iter()
+            .filter(|e| e.region as usize == region_id)
+        {
             map.entry(&e.name).or_default().merge(&e.stats);
         }
         if map.is_empty() {
@@ -128,7 +184,11 @@ pub fn render_region_report(profile: &RankProfile, max_rows: usize) -> String {
 ",
             region_name, region_total
         ));
-        let limit = if max_rows == 0 { rows.len() } else { max_rows.min(rows.len()) };
+        let limit = if max_rows == 0 {
+            rows.len()
+        } else {
+            max_rows.min(rows.len())
+        };
         for (name, stats) in rows.into_iter().take(limit) {
             out.push_str(&format!(
                 "#   {:<24} {:>8} {:>9}
@@ -154,7 +214,13 @@ mod tests {
             for _ in 0..count {
                 stats.record(total / count as f64);
             }
-            ProfileEntry { name: name.to_owned(), detail: None, bytes: 0, region: 0, stats }
+            ProfileEntry {
+                name: name.to_owned(),
+                detail: None,
+                bytes: 0,
+                region: 0,
+                stats,
+            }
         };
         RankProfile {
             rank: 0,
@@ -171,6 +237,13 @@ mod tests {
                 mk("cudaLaunch", 0.0, 1),
             ],
             dropped_events: 0,
+            monitor: crate::profile::MonitorInfo {
+                self_wall_ns: 12_500,
+                trace_emitted: 6,
+                trace_captured: 6,
+                trace_dropped: 0,
+                ring_hwm_bytes: 768,
+            },
         }
     }
 
@@ -184,14 +257,41 @@ mod tests {
         assert!(banner.contains("[time]"));
         assert!(banner.contains("<%wall>"));
         // sorted: cudaMalloc first with ~67.7% of wall
-        let malloc_line =
-            banner.lines().find(|l| l.contains("cudaMalloc")).expect("cudaMalloc row");
+        let malloc_line = banner
+            .lines()
+            .find(|l| l.contains("cudaMalloc"))
+            .expect("cudaMalloc row");
         assert!(malloc_line.contains("2.43"));
-        assert!(malloc_line.contains("67.69") || malloc_line.contains("67.7"), "{malloc_line}");
+        assert!(
+            malloc_line.contains("67.69") || malloc_line.contains("67.7"),
+            "{malloc_line}"
+        );
         // ordering: Malloc before D2H before H2D
         let pos = |s: &str| banner.find(s).unwrap();
         assert!(pos("cudaMalloc") < pos("cudaMemcpy(D2H)"));
         assert!(pos("cudaMemcpy(D2H)") < pos("cudaMemcpy(H2D)"));
+    }
+
+    #[test]
+    fn monitor_section_is_golden() {
+        let banner = render_banner(&sample_profile(), 0);
+        let expected = "\
+# monitor   : self 12.5 us wall-clock
+#             trace 6 captured / 0 dropped / 6 emitted
+#             ring hwm 768 bytes
+";
+        assert!(
+            banner.contains(expected),
+            "monitor section drifted:\n{banner}"
+        );
+    }
+
+    #[test]
+    fn wall_ns_formatting_picks_sane_units() {
+        assert_eq!(fmt_wall_ns(999), "999 ns");
+        assert_eq!(fmt_wall_ns(12_500), "12.5 us");
+        assert_eq!(fmt_wall_ns(3_400_000), "3.4 ms");
+        assert_eq!(fmt_wall_ns(2_150_000_000), "2.15 s");
     }
 
     #[test]

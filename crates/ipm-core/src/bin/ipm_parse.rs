@@ -8,17 +8,18 @@
 //! ipm_parse -html out.html rank*.xml       # HTML page
 //! ipm_parse -cube rank*.xml                # CUBE text view
 //! ipm_parse -cubexml rank*.xml             # CUBE XML document
+//! ipm_parse trace rank*.xml                # Chrome/Perfetto trace JSON
 //! ```
 
 use ipm_core::{
-    build_cube, cube_to_xml, from_xml, html_report, render_banner, render_cluster_banner,
-    render_cube_text, ClusterReport,
+    build_cube, chrome_trace_from_xml, cube_to_xml, from_xml, html_report, render_banner,
+    render_cluster_banner, render_cube_text, validate_chrome_trace, ClusterReport,
 };
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ipm_parse [-b | -html <out.html> | -cube | -cubexml] <profile.xml>..."
+        "usage: ipm_parse [-b | -html <out.html> | -cube | -cubexml | trace] <profile.xml>..."
     );
     ExitCode::FAILURE
 }
@@ -39,10 +40,43 @@ fn main() -> ExitCode {
         }
         "-cube" => ("cube", None, &args[1..]),
         "-cubexml" => ("cubexml", None, &args[1..]),
+        "trace" | "-trace" => ("trace", None, &args[1..]),
         _ => ("banner", None, &args[..]),
     };
     if files.is_empty() {
         return usage();
+    }
+
+    if mode == "trace" {
+        let mut xmls = Vec::new();
+        for path in files {
+            match std::fs::read_to_string(path) {
+                Ok(s) => xmls.push(s),
+                Err(e) => {
+                    eprintln!("ipm_parse: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let json = match chrome_trace_from_xml(&xmls) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("ipm_parse: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_chrome_trace(&json) {
+            Ok(stats) => eprintln!(
+                "ipm_parse: trace ok — {} slices, {} ranks, {} lanes, {} flows",
+                stats.slices, stats.processes, stats.lanes, stats.flow_pairs
+            ),
+            Err(e) => {
+                eprintln!("ipm_parse: internal error, produced invalid trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        print!("{json}");
+        return ExitCode::SUCCESS;
     }
 
     let mut profiles = Vec::new();

@@ -31,7 +31,11 @@ impl CubeMetric {
 
     /// Recursively count nodes.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(CubeMetric::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(CubeMetric::node_count)
+            .sum::<usize>()
     }
 }
 
@@ -40,9 +44,8 @@ impl CubeMetric {
 /// MPI hierarchy (per-call totals) — Fig. 9's layout.
 pub fn build_cube(report: &ClusterReport) -> CubeMetric {
     let nranks = report.nranks;
-    let per_rank_of = |name: &str| -> Vec<f64> {
-        report.profiles().iter().map(|p| p.time_of(name)).collect()
-    };
+    let per_rank_of =
+        |name: &str| -> Vec<f64> { report.profiles().iter().map(|p| p.time_of(name)).collect() };
 
     // CUDA subtree: kernels per stream
     let mut stream_children: Vec<CubeMetric> = Vec::new();
@@ -100,8 +103,11 @@ pub fn build_cube(report: &ClusterReport) -> CubeMetric {
         .iter()
         .map(|p| p.family_time(EventFamily::Cuda))
         .collect();
-    let host_idle: Vec<f64> =
-        report.profiles().iter().map(|p| p.family_time(EventFamily::HostIdle)).collect();
+    let host_idle: Vec<f64> = report
+        .profiles()
+        .iter()
+        .map(|p| p.family_time(EventFamily::HostIdle))
+        .collect();
     let cuda_subtree = CubeMetric {
         name: "CUDA".to_owned(),
         per_rank: (0..nranks)
@@ -113,7 +119,11 @@ pub fn build_cube(report: &ClusterReport) -> CubeMetric {
             .collect(),
         children: {
             let mut ch = vec![
-                CubeMetric { name: "API time".to_owned(), per_rank: cuda_api, children: vec![] },
+                CubeMetric {
+                    name: "API time".to_owned(),
+                    per_rank: cuda_api,
+                    children: vec![],
+                },
                 CubeMetric {
                     name: "@CUDA_HOST_IDLE".to_owned(),
                     per_rank: host_idle,
@@ -137,11 +147,19 @@ pub fn build_cube(report: &ClusterReport) -> CubeMetric {
     mpi_names.sort();
     let mpi_children: Vec<CubeMetric> = mpi_names
         .iter()
-        .map(|n| CubeMetric { name: n.clone(), per_rank: per_rank_of(n), children: vec![] })
+        .map(|n| CubeMetric {
+            name: n.clone(),
+            per_rank: per_rank_of(n),
+            children: vec![],
+        })
         .collect();
     let mpi_subtree = CubeMetric {
         name: "MPI".to_owned(),
-        per_rank: report.profiles().iter().map(|p| p.family_time(EventFamily::Mpi)).collect(),
+        per_rank: report
+            .profiles()
+            .iter()
+            .map(|p| p.family_time(EventFamily::Mpi))
+            .collect(),
         children: mpi_children,
     };
 
@@ -240,7 +258,8 @@ mod tests {
                     entry("cudaMemcpy(D2H)", None),
                     entry("@CUDA_HOST_IDLE", None),
                 ],
-            dropped_events: 0,
+                dropped_events: 0,
+                monitor: Default::default(),
             }
         };
         ClusterReport::from_profiles(vec![mk(0), mk(1)], 2)

@@ -94,9 +94,12 @@ impl IpmCuda {
         }
         let before = self.ipm.clock().now();
         let _ = self.inner.cuda_thread_synchronize();
-        let idle = self.ipm.clock().now() - before;
+        let after = self.ipm.clock().now();
+        let idle = after - before;
         if idle > 0.0 {
-            self.ipm.update_pseudo(Arc::from(EventSignature::HOST_IDLE), None, idle);
+            self.ipm
+                .update_pseudo(Arc::from(EventSignature::HOST_IDLE), None, idle);
+            self.ipm.trace_host_idle(before, after);
         }
     }
 
@@ -121,6 +124,15 @@ impl IpmCuda {
                     .clone()
             };
             let duration = (c.duration - correction).max(0.0);
+            if let Some(interval) = c.interval {
+                self.ipm.trace_kernel_exec(
+                    name.clone(),
+                    c.kernel.clone(),
+                    c.stream.0,
+                    interval,
+                    c.corr,
+                );
+            }
             self.ipm.update_pseudo(name, Some(c.kernel), duration);
         }
     }
@@ -157,26 +169,39 @@ impl CudaApi for IpmCuda {
 
     fn cuda_memcpy_h2d(&self, dst: DevicePtr, src: &[u8]) -> CudaResult<()> {
         self.absorb_host_idle();
-        self.wrapped("cudaMemcpy(H2D)", src.len() as u64, || self.inner.cuda_memcpy_h2d(dst, src))
+        self.wrapped("cudaMemcpy(H2D)", src.len() as u64, || {
+            self.inner.cuda_memcpy_h2d(dst, src)
+        })
     }
 
     fn cuda_memcpy_d2h(&self, dst: &mut [u8], src: DevicePtr) -> CudaResult<()> {
         self.absorb_host_idle();
-        let ret =
-            self.wrapped("cudaMemcpy(D2H)", dst.len() as u64, || self.inner.cuda_memcpy_d2h(dst, src));
+        let ret = self.wrapped("cudaMemcpy(D2H)", dst.len() as u64, || {
+            self.inner.cuda_memcpy_d2h(dst, src)
+        });
         // the paper's lazy completion check: D2H transfers are the sweep point
         self.sweep_ktt();
         ret
     }
 
-    fn cuda_memcpy_h2d_sized(&self, dst: DevicePtr, src: &[u8], total_bytes: u64) -> CudaResult<()> {
+    fn cuda_memcpy_h2d_sized(
+        &self,
+        dst: DevicePtr,
+        src: &[u8],
+        total_bytes: u64,
+    ) -> CudaResult<()> {
         self.absorb_host_idle();
         self.wrapped("cudaMemcpy(H2D)", total_bytes, || {
             self.inner.cuda_memcpy_h2d_sized(dst, src, total_bytes)
         })
     }
 
-    fn cuda_memcpy_d2h_sized(&self, dst: &mut [u8], src: DevicePtr, total_bytes: u64) -> CudaResult<()> {
+    fn cuda_memcpy_d2h_sized(
+        &self,
+        dst: &mut [u8],
+        src: DevicePtr,
+        total_bytes: u64,
+    ) -> CudaResult<()> {
         self.absorb_host_idle();
         let ret = self.wrapped("cudaMemcpy(D2H)", total_bytes, || {
             self.inner.cuda_memcpy_d2h_sized(dst, src, total_bytes)
@@ -187,16 +212,28 @@ impl CudaApi for IpmCuda {
 
     fn cuda_memcpy_d2d(&self, dst: DevicePtr, src: DevicePtr, len: usize) -> CudaResult<()> {
         self.absorb_host_idle();
-        self.wrapped("cudaMemcpy(D2D)", len as u64, || self.inner.cuda_memcpy_d2d(dst, src, len))
+        self.wrapped("cudaMemcpy(D2D)", len as u64, || {
+            self.inner.cuda_memcpy_d2d(dst, src, len)
+        })
     }
 
-    fn cuda_memcpy_h2d_async(&self, dst: DevicePtr, src: &[u8], stream: StreamId) -> CudaResult<()> {
+    fn cuda_memcpy_h2d_async(
+        &self,
+        dst: DevicePtr,
+        src: &[u8],
+        stream: StreamId,
+    ) -> CudaResult<()> {
         self.wrapped("cudaMemcpyAsync(H2D)", src.len() as u64, || {
             self.inner.cuda_memcpy_h2d_async(dst, src, stream)
         })
     }
 
-    fn cuda_memcpy_d2h_async(&self, dst: &mut [u8], src: DevicePtr, stream: StreamId) -> CudaResult<()> {
+    fn cuda_memcpy_d2h_async(
+        &self,
+        dst: &mut [u8],
+        src: DevicePtr,
+        stream: StreamId,
+    ) -> CudaResult<()> {
         let ret = self.wrapped("cudaMemcpyAsync(D2H)", dst.len() as u64, || {
             self.inner.cuda_memcpy_d2h_async(dst, src, stream)
         });
@@ -215,20 +252,30 @@ impl CudaApi for IpmCuda {
 
     fn cuda_memset(&self, dst: DevicePtr, value: u8, len: usize) -> CudaResult<()> {
         // NOT in the implicit-blocking set (§III-C): no host-idle probe
-        self.wrapped("cudaMemset", len as u64, || self.inner.cuda_memset(dst, value, len))
+        self.wrapped("cudaMemset", len as u64, || {
+            self.inner.cuda_memset(dst, value, len)
+        })
     }
 
     fn cuda_configure_call(&self, config: LaunchConfig) -> CudaResult<()> {
         self.pending_stream.lock().push(config.stream);
-        self.wrapped("cudaConfigureCall", 0, || self.inner.cuda_configure_call(config))
+        self.wrapped("cudaConfigureCall", 0, || {
+            self.inner.cuda_configure_call(config)
+        })
     }
 
     fn cuda_setup_argument(&self, arg: KernelArg) -> CudaResult<()> {
-        self.wrapped("cudaSetupArgument", arg.size() as u64, || self.inner.cuda_setup_argument(arg))
+        self.wrapped("cudaSetupArgument", arg.size() as u64, || {
+            self.inner.cuda_setup_argument(arg)
+        })
     }
 
     fn cuda_launch(&self, kernel: &Kernel) -> CudaResult<()> {
-        let stream = self.pending_stream.lock().pop().unwrap_or(StreamId::DEFAULT);
+        let stream = self
+            .pending_stream
+            .lock()
+            .pop()
+            .unwrap_or(StreamId::DEFAULT);
         if self.ipm.config().gpu_timing {
             let name: Arc<str> = Arc::from(kernel.name());
             // the KTT lock is held across the bracketed launch, so the
@@ -254,18 +301,23 @@ impl CudaApi for IpmCuda {
     }
 
     fn cuda_stream_destroy(&self, stream: StreamId) -> CudaResult<()> {
-        self.wrapped("cudaStreamDestroy", 0, || self.inner.cuda_stream_destroy(stream))
+        self.wrapped("cudaStreamDestroy", 0, || {
+            self.inner.cuda_stream_destroy(stream)
+        })
     }
 
     fn cuda_stream_synchronize(&self, stream: StreamId) -> CudaResult<()> {
-        let ret =
-            self.wrapped("cudaStreamSynchronize", 0, || self.inner.cuda_stream_synchronize(stream));
+        let ret = self.wrapped("cudaStreamSynchronize", 0, || {
+            self.inner.cuda_stream_synchronize(stream)
+        });
         self.sweep_ktt();
         ret
     }
 
     fn cuda_stream_query(&self, stream: StreamId) -> CudaResult<()> {
-        self.wrapped("cudaStreamQuery", 0, || self.inner.cuda_stream_query(stream))
+        self.wrapped("cudaStreamQuery", 0, || {
+            self.inner.cuda_stream_query(stream)
+        })
     }
 
     fn cuda_event_create(&self) -> CudaResult<EventId> {
@@ -273,11 +325,15 @@ impl CudaApi for IpmCuda {
     }
 
     fn cuda_event_destroy(&self, event: EventId) -> CudaResult<()> {
-        self.wrapped("cudaEventDestroy", 0, || self.inner.cuda_event_destroy(event))
+        self.wrapped("cudaEventDestroy", 0, || {
+            self.inner.cuda_event_destroy(event)
+        })
     }
 
     fn cuda_event_record(&self, event: EventId, stream: StreamId) -> CudaResult<()> {
-        self.wrapped("cudaEventRecord", 0, || self.inner.cuda_event_record(event, stream))
+        self.wrapped("cudaEventRecord", 0, || {
+            self.inner.cuda_event_record(event, stream)
+        })
     }
 
     fn cuda_event_query(&self, event: EventId) -> CudaResult<()> {
@@ -285,24 +341,31 @@ impl CudaApi for IpmCuda {
     }
 
     fn cuda_event_synchronize(&self, event: EventId) -> CudaResult<()> {
-        let ret =
-            self.wrapped("cudaEventSynchronize", 0, || self.inner.cuda_event_synchronize(event));
+        let ret = self.wrapped("cudaEventSynchronize", 0, || {
+            self.inner.cuda_event_synchronize(event)
+        });
         self.sweep_ktt();
         ret
     }
 
     fn cuda_event_elapsed_time(&self, start: EventId, stop: EventId) -> CudaResult<f64> {
-        self.wrapped("cudaEventElapsedTime", 0, || self.inner.cuda_event_elapsed_time(start, stop))
+        self.wrapped("cudaEventElapsedTime", 0, || {
+            self.inner.cuda_event_elapsed_time(start, stop)
+        })
     }
 
     fn cuda_thread_synchronize(&self) -> CudaResult<()> {
-        let ret = self.wrapped("cudaThreadSynchronize", 0, || self.inner.cuda_thread_synchronize());
+        let ret = self.wrapped("cudaThreadSynchronize", 0, || {
+            self.inner.cuda_thread_synchronize()
+        });
         self.sweep_ktt();
         ret
     }
 
     fn cuda_get_device_count(&self) -> CudaResult<i32> {
-        self.wrapped("cudaGetDeviceCount", 0, || self.inner.cuda_get_device_count())
+        self.wrapped("cudaGetDeviceCount", 0, || {
+            self.inner.cuda_get_device_count()
+        })
     }
 
     fn cuda_set_device(&self, ordinal: i32) -> CudaResult<()> {
@@ -310,11 +373,23 @@ impl CudaApi for IpmCuda {
     }
 
     fn cuda_get_device_properties(&self) -> CudaResult<DeviceProperties> {
-        self.wrapped("cudaGetDeviceProperties", 0, || self.inner.cuda_get_device_properties())
+        self.wrapped("cudaGetDeviceProperties", 0, || {
+            self.inner.cuda_get_device_properties()
+        })
     }
 
     fn cuda_get_last_error(&self) -> Option<ipm_gpu_sim::CudaError> {
         self.wrapped("cudaGetLastError", 0, || self.inner.cuda_get_last_error())
+    }
+
+    // Introspection used by IPM itself (KTT correlation, trace placement):
+    // unwrapped, so the monitor's own probing stays invisible to the profile.
+    fn cuda_last_launch_correlation_id(&self) -> u64 {
+        self.inner.cuda_last_launch_correlation_id()
+    }
+
+    fn cuda_event_timestamp(&self, event: EventId) -> CudaResult<f64> {
+        self.inner.cuda_event_timestamp(event)
     }
 }
 
@@ -335,8 +410,13 @@ mod tests {
         let dev = cuda.cuda_malloc(size).unwrap();
         cuda.cuda_memcpy_h2d(dev, &host).unwrap();
         let k = Kernel::timed("square", KernelCost::Fixed(1.15));
-        launch_kernel(&cuda, &k, LaunchConfig::simple(n as u32, 1u32), &[KernelArg::I32(0)])
-            .unwrap();
+        launch_kernel(
+            &cuda,
+            &k,
+            LaunchConfig::simple(n as u32, 1u32),
+            &[KernelArg::I32(0)],
+        )
+        .unwrap();
         let mut out = vec![0u8; size];
         cuda.cuda_memcpy_d2h(&mut out, dev).unwrap();
         cuda.cuda_free(dev).unwrap();
@@ -390,8 +470,58 @@ mod tests {
     }
 
     #[test]
+    fn trace_captures_the_run_end_to_end() {
+        use crate::trace::{chrome_trace, validate_chrome_trace, TraceKind, TraceRank};
+        let (ipm, _cuda) = square_run(IpmConfig::default());
+
+        // exact accounting all the way through the monitored run
+        let m = ipm.monitor_info();
+        assert!(m.trace_captured > 0);
+        assert_eq!(m.trace_captured + m.trace_dropped, m.trace_emitted);
+        assert!(m.self_wall_ns > 0, "bookkeeping cost must be accounted");
+        assert!(m.ring_hwm_bytes > 0);
+
+        let records = ipm.drain_trace();
+        assert_eq!(records.len() as u64, m.trace_captured);
+
+        // every cudaLaunch call record carries the correlation id of the
+        // kernel execution it enqueued
+        let mut launch_corrs: Vec<u64> = records
+            .iter()
+            .filter(|r| r.kind == TraceKind::Call && &*r.name == "cudaLaunch")
+            .map(|r| r.corr)
+            .collect();
+        let mut exec_corrs: Vec<u64> = records
+            .iter()
+            .filter(|r| r.kind == TraceKind::KernelExec)
+            .map(|r| r.corr)
+            .collect();
+        assert!(!launch_corrs.is_empty());
+        assert!(launch_corrs.iter().all(|&c| c != 0), "{launch_corrs:?}");
+        launch_corrs.sort_unstable();
+        exec_corrs.sort_unstable();
+        assert_eq!(launch_corrs, exec_corrs);
+
+        // the implicit wait shows up as a host-idle interval
+        assert!(records.iter().any(|r| r.kind == TraceKind::HostIdle));
+
+        // and the whole thing exports as a valid Chrome trace with the
+        // launch → kernel flow resolved
+        let json = chrome_trace(&[TraceRank {
+            rank: 0,
+            host: "dirac00".to_owned(),
+            records,
+            prof: Vec::new(),
+        }]);
+        let stats = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert!(stats.flow_pairs >= 1, "launch→exec flow missing");
+    }
+
+    #[test]
     fn memset_gets_no_host_idle_probe() {
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
         let cuda = IpmCuda::new(ipm.clone(), rt);
         let dev = cuda.cuda_malloc(1024).unwrap();
@@ -406,13 +536,21 @@ mod tests {
 
     #[test]
     fn per_stream_exec_entries() {
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
         let cuda = IpmCuda::new(ipm.clone(), rt);
         let s1 = cuda.cuda_stream_create().unwrap();
         let k = Kernel::timed("k", KernelCost::Fixed(0.1));
         launch_kernel(&cuda, &k, LaunchConfig::simple(1u32, 1u32), &[]).unwrap();
-        launch_kernel(&cuda, &k, LaunchConfig::simple(1u32, 1u32).on_stream(s1), &[]).unwrap();
+        launch_kernel(
+            &cuda,
+            &k,
+            LaunchConfig::simple(1u32, 1u32).on_stream(s1),
+            &[],
+        )
+        .unwrap();
         cuda.finalize();
         let p = ipm.profile();
         assert!(p.time_of("@CUDA_EXEC_STRM00") > 0.09);
@@ -422,10 +560,15 @@ mod tests {
     #[test]
     fn exec_time_correction_shrinks_measurements() {
         let measure = |correction: Option<f64>| {
-            let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+            let rt = Arc::new(GpuRuntime::single(
+                GpuConfig::dirac_node().with_context_init(0.0),
+            ));
             let ipm = Ipm::new(
                 rt.clock().clone(),
-                IpmConfig { exec_time_correction: correction, ..IpmConfig::default() },
+                IpmConfig {
+                    exec_time_correction: correction,
+                    ..IpmConfig::default()
+                },
             );
             let cuda = IpmCuda::new(ipm.clone(), rt);
             let k = Kernel::timed("k", KernelCost::Fixed(0.01));
@@ -435,17 +578,25 @@ mod tests {
         };
         let raw = measure(None);
         let corrected = measure(Some(8.5e-6));
-        assert!(corrected < raw, "correction had no effect: {corrected} vs {raw}");
+        assert!(
+            corrected < raw,
+            "correction had no effect: {corrected} vs {raw}"
+        );
     }
 
     #[test]
     fn every_call_policy_does_not_deadlock_on_launch() {
         // regression: the launch wrapper used to sweep the KTT while
         // holding its lock under KttCheckPolicy::EveryCall
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         let ipm = Ipm::new(
             rt.clock().clone(),
-            IpmConfig { ktt_policy: crate::ktt::KttCheckPolicy::EveryCall, ..IpmConfig::default() },
+            IpmConfig {
+                ktt_policy: crate::ktt::KttCheckPolicy::EveryCall,
+                ..IpmConfig::default()
+            },
         );
         let cuda = IpmCuda::new(ipm.clone(), rt);
         let k = Kernel::timed("k", KernelCost::Fixed(1e-4));
@@ -461,7 +612,9 @@ mod tests {
 
     #[test]
     fn monitoring_overhead_is_small_but_nonzero() {
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         let clock = rt.clock().clone();
         let ipm = Ipm::new(clock.clone(), IpmConfig::default());
         let cuda = IpmCuda::new(ipm, rt);
@@ -477,7 +630,9 @@ mod tests {
 
     #[test]
     fn return_values_pass_through_unchanged() {
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
         let cuda = IpmCuda::new(ipm, rt);
         assert_eq!(cuda.cuda_get_device_count().unwrap(), 1);

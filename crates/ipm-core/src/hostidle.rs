@@ -53,7 +53,8 @@ fn run_candidate(rt: &GpuRuntime, name: &str, presync: bool) -> f64 {
     // put a long kernel in flight on the default stream
     launch_kernel(rt, &kernel, LaunchConfig::simple(1u32, 1u32), &[]).expect("probe launch");
     if presync {
-        rt.cuda_stream_synchronize(StreamId::DEFAULT).expect("presync");
+        rt.cuda_stream_synchronize(StreamId::DEFAULT)
+            .expect("presync");
     }
     let before = rt.clock().now();
     match name {
@@ -63,9 +64,9 @@ fn run_candidate(rt: &GpuRuntime, name: &str, presync: bool) -> f64 {
         "cudaMemcpyToSymbol" => rt.cuda_memcpy_to_symbol("probe_sym", &host).expect("tosym"),
         "cudaMemset" => rt.cuda_memset(dev, 0, N).expect("memset"),
         "cudaMemcpyAsync(H2D)" => rt.cuda_memcpy_h2d_async(dev, &host, stream).expect("ah2d"),
-        "cudaMemcpyAsync(D2H)" => {
-            rt.cuda_memcpy_d2h_async(&mut host_out, dev, stream).expect("ad2h")
-        }
+        "cudaMemcpyAsync(D2H)" => rt
+            .cuda_memcpy_d2h_async(&mut host_out, dev, stream)
+            .expect("ad2h"),
         other => panic!("unknown candidate {other}"),
     }
     let elapsed = rt.clock().now() - before;
@@ -90,7 +91,12 @@ pub fn discover_blocking_set() -> Vec<BlockingProbe> {
             // "much slower without the sync" — use a 5x threshold, robust
             // against transfer-size noise
             let blocks = unsynced > 5.0 * synced.max(1e-9);
-            BlockingProbe { name, unsynced, synced, blocks }
+            BlockingProbe {
+                name,
+                unsynced,
+                synced,
+                blocks,
+            }
         })
         .collect()
 }
@@ -120,8 +126,7 @@ mod tests {
     #[test]
     fn sync_memory_ops_block_memset_does_not() {
         let probes = discover_blocking_set();
-        let blocking: Vec<&str> =
-            probes.iter().filter(|p| p.blocks).map(|p| p.name).collect();
+        let blocking: Vec<&str> = probes.iter().filter(|p| p.blocks).map(|p| p.name).collect();
         // the paper's finding: all sync memory ops block implicitly...
         assert!(blocking.contains(&"cudaMemcpy(H2D)"));
         assert!(blocking.contains(&"cudaMemcpy(D2H)"));
@@ -146,7 +151,9 @@ mod tests {
                 "cudaMemcpyAsync(H2D)" | "cudaMemcpyAsync(D2H)" => "cudaMemcpyAsync",
                 other => other,
             };
-            let id = reg.id(spec_name).unwrap_or_else(|| panic!("{spec_name} not in spec"));
+            let id = reg
+                .id(spec_name)
+                .unwrap_or_else(|| panic!("{spec_name} not in spec"));
             let expected = reg.spec(id).blocking == BlockingClass::ImplicitSync;
             assert_eq!(p.blocks, expected, "{} spec/probe mismatch", p.name);
         }

@@ -32,6 +32,9 @@ struct Slot {
     stop: EventId,
     stream: StreamId,
     kernel: Arc<str>,
+    /// Correlation id of the bracketed launch (0 if the backend does not
+    /// track launches), linking this timing to the submitting host call.
+    corr: u64,
 }
 
 /// A completed kernel timing, ready for the hash table.
@@ -42,6 +45,11 @@ pub struct CompletedKernel {
     /// Event-bracketed duration in seconds (true kernel time plus roughly
     /// one event-record overhead — the bias Table I quantifies).
     pub duration: f64,
+    /// Correlation id of the launch (0 when untracked).
+    pub corr: u64,
+    /// Absolute `(start, stop)` event timestamps on the device timeline,
+    /// when the backend exposes them — what places this kernel in a trace.
+    pub interval: Option<(f64, f64)>,
 }
 
 /// The statically allocated kernel timing table.
@@ -58,7 +66,11 @@ impl Ktt {
     /// Table with `capacity` slots (IPM uses a fixed compile-time size).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Self { slots: vec![None; capacity], free_events: Vec::new(), dropped: 0 }
+        Self {
+            slots: vec![None; capacity],
+            free_events: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// Number of occupied slots.
@@ -104,7 +116,14 @@ impl Ktt {
             self.dropped += 1;
             return ret;
         }
-        self.slots[idx] = Some(Slot { start, stop, stream, kernel });
+        let corr = api.cuda_last_launch_correlation_id();
+        self.slots[idx] = Some(Slot {
+            start,
+            stop,
+            stream,
+            kernel,
+            corr,
+        });
         ret
     }
 
@@ -118,10 +137,19 @@ impl Ktt {
                 continue; // still running
             }
             if let Ok(duration) = api.cuda_event_elapsed_time(s.start, s.stop) {
+                let interval = match (
+                    api.cuda_event_timestamp(s.start),
+                    api.cuda_event_timestamp(s.stop),
+                ) {
+                    (Ok(t0), Ok(t1)) => Some((t0, t1)),
+                    _ => None,
+                };
                 done.push(CompletedKernel {
                     kernel: s.kernel.clone(),
                     stream: s.stream,
                     duration,
+                    corr: s.corr,
+                    interval,
                 });
             }
             self.free_events.push((s.start, s.stop));
@@ -143,9 +171,7 @@ impl Ktt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipm_gpu_sim::{
-        launch_kernel, GpuConfig, GpuRuntime, Kernel, KernelCost, LaunchConfig,
-    };
+    use ipm_gpu_sim::{launch_kernel, GpuConfig, GpuRuntime, Kernel, KernelCost, LaunchConfig};
 
     fn rt() -> GpuRuntime {
         GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0))

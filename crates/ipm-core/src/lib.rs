@@ -57,22 +57,26 @@ pub mod profile;
 pub mod sig;
 pub mod table;
 pub mod timeline;
+pub mod trace;
 pub mod xml;
 
-pub use aggregate::{ClusterReport, RankSpread};
+pub use aggregate::{ClusterReport, ClusterSnapshot, RankSpread};
 pub use banner::{render_banner, render_cluster_banner, render_region_report};
 pub use cube::{build_cube, cube_to_xml, render_cube_text, CubeMetric};
 pub use cuda_mon::IpmCuda;
 pub use hostidle::{discover_blocking_set, render_probe_table, BlockingProbe};
 pub use io_mon::IpmIo;
 pub use ktt::{CompletedKernel, Ktt, KttCheckPolicy};
-pub use monitor::{Ipm, IpmConfig};
+pub use monitor::{FamilyDelta, Ipm, IpmConfig, Snapshot};
 pub use mpi_mon::IpmMpi;
 pub use numlib_mon::{IpmBlas, IpmFft};
 pub use papi::{BoundResource, CounterRow, GpuCounterReport};
-pub use parse::{banner_from_xml, cluster_banner_from_xml, html_report};
-pub use profile::{classify, EventFamily, ProfileEntry, RankProfile};
+pub use parse::{banner_from_xml, chrome_trace_from_xml, cluster_banner_from_xml, html_report};
+pub use profile::{classify, EventFamily, MonitorInfo, ProfileEntry, RankProfile};
 pub use sig::EventSignature;
 pub use table::PerfTable;
 pub use timeline::render_timeline;
-pub use xml::{from_xml, to_xml, XmlError};
+pub use trace::{
+    chrome_trace, validate_chrome_trace, TraceKind, TraceRank, TraceRecord, TraceRing, TraceStats,
+};
+pub use xml::{from_xml, to_xml, to_xml_with_trace, trace_from_xml, XmlError};

@@ -7,14 +7,17 @@
 //! ([`crate::cuda_mon::IpmCuda`] and friends) share it via `Arc`.
 
 use crate::ktt::{Ktt, KttCheckPolicy};
-use crate::profile::{ProfileEntry, RankProfile};
+use crate::profile::{classify, EventFamily, MonitorInfo, ProfileEntry, RankProfile};
 use crate::sig::EventSignature;
 use crate::table::PerfTable;
+use crate::trace::{TraceKind, TraceRecord, TraceRing};
 use ipm_interpose::MonitorSink;
 use ipm_sim_core::SimClock;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU16, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Monitoring configuration (what the paper toggles between Figs. 4/5/6).
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +42,11 @@ pub struct IpmConfig {
     /// kernel durations (the paper's "future work" overhead correction,
     /// evaluated as an ablation of Table I).
     pub exec_time_correction: Option<f64>,
+    /// Trace-ring capacity in records; 0 disables event tracing entirely
+    /// (the aggregate-only mode of the original paper).
+    pub trace_capacity: usize,
+    /// Trace-ring lock stripes.
+    pub trace_shards: usize,
 }
 
 impl Default for IpmConfig {
@@ -52,6 +60,8 @@ impl Default for IpmConfig {
             table_capacity: crate::table::DEFAULT_CAPACITY,
             table_shards: crate::table::DEFAULT_SHARDS,
             exec_time_correction: None,
+            trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
+            trace_shards: crate::trace::DEFAULT_TRACE_SHARDS,
         }
     }
 }
@@ -59,13 +69,87 @@ impl Default for IpmConfig {
 impl IpmConfig {
     /// Host-side timing only (the Fig. 4 configuration).
     pub fn host_timing_only() -> Self {
-        Self { gpu_timing: false, host_idle: false, ..Self::default() }
+        Self {
+            gpu_timing: false,
+            host_idle: false,
+            ..Self::default()
+        }
     }
 
     /// Host timing + GPU kernel timing, no host-idle (Fig. 5).
     pub fn with_gpu_timing_only() -> Self {
-        Self { gpu_timing: true, host_idle: false, ..Self::default() }
+        Self {
+            gpu_timing: true,
+            host_idle: false,
+            ..Self::default()
+        }
     }
+
+    /// Disable the trace ring (aggregate-only monitoring, the paper's
+    /// original mode; the baseline of the trace-overhead bench).
+    pub fn without_tracing(mut self) -> Self {
+        self.trace_capacity = 0;
+        self
+    }
+}
+
+/// Per-family activity since the previous snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FamilyDelta {
+    pub family: EventFamily,
+    /// Calls completed in the interval.
+    pub count: u64,
+    /// Bytes moved in the interval.
+    pub bytes: u64,
+    /// Time spent in the interval (virtual seconds).
+    pub time: f64,
+}
+
+/// One periodic sample of a running rank — a cheap delta of the perf table
+/// since the previous [`Ipm::snapshot`] call, the unit the live-telemetry
+/// view streams. Zero-activity families are omitted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    pub rank: usize,
+    /// Monotone per-rank sample number (0 for the first snapshot).
+    pub seq: u64,
+    /// Virtual time of this sample.
+    pub at: f64,
+    /// Virtual seconds since the previous sample (since monitoring start
+    /// for the first).
+    pub interval: f64,
+    pub families: Vec<FamilyDelta>,
+}
+
+impl Snapshot {
+    /// Total monitored time in the interval, all families.
+    pub fn busy_time(&self) -> f64 {
+        self.families.iter().map(|f| f.time).sum::<f64>() + 0.0
+    }
+
+    /// The delta for one family, if it was active.
+    pub fn family(&self, family: EventFamily) -> Option<&FamilyDelta> {
+        self.families.iter().find(|f| f.family == family)
+    }
+}
+
+/// Fixed presentation order for family deltas.
+const FAMILY_ORDER: [EventFamily; 7] = [
+    EventFamily::Mpi,
+    EventFamily::Cuda,
+    EventFamily::Cublas,
+    EventFamily::Cufft,
+    EventFamily::GpuExec,
+    EventFamily::HostIdle,
+    EventFamily::Other,
+];
+
+#[derive(Default)]
+struct SnapState {
+    seq: u64,
+    last_at: Option<f64>,
+    /// Cumulative `(count, bytes, time)` per family at the last snapshot.
+    last: HashMap<EventFamily, (u64, u64, f64)>,
 }
 
 /// The per-rank monitoring context.
@@ -78,6 +162,12 @@ pub struct Ipm {
     regions: Mutex<Vec<String>>,
     meta: Mutex<Meta>,
     start: f64,
+    /// Event trace ring; `None` when tracing is disabled.
+    trace: Option<TraceRing>,
+    /// Wall-clock (real, not virtual) nanoseconds of IPM's own bookkeeping
+    /// — the "monitor the monitor" counter.
+    self_ns: AtomicU64,
+    snap: Mutex<SnapState>,
 }
 
 #[derive(Clone, Debug)]
@@ -103,6 +193,10 @@ impl Ipm {
                 host: "dirac00".to_owned(),
                 command: "<unknown>".to_owned(),
             }),
+            trace: (cfg.trace_capacity > 0)
+                .then(|| TraceRing::new(cfg.trace_capacity, cfg.trace_shards)),
+            self_ns: AtomicU64::new(0),
+            snap: Mutex::new(SnapState::default()),
             cfg,
             clock,
             start,
@@ -140,6 +234,7 @@ impl Ipm {
 
     /// Record a pseudo-event (`@CUDA_EXEC_*`, `@CUDA_HOST_IDLE`).
     pub fn update_pseudo(&self, name: Arc<str>, detail: Option<Arc<str>>, duration: f64) {
+        let t = Instant::now();
         let sig = EventSignature {
             name,
             bytes: 0,
@@ -147,6 +242,138 @@ impl Ipm {
             detail,
         };
         self.table.update(&sig, duration);
+        self.self_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Whether the trace ring is active.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Capture a kernel-execution interval in the trace (KTT completion
+    /// with device timestamps). No-op when tracing is disabled.
+    pub fn trace_kernel_exec(
+        &self,
+        name: Arc<str>,
+        kernel: Arc<str>,
+        stream: u32,
+        interval: (f64, f64),
+        corr: u64,
+    ) {
+        let Some(ring) = &self.trace else { return };
+        let t = Instant::now();
+        ring.push(TraceRecord {
+            kind: TraceKind::KernelExec,
+            name,
+            detail: Some(kernel),
+            begin: interval.0,
+            end: interval.1,
+            bytes: 0,
+            region: self.region.load(Ordering::Relaxed),
+            stream: Some(stream),
+            corr,
+        });
+        self.self_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Capture an implicit host-blocking interval (`@CUDA_HOST_IDLE`) in
+    /// the trace. No-op when tracing is disabled.
+    pub fn trace_host_idle(&self, begin: f64, end: f64) {
+        let Some(ring) = &self.trace else { return };
+        let t = Instant::now();
+        ring.push(TraceRecord {
+            kind: TraceKind::HostIdle,
+            name: Arc::from("@CUDA_HOST_IDLE"),
+            detail: None,
+            begin,
+            end,
+            bytes: 0,
+            region: self.region.load(Ordering::Relaxed),
+            stream: None,
+            corr: 0,
+        });
+        self.self_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Remove and return every captured trace record (sorted by begin),
+    /// freeing ring space. Empty when tracing is disabled.
+    pub fn drain_trace(&self) -> Vec<TraceRecord> {
+        self.trace
+            .as_ref()
+            .map(TraceRing::drain)
+            .unwrap_or_default()
+    }
+
+    /// Copy the resident trace records without consuming them.
+    pub fn trace_snapshot(&self) -> Vec<TraceRecord> {
+        self.trace
+            .as_ref()
+            .map(TraceRing::snapshot)
+            .unwrap_or_default()
+    }
+
+    /// Current self-accounting counters.
+    pub fn monitor_info(&self) -> MonitorInfo {
+        MonitorInfo {
+            self_wall_ns: self.self_ns.load(Ordering::Relaxed),
+            trace_emitted: self.trace.as_ref().map(TraceRing::emitted).unwrap_or(0),
+            trace_captured: self.trace.as_ref().map(TraceRing::captured).unwrap_or(0),
+            trace_dropped: self.trace.as_ref().map(TraceRing::dropped).unwrap_or(0),
+            ring_hwm_bytes: self
+                .trace
+                .as_ref()
+                .map(TraceRing::high_water_bytes)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Produce the next periodic sample: per-family activity since the
+    /// previous `snapshot` call. Cost is one pass over the perf table —
+    /// cheap enough to run at a few hertz against a live rank.
+    pub fn snapshot(&self) -> Snapshot {
+        let t = Instant::now();
+        let mut totals: HashMap<EventFamily, (u64, u64, f64)> = HashMap::new();
+        for (sig, stats) in self.table.snapshot() {
+            let e = totals.entry(classify(&sig.name)).or_default();
+            e.0 += stats.count;
+            e.1 += sig.bytes * stats.count;
+            e.2 += stats.total;
+        }
+        let now = self.clock.now();
+        let rank = self.meta.lock().rank;
+        let mut snap = self.snap.lock();
+        let interval = now - snap.last_at.unwrap_or(self.start);
+        let mut families = Vec::new();
+        for family in FAMILY_ORDER {
+            let cur = totals.get(&family).copied().unwrap_or_default();
+            let prev = snap.last.get(&family).copied().unwrap_or_default();
+            let delta = FamilyDelta {
+                family,
+                count: cur.0 - prev.0,
+                bytes: cur.1 - prev.1,
+                time: cur.2 - prev.2,
+            };
+            if delta.count > 0 || delta.time != 0.0 {
+                families.push(delta);
+            }
+        }
+        let seq = snap.seq;
+        snap.seq += 1;
+        snap.last_at = Some(now);
+        snap.last = totals;
+        drop(snap);
+        self.self_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Snapshot {
+            rank,
+            seq,
+            at: now,
+            interval,
+            families,
+        }
     }
 
     /// Enter a user region (IPM's `MPI_Pcontrol` regions); returns its id.
@@ -200,12 +427,14 @@ impl Ipm {
             regions: self.regions.lock().clone(),
             entries,
             dropped_events: self.table.overflow() + self.ktt.lock().dropped(),
+            monitor: self.monitor_info(),
         }
     }
 }
 
 impl MonitorSink for Ipm {
     fn update(&self, name: &'static str, bytes: u64, duration: f64) {
+        let t = Instant::now();
         let sig = EventSignature {
             name: Arc::from(name),
             bytes,
@@ -213,6 +442,42 @@ impl MonitorSink for Ipm {
             detail: None,
         };
         self.table.update(&sig, duration);
+        self.self_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn span(&self, name: &'static str, bytes: u64, begin: f64, end: f64) {
+        let t = Instant::now();
+        let region = self.region.load(Ordering::Relaxed);
+        let sig = EventSignature {
+            name: Arc::from(name),
+            bytes,
+            region,
+            detail: None,
+        };
+        self.table.update(&sig, end - begin);
+        if let Some(ring) = &self.trace {
+            // a launch wrapper just ran the real call on this thread, so the
+            // runtime's thread-local correlation id belongs to this record
+            let corr = if name == "cudaLaunch" || name == "cuLaunchGrid" {
+                ipm_gpu_sim::last_launch_correlation_id()
+            } else {
+                0
+            };
+            ring.push(TraceRecord {
+                kind: TraceKind::Call,
+                name: sig.name, // sig is done with it — move, don't clone
+                detail: None,
+                begin,
+                end,
+                bytes,
+                region,
+                stream: None,
+                corr,
+            });
+        }
+        self.self_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -245,8 +510,12 @@ mod tests {
         assert_eq!(m.current_region(), 0);
         let p = m.profile();
         assert_eq!(p.regions, vec!["<program>", "solver"]);
-        let by_region: Vec<u16> =
-            p.entries.iter().filter(|e| e.name == "MPI_Send").map(|e| e.region).collect();
+        let by_region: Vec<u16> = p
+            .entries
+            .iter()
+            .filter(|e| e.name == "MPI_Send")
+            .map(|e| e.region)
+            .collect();
         assert_eq!(by_region.len(), 2);
         assert!(by_region.contains(&0) && by_region.contains(&1));
     }
@@ -283,9 +552,17 @@ mod tests {
     #[test]
     fn pseudo_events_carry_detail() {
         let m = ipm();
-        m.update_pseudo(Arc::from("@CUDA_EXEC_STRM00"), Some(Arc::from("square")), 1.16);
+        m.update_pseudo(
+            Arc::from("@CUDA_EXEC_STRM00"),
+            Some(Arc::from("square")),
+            1.16,
+        );
         let p = m.profile();
-        let e = p.entries.iter().find(|e| e.name == "@CUDA_EXEC_STRM00").unwrap();
+        let e = p
+            .entries
+            .iter()
+            .find(|e| e.name == "@CUDA_EXEC_STRM00")
+            .unwrap();
         assert_eq!(e.detail.as_deref(), Some("square"));
     }
 

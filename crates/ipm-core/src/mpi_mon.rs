@@ -54,16 +54,19 @@ impl<M: MpiApi> MpiApi for IpmMpi<M> {
     }
 
     fn mpi_send(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<()> {
-        self.wrapped("MPI_Send", data.len() as u64, || self.inner.mpi_send(dest, tag, data))
+        self.wrapped("MPI_Send", data.len() as u64, || {
+            self.inner.mpi_send(dest, tag, data)
+        })
     }
 
     fn mpi_recv(&self, src: Option<usize>, tag: i32) -> MpiResult<(usize, Vec<u8>)> {
-        let ret = self.wrapped("MPI_Recv", 0, || self.inner.mpi_recv(src, tag));
-        ret
+        self.wrapped("MPI_Recv", 0, || self.inner.mpi_recv(src, tag))
     }
 
     fn mpi_isend(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<Request> {
-        self.wrapped("MPI_Isend", data.len() as u64, || self.inner.mpi_isend(dest, tag, data))
+        self.wrapped("MPI_Isend", data.len() as u64, || {
+            self.inner.mpi_isend(dest, tag, data)
+        })
     }
 
     fn mpi_irecv(&self, src: Option<usize>, tag: i32) -> MpiResult<Request> {
@@ -83,7 +86,12 @@ impl<M: MpiApi> MpiApi for IpmMpi<M> {
         self.wrapped("MPI_Bcast", bytes, || self.inner.mpi_bcast(root, data))
     }
 
-    fn mpi_reduce_f64(&self, root: usize, data: &[f64], op: ReduceOp) -> MpiResult<Option<Vec<f64>>> {
+    fn mpi_reduce_f64(
+        &self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> MpiResult<Option<Vec<f64>>> {
         self.wrapped("MPI_Reduce", 8 * data.len() as u64, || {
             self.inner.mpi_reduce_f64(root, data, op)
         })
@@ -96,15 +104,21 @@ impl<M: MpiApi> MpiApi for IpmMpi<M> {
     }
 
     fn mpi_gather(&self, root: usize, data: &[u8]) -> MpiResult<Option<Vec<Vec<u8>>>> {
-        self.wrapped("MPI_Gather", data.len() as u64, || self.inner.mpi_gather(root, data))
+        self.wrapped("MPI_Gather", data.len() as u64, || {
+            self.inner.mpi_gather(root, data)
+        })
     }
 
     fn mpi_allgather(&self, data: &[u8]) -> MpiResult<Vec<Vec<u8>>> {
-        self.wrapped("MPI_Allgather", data.len() as u64, || self.inner.mpi_allgather(data))
+        self.wrapped("MPI_Allgather", data.len() as u64, || {
+            self.inner.mpi_allgather(data)
+        })
     }
 
     fn mpi_alltoall(&self, data: &[u8]) -> MpiResult<Vec<u8>> {
-        self.wrapped("MPI_Alltoall", data.len() as u64, || self.inner.mpi_alltoall(data))
+        self.wrapped("MPI_Alltoall", data.len() as u64, || {
+            self.inner.mpi_alltoall(data)
+        })
     }
 
     fn mpi_wtime(&self) -> f64 {
@@ -170,7 +184,11 @@ mod tests {
             ipm.profile()
         });
         for p in &profiles {
-            let ar = p.entries.iter().find(|e| e.name == "MPI_Allreduce").unwrap();
+            let ar = p
+                .entries
+                .iter()
+                .find(|e| e.name == "MPI_Allreduce")
+                .unwrap();
             assert_eq!(ar.bytes, 1024);
             let g = p.entries.iter().find(|e| e.name == "MPI_Gather").unwrap();
             assert_eq!(g.bytes, 64);

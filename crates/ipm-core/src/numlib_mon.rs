@@ -46,7 +46,9 @@ impl<B: BlasApi> IpmBlas<B> {
 
 impl<B: BlasApi> BlasApi for IpmBlas<B> {
     fn cublas_alloc(&self, n: usize, elem_size: usize) -> CudaResult<DevicePtr> {
-        self.wrapped("cublasAlloc", (n * elem_size) as u64, || self.inner.cublas_alloc(n, elem_size))
+        self.wrapped("cublasAlloc", (n * elem_size) as u64, || {
+            self.inner.cublas_alloc(n, elem_size)
+        })
     }
 
     fn cublas_free(&self, ptr: DevicePtr) -> CudaResult<()> {
@@ -62,7 +64,8 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         dev: DevicePtr,
     ) -> CudaResult<()> {
         self.wrapped("cublasSetMatrix", (rows * cols * elem_size) as u64, || {
-            self.inner.cublas_set_matrix(rows, cols, elem_size, host, dev)
+            self.inner
+                .cublas_set_matrix(rows, cols, elem_size, host, dev)
         })
     }
 
@@ -75,7 +78,8 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         host: &mut [u8],
     ) -> CudaResult<()> {
         self.wrapped("cublasGetMatrix", (rows * cols * elem_size) as u64, || {
-            self.inner.cublas_get_matrix(rows, cols, elem_size, dev, host)
+            self.inner
+                .cublas_get_matrix(rows, cols, elem_size, dev, host)
         })
     }
 
@@ -88,7 +92,8 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         dev: DevicePtr,
     ) -> CudaResult<()> {
         self.wrapped("cublasSetMatrix", (rows * cols * elem_size) as u64, || {
-            self.inner.cublas_set_matrix_modeled(rows, cols, elem_size, host_prefix, dev)
+            self.inner
+                .cublas_set_matrix_modeled(rows, cols, elem_size, host_prefix, dev)
         })
     }
 
@@ -101,17 +106,30 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         host_prefix: &mut [u8],
     ) -> CudaResult<()> {
         self.wrapped("cublasGetMatrix", (rows * cols * elem_size) as u64, || {
-            self.inner.cublas_get_matrix_modeled(rows, cols, elem_size, dev, host_prefix)
+            self.inner
+                .cublas_get_matrix_modeled(rows, cols, elem_size, dev, host_prefix)
         })
     }
 
-    fn cublas_set_vector(&self, n: usize, elem_size: usize, host: &[u8], dev: DevicePtr) -> CudaResult<()> {
+    fn cublas_set_vector(
+        &self,
+        n: usize,
+        elem_size: usize,
+        host: &[u8],
+        dev: DevicePtr,
+    ) -> CudaResult<()> {
         self.wrapped("cublasSetVector", (n * elem_size) as u64, || {
             self.inner.cublas_set_vector(n, elem_size, host, dev)
         })
     }
 
-    fn cublas_get_vector(&self, n: usize, elem_size: usize, dev: DevicePtr, host: &mut [u8]) -> CudaResult<()> {
+    fn cublas_get_vector(
+        &self,
+        n: usize,
+        elem_size: usize,
+        dev: DevicePtr,
+        host: &mut [u8],
+    ) -> CudaResult<()> {
         self.wrapped("cublasGetVector", (n * elem_size) as u64, || {
             self.inner.cublas_get_vector(n, elem_size, dev, host)
         })
@@ -136,7 +154,8 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         // operand footprint: A(mk) + B(kn) + C(mn) doubles
         let bytes = 8 * (m * k + k * n + m * n) as u64;
         self.wrapped("cublasDgemm", bytes, || {
-            self.inner.cublas_dgemm(ta, tb, m, n, k, alpha, da, lda, db, ldb, beta, dc, ldc)
+            self.inner
+                .cublas_dgemm(ta, tb, m, n, k, alpha, da, lda, db, ldb, beta, dc, ldc)
         })
     }
 
@@ -158,16 +177,21 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
     ) -> CudaResult<()> {
         let bytes = 16 * (m * k + k * n + m * n) as u64;
         self.wrapped("cublasZgemm", bytes, || {
-            self.inner.cublas_zgemm(ta, tb, m, n, k, alpha, da, lda, db, ldb, beta, dc, ldc)
+            self.inner
+                .cublas_zgemm(ta, tb, m, n, k, alpha, da, lda, db, ldb, beta, dc, ldc)
         })
     }
 
     fn cublas_daxpy(&self, n: usize, alpha: f64, dx: DevicePtr, dy: DevicePtr) -> CudaResult<()> {
-        self.wrapped("cublasDaxpy", 16 * n as u64, || self.inner.cublas_daxpy(n, alpha, dx, dy))
+        self.wrapped("cublasDaxpy", 16 * n as u64, || {
+            self.inner.cublas_daxpy(n, alpha, dx, dy)
+        })
     }
 
     fn cublas_ddot(&self, n: usize, dx: DevicePtr, dy: DevicePtr) -> CudaResult<f64> {
-        self.wrapped("cublasDdot", 16 * n as u64, || self.inner.cublas_ddot(n, dx, dy))
+        self.wrapped("cublasDdot", 16 * n as u64, || {
+            self.inner.cublas_ddot(n, dx, dy)
+        })
     }
 }
 
@@ -219,8 +243,14 @@ impl FftApi for IpmFft {
         odata: DevicePtr,
         dir: FftDirection,
     ) -> CudaResult<()> {
-        let bytes = self.inner.plan_info(plan).map(|(n, b)| (16 * n * b) as u64).unwrap_or(0);
-        self.wrapped("cufftExecZ2Z", bytes, || self.inner.exec_z2z(plan, idata, odata, dir))
+        let bytes = self
+            .inner
+            .plan_info(plan)
+            .map(|(n, b)| (16 * n * b) as u64)
+            .unwrap_or(0);
+        self.wrapped("cufftExecZ2Z", bytes, || {
+            self.inner.exec_z2z(plan, idata, odata, dir)
+        })
     }
 
     fn cufft_destroy(&self, plan: PlanId) -> CudaResult<()> {
@@ -239,7 +269,9 @@ mod tests {
     /// Full monitored stack: IPM around CUDA, CUBLAS built over the
     /// monitored CUDA, IPM around CUBLAS.
     fn stack() -> (Arc<Ipm>, IpmBlas<CublasContext>) {
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
         let cuda: Arc<dyn CudaApi> = Arc::new(IpmCuda::new(ipm.clone(), rt));
         let blas = CublasContext::init(cuda, DeviceLibConfig::default());
@@ -252,10 +284,28 @@ mod tests {
         let d = blas.cublas_alloc(16, 8).unwrap();
         let host: Vec<u8> = vec![0; 128];
         blas.cublas_set_matrix(4, 4, 8, &host, d).unwrap();
-        blas.cublas_dgemm(Transpose::N, Transpose::N, 4, 4, 4, 1.0, d, 4, d, 4, 0.0, d, 4)
-            .unwrap();
+        blas.cublas_dgemm(
+            Transpose::N,
+            Transpose::N,
+            4,
+            4,
+            4,
+            1.0,
+            d,
+            4,
+            d,
+            4,
+            0.0,
+            d,
+            4,
+        )
+        .unwrap();
         let p = ipm.profile();
-        let set = p.entries.iter().find(|e| e.name == "cublasSetMatrix").unwrap();
+        let set = p
+            .entries
+            .iter()
+            .find(|e| e.name == "cublasSetMatrix")
+            .unwrap();
         assert_eq!(set.bytes, 128);
         let gemm = p.entries.iter().find(|e| e.name == "cublasDgemm").unwrap();
         assert_eq!(gemm.bytes, 8 * (16 + 16 + 16));
@@ -269,11 +319,31 @@ mod tests {
         let d = blas.cublas_alloc(16, 8).unwrap();
         let host = vec![0u8; 128];
         blas.cublas_set_matrix(4, 4, 8, &host, d).unwrap();
-        blas.cublas_dgemm(Transpose::N, Transpose::N, 4, 4, 4, 1.0, d, 4, d, 4, 0.0, d, 4)
-            .unwrap();
+        blas.cublas_dgemm(
+            Transpose::N,
+            Transpose::N,
+            4,
+            4,
+            4,
+            1.0,
+            d,
+            4,
+            d,
+            4,
+            0.0,
+            d,
+            4,
+        )
+        .unwrap();
         let p = ipm.profile();
-        assert!(p.count_of("cudaLaunch") >= 1, "library launch not intercepted");
-        assert!(p.count_of("cudaMemcpy(H2D)") >= 1, "library transfer not intercepted");
+        assert!(
+            p.count_of("cudaLaunch") >= 1,
+            "library launch not intercepted"
+        );
+        assert!(
+            p.count_of("cudaMemcpy(H2D)") >= 1,
+            "library transfer not intercepted"
+        );
         assert!(p.count_of("cudaConfigureCall") >= 1);
     }
 
@@ -281,8 +351,22 @@ mod tests {
     fn gemm_kernel_time_lands_in_exec_entries() {
         let (ipm, blas) = stack();
         let d = blas.cublas_alloc(64 * 64, 8).unwrap();
-        blas.cublas_dgemm(Transpose::N, Transpose::N, 64, 64, 64, 1.0, d, 64, d, 64, 0.0, d, 64)
-            .unwrap();
+        blas.cublas_dgemm(
+            Transpose::N,
+            Transpose::N,
+            64,
+            64,
+            64,
+            1.0,
+            d,
+            64,
+            d,
+            64,
+            0.0,
+            d,
+            64,
+        )
+        .unwrap();
         // sweep happens via a monitored sync call
         let host = &mut [0u8; 8][..];
         let _ = blas.cublas_get_vector(1, 8, d, host);
@@ -295,13 +379,19 @@ mod tests {
 
     #[test]
     fn cufft_exec_records_plan_sizes() {
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
         let cuda: Arc<dyn CudaApi> = Arc::new(IpmCuda::new(ipm.clone(), rt.clone()));
-        let fft = IpmFft::new(ipm.clone(), Arc::new(CufftContext::new(cuda, CufftConfig::default())));
+        let fft = IpmFft::new(
+            ipm.clone(),
+            Arc::new(CufftContext::new(cuda, CufftConfig::default())),
+        );
         let d = rt.malloc(64 * 16).unwrap();
         let plan = fft.cufft_plan_1d(64, FftType::Z2Z, 1).unwrap();
-        fft.cufft_exec_z2z(plan, d, d, FftDirection::Forward).unwrap();
+        fft.cufft_exec_z2z(plan, d, d, FftDirection::Forward)
+            .unwrap();
         fft.cufft_destroy(plan).unwrap();
         let p = ipm.profile();
         let exec = p.entries.iter().find(|e| e.name == "cufftExecZ2Z").unwrap();

@@ -61,7 +61,13 @@ impl GpuCounterReport {
                 } else {
                     BoundResource::Memory
                 };
-                CounterRow { kernel, counters, compute_fraction, bandwidth_fraction, bound }
+                CounterRow {
+                    kernel,
+                    counters,
+                    compute_fraction,
+                    bandwidth_fraction,
+                    bound,
+                }
             })
             .collect();
         Self { rows, model }
@@ -101,13 +107,13 @@ impl GpuCounterReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipm_gpu_sim::{
-        launch_kernel, GpuConfig, Kernel, KernelCost, LaunchConfig,
-    };
+    use ipm_gpu_sim::{launch_kernel, GpuConfig, Kernel, KernelCost, LaunchConfig};
 
     fn runtime() -> GpuRuntime {
         GpuRuntime::single(
-            GpuConfig::dirac_node().with_context_init(0.0).with_counters(),
+            GpuConfig::dirac_node()
+                .with_context_init(0.0)
+                .with_counters(),
         )
     }
 
@@ -116,7 +122,11 @@ mod tests {
         let rt = runtime();
         let k = Kernel::timed(
             "compute_heavy",
-            KernelCost::Roofline { flops_per_thread: 100_000.0, bytes_per_thread: 4.0, efficiency: 0.5 },
+            KernelCost::Roofline {
+                flops_per_thread: 100_000.0,
+                bytes_per_thread: 4.0,
+                efficiency: 0.5,
+            },
         );
         launch_kernel(&rt, &k, LaunchConfig::simple(64u32, 128u32), &[]).unwrap();
         rt.thread_synchronize().unwrap();
@@ -128,7 +138,11 @@ mod tests {
         assert_eq!(row.counters.invocations, 1);
         assert_eq!(row.bound, BoundResource::Compute);
         // efficiency 0.5 → ~50% of peak achieved
-        assert!((row.compute_fraction - 0.5).abs() < 0.05, "{}", row.compute_fraction);
+        assert!(
+            (row.compute_fraction - 0.5).abs() < 0.05,
+            "{}",
+            row.compute_fraction
+        );
     }
 
     #[test]
@@ -136,12 +150,19 @@ mod tests {
         let rt = runtime();
         let k = Kernel::timed(
             "stream_copy",
-            KernelCost::Roofline { flops_per_thread: 1.0, bytes_per_thread: 64.0, efficiency: 0.7 },
+            KernelCost::Roofline {
+                flops_per_thread: 1.0,
+                bytes_per_thread: 64.0,
+                efficiency: 0.7,
+            },
         );
         launch_kernel(&rt, &k, LaunchConfig::simple(512u32, 256u32), &[]).unwrap();
         rt.thread_synchronize().unwrap();
         let report = GpuCounterReport::collect(&rt);
-        assert_eq!(report.row("stream_copy").unwrap().bound, BoundResource::Memory);
+        assert_eq!(
+            report.row("stream_copy").unwrap().bound,
+            BoundResource::Memory
+        );
     }
 
     #[test]
@@ -172,7 +193,11 @@ mod tests {
         let rt = runtime();
         let k = Kernel::timed(
             "k1",
-            KernelCost::Roofline { flops_per_thread: 500.0, bytes_per_thread: 1.0, efficiency: 0.6 },
+            KernelCost::Roofline {
+                flops_per_thread: 500.0,
+                bytes_per_thread: 1.0,
+                efficiency: 0.6,
+            },
         );
         launch_kernel(&rt, &k, LaunchConfig::simple(32u32, 64u32), &[]).unwrap();
         rt.thread_synchronize().unwrap();

@@ -10,7 +10,8 @@
 use crate::aggregate::ClusterReport;
 use crate::banner::{render_banner, render_cluster_banner};
 use crate::profile::RankProfile;
-use crate::xml::{from_xml, XmlError};
+use crate::trace::{chrome_trace, TraceRank};
+use crate::xml::{from_xml, trace_from_xml, XmlError};
 use std::fmt::Write as _;
 
 /// Parse one XML log and regenerate the single-rank banner.
@@ -20,8 +21,33 @@ pub fn banner_from_xml(xml: &str) -> Result<String, XmlError> {
 
 /// Parse one XML log per rank and produce the cluster banner.
 pub fn cluster_banner_from_xml(xmls: &[String], nodes: usize) -> Result<String, XmlError> {
-    let profiles = xmls.iter().map(|x| from_xml(x)).collect::<Result<Vec<_>, _>>()?;
-    Ok(render_cluster_banner(&ClusterReport::from_profiles(profiles, nodes), 0))
+    let profiles = xmls
+        .iter()
+        .map(|x| from_xml(x))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(render_cluster_banner(
+        &ClusterReport::from_profiles(profiles, nodes),
+        0,
+    ))
+}
+
+/// Parse one XML log per rank and render the embedded `<trace>` sections
+/// as Chrome trace-event JSON (the `ipm_parse trace` subcommand). Logs
+/// written without tracing contribute a process entry with empty lanes.
+pub fn chrome_trace_from_xml(xmls: &[String]) -> Result<String, XmlError> {
+    let mut ranks = Vec::new();
+    for xml in xmls {
+        let profile = from_xml(xml)?;
+        let records = trace_from_xml(xml)?;
+        ranks.push(TraceRank {
+            rank: profile.rank,
+            host: profile.host,
+            records,
+            prof: Vec::new(),
+        });
+    }
+    ranks.sort_by_key(|r| r.rank);
+    Ok(chrome_trace(&ranks))
 }
 
 /// Generate the HTML report page for a set of rank profiles — the format
@@ -30,7 +56,11 @@ pub fn html_report(profiles: &[RankProfile], nodes: usize) -> String {
     let report = ClusterReport::from_profiles(profiles.to_vec(), nodes);
     let mut out = String::new();
     out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
-    let _ = writeln!(out, "<title>IPM profile: {}</title>", html_escape(&report.command));
+    let _ = writeln!(
+        out,
+        "<title>IPM profile: {}</title>",
+        html_escape(&report.command)
+    );
     out.push_str(
         "<style>body{font-family:monospace}table{border-collapse:collapse}\n\
          td,th{border:1px solid #999;padding:2px 8px;text-align:right}\n\
@@ -67,7 +97,11 @@ pub fn html_report(profiles: &[RankProfile], nodes: usize) -> String {
         out.push_str("<h2>GPU kernels</h2>\n<table><tr><th>kernel</th><th>share of GPU time</th><th>imbalance</th></tr>\n");
         let imb = report.kernel_imbalance();
         for (k, share) in kernels {
-            let i = imb.iter().find(|(n, _)| n == &k).map(|(_, v)| *v).unwrap_or(0.0);
+            let i = imb
+                .iter()
+                .find(|(n, _)| n == &k)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0);
             let _ = writeln!(
                 out,
                 "<tr><td class=\"name\">{}</td><td>{:.2}%</td><td>{:.1}%</td></tr>",
@@ -95,7 +129,9 @@ pub fn html_report(profiles: &[RankProfile], nodes: usize) -> String {
 }
 
 fn html_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -132,6 +168,7 @@ mod tests {
                 },
             ],
             dropped_events: 0,
+            monitor: Default::default(),
         }
     }
 
@@ -165,5 +202,46 @@ mod tests {
     #[test]
     fn bad_xml_propagates_error() {
         assert!(banner_from_xml("not xml").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_from_xml_logs_is_valid() {
+        use crate::trace::{validate_chrome_trace, TraceKind, TraceRecord};
+        use crate::xml::to_xml_with_trace;
+        use std::sync::Arc;
+
+        let mk = |rank: usize| {
+            let trace = vec![
+                TraceRecord {
+                    kind: TraceKind::Call,
+                    name: Arc::from("cudaLaunch"),
+                    detail: None,
+                    begin: 0.1 * rank as f64,
+                    end: 0.1 * rank as f64 + 0.001,
+                    bytes: 0,
+                    region: 0,
+                    stream: None,
+                    corr: 1 + rank as u64,
+                },
+                TraceRecord {
+                    kind: TraceKind::KernelExec,
+                    name: Arc::from("@CUDA_EXEC_STRM00"),
+                    detail: Some(Arc::from("zgemm_kernel_NN")),
+                    begin: 0.1 * rank as f64 + 0.002,
+                    end: 0.1 * rank as f64 + 0.05,
+                    bytes: 0,
+                    region: 0,
+                    stream: Some(0),
+                    corr: 1 + rank as u64,
+                },
+            ];
+            to_xml_with_trace(&profile(rank), &trace)
+        };
+        let json = chrome_trace_from_xml(&[mk(0), mk(1)]).unwrap();
+        let stats = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert_eq!(stats.processes, 2);
+        assert_eq!(stats.lanes, 4, "host + stream lane per rank");
+        assert_eq!(stats.slices, 4);
+        assert_eq!(stats.flow_pairs, 2);
     }
 }

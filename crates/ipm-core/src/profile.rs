@@ -59,6 +59,26 @@ impl ProfileEntry {
     }
 }
 
+/// Monitor self-accounting: what the monitoring itself cost, measured on
+/// the *wall* clock (real nanoseconds of bookkeeping — hash-table updates,
+/// trace capture, KTT sweeps — not virtual time, which belongs to the
+/// modeled run). The "monitor the monitor" numbers behind the banner's
+/// `# monitor:` section and the XML `<monitor>` element.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MonitorInfo {
+    /// Wall-clock nanoseconds spent inside IPM bookkeeping.
+    pub self_wall_ns: u64,
+    /// Trace records offered to the ring.
+    pub trace_emitted: u64,
+    /// Trace records stored (possibly later drained).
+    pub trace_captured: u64,
+    /// Trace records refused because the ring was full. The ring guarantees
+    /// `trace_captured + trace_dropped == trace_emitted`.
+    pub trace_dropped: u64,
+    /// High-water memory footprint of the trace ring, bytes.
+    pub ring_hwm_bytes: u64,
+}
+
 /// The complete monitoring output of one rank.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RankProfile {
@@ -74,13 +94,19 @@ pub struct RankProfile {
     /// Events dropped by table/KTT capacity limits (monitoring fidelity
     /// diagnostics).
     pub dropped_events: u64,
+    /// Self-accounting of the monitor's own cost.
+    pub monitor: MonitorInfo,
 }
 
 impl RankProfile {
     /// Total time in entries of one family.
     pub fn family_time(&self, family: EventFamily) -> f64 {
         // `+ 0.0` normalizes the empty-sum identity (-0.0) to +0.0
-        self.entries.iter().filter(|e| e.family() == family).map(|e| e.stats.total).sum::<f64>()
+        self.entries
+            .iter()
+            .filter(|e| e.family() == family)
+            .map(|e| e.stats.total)
+            .sum::<f64>()
             + 0.0
     }
 
@@ -115,7 +141,10 @@ impl RankProfile {
         }
         let mut out: Vec<_> = map.into_iter().collect();
         out.sort_by(|a, b| {
-            b.1.total.partial_cmp(&a.1.total).expect("finite").then_with(|| a.0.cmp(&b.0))
+            b.1.total
+                .partial_cmp(&a.1.total)
+                .expect("finite")
+                .then_with(|| a.0.cmp(&b.0))
         });
         out
     }
@@ -137,12 +166,21 @@ impl RankProfile {
 
     /// Total time for one entry name (0 when absent).
     pub fn time_of(&self, name: &str) -> f64 {
-        self.entries.iter().filter(|e| e.name == name).map(|e| e.stats.total).sum::<f64>() + 0.0
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.stats.total)
+            .sum::<f64>()
+            + 0.0
     }
 
     /// Call count for one entry name.
     pub fn count_of(&self, name: &str) -> u64 {
-        self.entries.iter().filter(|e| e.name == name).map(|e| e.stats.count).sum()
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.stats.count)
+            .sum()
     }
 }
 
@@ -153,7 +191,13 @@ mod tests {
     fn entry(name: &str, total: f64) -> ProfileEntry {
         let mut stats = RunningStats::new();
         stats.record(total);
-        ProfileEntry { name: name.to_owned(), detail: None, bytes: 0, region: 0, stats }
+        ProfileEntry {
+            name: name.to_owned(),
+            detail: None,
+            bytes: 0,
+            region: 0,
+            stats,
+        }
     }
 
     fn profile(entries: Vec<ProfileEntry>) -> RankProfile {
@@ -166,6 +210,7 @@ mod tests {
             regions: vec!["<program>".to_owned()],
             entries,
             dropped_events: 0,
+            monitor: MonitorInfo::default(),
         }
     }
 

@@ -30,7 +30,12 @@ pub struct EventSignature {
 impl EventSignature {
     /// Signature for a plain call in the global region.
     pub fn call(name: impl Into<Arc<str>>, bytes: u64) -> Self {
-        Self { name: name.into(), bytes, region: 0, detail: None }
+        Self {
+            name: name.into(),
+            bytes,
+            region: 0,
+            detail: None,
+        }
     }
 
     /// Signature in an explicit region.
@@ -115,7 +120,9 @@ mod tests {
 
     #[test]
     fn debug_format_is_compact() {
-        let sig = EventSignature::call("cudaMemcpy(D2H)", 800_000).in_region(3).with_detail("k");
+        let sig = EventSignature::call("cudaMemcpy(D2H)", 800_000)
+            .in_region(3)
+            .with_detail("k");
         let s = format!("{sig:?}");
         assert!(s.contains("cudaMemcpy(D2H)"));
         assert!(s.contains("800000B"));

@@ -127,7 +127,11 @@ impl PerfTable {
 
     /// Sum of total durations over entries whose name satisfies `pred`.
     pub fn time_where(&self, pred: impl Fn(&str) -> bool) -> f64 {
-        self.snapshot().iter().filter(|(s, _)| pred(&s.name)).map(|(_, st)| st.total).sum()
+        self.snapshot()
+            .iter()
+            .filter(|(s, _)| pred(&s.name))
+            .map(|(_, st)| st.total)
+            .sum()
     }
 }
 
@@ -223,9 +227,15 @@ mod tests {
         for th in threads {
             th.join().unwrap();
         }
-        assert_eq!(t.get(&EventSignature::call("hot", 0)).unwrap().count, 80_000);
+        assert_eq!(
+            t.get(&EventSignature::call("hot", 0)).unwrap().count,
+            80_000
+        );
         for k in 0..8 {
-            assert_eq!(t.get(&EventSignature::call("own", k)).unwrap().count, 10_000);
+            assert_eq!(
+                t.get(&EventSignature::call("own", k)).unwrap().count,
+                10_000
+            );
         }
         assert_eq!(t.overflow(), 0);
     }

@@ -1,0 +1,1164 @@
+//! Streaming event trace: bounded per-rank rings and Perfetto export.
+//!
+//! The paper's IPM is strictly post-mortem: the hash table aggregates, the
+//! banner summarizes, event ordering is lost. This module adds the
+//! event-stream layer modern GPU telemetry systems build on:
+//!
+//! * [`TraceRing`] — a bounded, lock-striped ring capturing one compact
+//!   [`TraceRecord`] per wrapped call, KTT completion, and
+//!   `@CUDA_HOST_IDLE` interval, with **exact drop accounting**: the
+//!   invariant `captured + dropped == emitted` holds at every instant,
+//!   under concurrent emission, whether or not the ring overflowed.
+//! * [`chrome_trace`] — merges host-side trace records with the device
+//!   ground truth (`gpu-sim` [`ProfRecord`]s) into Chrome trace-event JSON
+//!   loadable in Perfetto / `chrome://tracing`: one process per rank, a
+//!   host lane plus one lane per stream, and flow arrows linking each
+//!   `cudaLaunch` to the kernel execution it submitted (via the
+//!   correlation id the runtime assigns at enqueue).
+//! * [`validate_chrome_trace`] — a dependency-free JSON parser + structural
+//!   validator (matched `B`/`E` pairs, per-lane timestamp monotonicity,
+//!   resolved flow bindings) shared by tests and the `ipm_parse trace`
+//!   subcommand.
+
+use ipm_gpu_sim::{ProfKind, ProfRecord};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// What a trace record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A host-side wrapped API call (the Fig. 2 anatomy).
+    Call,
+    /// A device-side kernel execution interval (KTT completion).
+    KernelExec,
+    /// An implicit host-blocking interval (`@CUDA_HOST_IDLE`).
+    HostIdle,
+}
+
+impl TraceKind {
+    /// Stable one-letter tag used by the XML encoding.
+    pub fn tag(self) -> char {
+        match self {
+            TraceKind::Call => 'C',
+            TraceKind::KernelExec => 'K',
+            TraceKind::HostIdle => 'I',
+        }
+    }
+
+    /// Inverse of [`TraceKind::tag`].
+    pub fn from_tag(tag: char) -> Option<Self> {
+        match tag {
+            'C' => Some(TraceKind::Call),
+            'K' => Some(TraceKind::KernelExec),
+            'I' => Some(TraceKind::HostIdle),
+            _ => None,
+        }
+    }
+}
+
+/// One captured event: a compact, fixed-shape record (interned names keep
+/// it cheap to clone under the ring lock).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    pub kind: TraceKind,
+    /// Registry name (`cudaMemcpy(D2H)`, `MPI_Allreduce`, …) or, for
+    /// `KernelExec`, the `@CUDA_EXEC_STRMxx` pseudo-event name.
+    pub name: Arc<str>,
+    /// Kernel symbol for `KernelExec` records.
+    pub detail: Option<Arc<str>>,
+    /// Begin timestamp, virtual seconds.
+    pub begin: f64,
+    /// End timestamp, virtual seconds.
+    pub end: f64,
+    pub bytes: u64,
+    /// Active user region at capture time.
+    pub region: u16,
+    /// Device stream for `KernelExec`; `None` means the host lane.
+    pub stream: Option<u32>,
+    /// Correlation id linking a `cudaLaunch` call to its kernel execution
+    /// (0 when untracked).
+    pub corr: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The ring
+// ---------------------------------------------------------------------------
+
+/// Default total ring capacity (records, across all stripes).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+/// Default number of lock stripes.
+pub const DEFAULT_TRACE_SHARDS: usize = 8;
+
+/// Minimal spin mutex for ring stripes. Uncontended acquire is one
+/// compare-exchange and release one store — roughly half the cost of a
+/// futex-backed mutex, which matters at the per-wrapped-call push rate.
+/// Contention is rare (stripes × rotating writers) and critical sections
+/// are tiny appends, so spinning on the exceptional conflict is cheap.
+struct SpinLock<T> {
+    locked: AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock protocol below gives exclusive &mut access to `data`
+// between a successful compare-exchange (Acquire) and the guard's release
+// store, so sharing across threads is sound for Send payloads.
+unsafe impl<T: Send> Send for SpinLock<T> {}
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    fn new(value: T) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    fn lock(&self) -> SpinGuard<'_, T> {
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinGuard { lock: self };
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> std::ops::Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the lock exclusively
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+/// One lock stripe: its record buffer plus bookkeeping that only ever
+/// changes under the stripe lock (so it needs no atomics of its own).
+#[derive(Default)]
+struct Shard {
+    buf: Vec<TraceRecord>,
+    /// Most records ever resident in this stripe.
+    hwm: usize,
+    /// Records this stripe has stored (cumulative, survives drains).
+    captured: u64,
+    /// Records this stripe has refused.
+    dropped: u64,
+}
+
+/// A bounded, lock-striped trace ring.
+///
+/// Writers pick a stripe round-robin (via a per-thread counter, so the hot
+/// path takes no shared atomics at all) and append under that stripe's
+/// lock only; a full ring drops the *new* record (launches must never
+/// block on telemetry). Drop accounting is exact by construction: every
+/// offer increments exactly one of the stripe's `captured` or `dropped`
+/// counters under its lock, and `emitted` is *defined* as their sum — so
+/// `captured + dropped == emitted` holds at every instant, under any
+/// interleaving.
+pub struct TraceRing {
+    shards: Vec<SpinLock<Shard>>,
+    per_shard: usize,
+    /// Stripe rotation granularity (log2): writers stay on one stripe for
+    /// `1 << rot_shift` consecutive pushes before moving on.
+    rot_shift: u32,
+}
+
+impl TraceRing {
+    /// Ring with `capacity` total record slots split over `shards` stripes.
+    /// Both are clamped to at least 1; per-stripe capacity rounds up so the
+    /// usable total is never below `capacity`.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        // power-of-two stripe count: the hot-path stripe pick is a mask,
+        // not a division
+        let shards = shards.max(1).min(capacity).next_power_of_two();
+        let per_shard = capacity.div_ceil(shards);
+        // sticky rotation (64-push blocks) keeps a writer's stripe
+        // cache-warm, but only when blocks tile stripes exactly — otherwise
+        // a sequential fill could hit a full stripe while others have room,
+        // dropping before `capacity` records are resident
+        let rot_shift = if per_shard.is_multiple_of(64) { 6 } else { 0 };
+        Self {
+            shards: (0..shards)
+                .map(|_| SpinLock::new(Shard::default()))
+                .collect(),
+            per_shard,
+            rot_shift,
+        }
+    }
+
+    /// Total record capacity.
+    pub fn capacity(&self) -> usize {
+        self.per_shard * self.shards.len()
+    }
+
+    /// Round-robin stripe pick without shared state: each thread advances
+    /// its own counter, rotating stripes every `1 << rot_shift` pushes.
+    /// Sticky rotation keeps the stripe's lock and buffer tail cache-warm
+    /// across a burst while still spreading one thread's records over all
+    /// stripes (so a single rank thread can use the full capacity).
+    fn shard_index(&self) -> usize {
+        use std::cell::Cell;
+        thread_local! {
+            static ROBIN: Cell<usize> = const { Cell::new(0) };
+        }
+        let n = ROBIN.with(|c| {
+            let v = c.get();
+            c.set(v.wrapping_add(1));
+            v
+        });
+        (n >> self.rot_shift) & (self.shards.len() - 1) // stripe count is a power of two
+    }
+
+    /// Offer one record; returns `false` (and counts a drop) if the ring
+    /// is full. Never blocks beyond one stripe lock; the hot path is one
+    /// uncontended lock and plain arithmetic under it.
+    pub fn push(&self, rec: TraceRecord) -> bool {
+        let mut shard = self.shards[self.shard_index()].lock();
+        if shard.buf.len() >= self.per_shard {
+            shard.dropped += 1;
+            return false;
+        }
+        shard.buf.push(rec);
+        shard.captured += 1;
+        if shard.buf.len() > shard.hwm {
+            shard.hwm = shard.buf.len();
+        }
+        true
+    }
+
+    /// Records offered so far (captured plus dropped).
+    pub fn emitted(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                g.captured + g.dropped
+            })
+            .sum()
+    }
+
+    /// Records stored so far (drained records still count).
+    pub fn captured(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().captured).sum()
+    }
+
+    /// Records refused because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().dropped).sum()
+    }
+
+    /// Records currently resident.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().buf.len()).sum()
+    }
+
+    /// Whether no records are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of resident records: the sum of each stripe's own
+    /// high-water mark. Stripes fill independently, so this is an upper
+    /// bound on the instantaneous global maximum (and equal to it for the
+    /// usual fill-then-drain lifecycle), never exceeding capacity.
+    pub fn high_water_mark(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().hwm as u64).sum()
+    }
+
+    /// High-water memory footprint in bytes (record slots only).
+    pub fn high_water_bytes(&self) -> u64 {
+        self.high_water_mark() * std::mem::size_of::<TraceRecord>() as u64
+    }
+
+    /// Remove and return every resident record, sorted by begin timestamp.
+    /// Frees ring space for further capture; counters are cumulative and
+    /// unaffected.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.append(&mut shard.lock().buf);
+        }
+        out.sort_by(|a, b| {
+            a.begin
+                .partial_cmp(&b.begin)
+                .expect("finite timestamps")
+                .then(a.end.partial_cmp(&b.end).expect("finite timestamps"))
+        });
+        out
+    }
+
+    /// Copy every resident record without removing it, sorted by begin.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().buf.iter().cloned());
+        }
+        out.sort_by(|a, b| {
+            a.begin
+                .partial_cmp(&b.begin)
+                .expect("finite timestamps")
+                .then(a.end.partial_cmp(&b.end).expect("finite timestamps"))
+        });
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+/// One rank's inputs to the exporter.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRank {
+    pub rank: usize,
+    /// Host name, shown in the Perfetto process label.
+    pub host: String,
+    /// Host-side records (drained or snapshotted from the rank's ring).
+    pub records: Vec<TraceRecord>,
+    /// Device-side ground truth from the simulator profiler. When present,
+    /// device lanes are built from these (they include memcpys and carry
+    /// true durations); the ring's `KernelExec` records are used as the
+    /// fallback when the profiler was disabled.
+    pub prof: Vec<ProfRecord>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds for the `ts` field (Chrome's unit).
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+/// An interval destined for one lane.
+struct LaneSlice {
+    name: String,
+    begin: f64,
+    end: f64,
+    args: Vec<(&'static str, String)>,
+    /// Flow id to terminate at this slice's begin (0 = none).
+    flow_in: u64,
+    /// Flow id to originate at this slice's begin (0 = none).
+    flow_out: u64,
+}
+
+/// Emit one lane's slices as properly nested `B`/`E` events (JSON object
+/// strings), timestamps non-decreasing.
+fn emit_lane(pid: usize, tid: u32, mut slices: Vec<LaneSlice>, out: &mut Vec<String>) {
+    slices.sort_by(|a, b| {
+        a.begin
+            .partial_cmp(&b.begin)
+            .expect("finite timestamps")
+            .then(b.end.partial_cmp(&a.end).expect("finite timestamps"))
+    });
+    // stack of pending end timestamps with their slice names
+    let mut stack: Vec<(f64, String)> = Vec::new();
+    let close = |stack: &mut Vec<(f64, String)>, upto: f64, out: &mut Vec<String>| {
+        while let Some((end, _)) = stack.last() {
+            if *end <= upto {
+                let (end, name) = stack.pop().expect("checked non-empty");
+                out.push(format!(
+                    "{{\"ph\":\"E\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                    esc(&name),
+                    pid,
+                    tid,
+                    us(end)
+                ));
+            } else {
+                break;
+            }
+        }
+    };
+    for s in slices {
+        close(&mut stack, s.begin, out);
+        if s.flow_in != 0 {
+            out.push(format!(
+                "{{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"launch\",\"name\":\"launch\",\"id\":{},\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                s.flow_in, pid, tid, us(s.begin)
+            ));
+        }
+        if s.flow_out != 0 {
+            out.push(format!(
+                "{{\"ph\":\"s\",\"cat\":\"launch\",\"name\":\"launch\",\"id\":{},\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                s.flow_out, pid, tid, us(s.begin)
+            ));
+        }
+        let mut args = String::new();
+        for (i, (k, v)) in s.args.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            let _ = write!(args, "\"{}\":{}", k, v);
+        }
+        out.push(format!(
+            "{{\"ph\":\"B\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{{}}}}}",
+            esc(&s.name),
+            pid,
+            tid,
+            us(s.begin),
+            args
+        ));
+        stack.push((s.end, s.name));
+    }
+    close(&mut stack, f64::INFINITY, out);
+}
+
+fn meta_event(pid: usize, tid: Option<u32>, which: &str, label: &str) -> String {
+    match tid {
+        Some(tid) => format!(
+            "{{\"ph\":\"M\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            which,
+            pid,
+            tid,
+            esc(label)
+        ),
+        None => format!(
+            "{{\"ph\":\"M\",\"name\":\"{}\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            which,
+            pid,
+            esc(label)
+        ),
+    }
+}
+
+/// Render ranks into Chrome trace-event JSON (the `{"traceEvents": [...]}`
+/// object form). One process per rank; `tid 0` is the host lane and
+/// `tid 1 + s` is device stream `s`. `cudaLaunch` slices originate flow
+/// arrows (`ph:"s"`) that terminate (`ph:"f"`) at the kernel slice with the
+/// same correlation id.
+pub fn chrome_trace(ranks: &[TraceRank]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for r in ranks {
+        let pid = r.rank;
+        let label = if r.host.is_empty() {
+            format!("rank {}", r.rank)
+        } else {
+            format!("rank {} ({})", r.rank, r.host)
+        };
+        events.push(meta_event(pid, None, "process_name", &label));
+        events.push(meta_event(pid, Some(0), "thread_name", "host"));
+
+        // Which correlation ids have a device-side slice to land on?
+        let use_prof = !r.prof.is_empty();
+        let mut device_corrs: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        if use_prof {
+            device_corrs.extend(r.prof.iter().filter(|p| p.corr != 0).map(|p| p.corr));
+        } else {
+            device_corrs.extend(
+                r.records
+                    .iter()
+                    .filter(|t| t.kind == TraceKind::KernelExec && t.corr != 0)
+                    .map(|t| t.corr),
+            );
+        }
+
+        // Host lane: wrapped calls + host-idle intervals.
+        let host_slices: Vec<LaneSlice> = r
+            .records
+            .iter()
+            .filter(|t| t.kind != TraceKind::KernelExec)
+            .map(|t| {
+                let mut args: Vec<(&'static str, String)> = Vec::new();
+                if t.bytes > 0 {
+                    args.push(("bytes", t.bytes.to_string()));
+                }
+                args.push(("region", t.region.to_string()));
+                LaneSlice {
+                    name: t.name.to_string(),
+                    begin: t.begin,
+                    end: t.end,
+                    args,
+                    flow_in: 0,
+                    flow_out: if t.corr != 0 && device_corrs.contains(&t.corr) {
+                        t.corr
+                    } else {
+                        0
+                    },
+                }
+            })
+            .collect();
+        emit_lane(pid, 0, host_slices, &mut events);
+
+        // Device lanes: one per stream, from the profiler ground truth when
+        // available, otherwise from KTT KernelExec records.
+        let mut lanes: HashMap<u32, Vec<LaneSlice>> = HashMap::new();
+        if use_prof {
+            for p in &r.prof {
+                let args = vec![("gputime_us", format!("{}", p.gputime * 1e6))];
+                lanes.entry(p.stream.0).or_default().push(LaneSlice {
+                    name: p.method.clone(),
+                    begin: p.start,
+                    end: p.start + p.gputime,
+                    args,
+                    flow_in: if p.kind == ProfKind::Kernel {
+                        p.corr
+                    } else {
+                        0
+                    },
+                    flow_out: 0,
+                });
+            }
+        } else {
+            for t in r.records.iter().filter(|t| t.kind == TraceKind::KernelExec) {
+                let stream = t.stream.unwrap_or(0);
+                let name = t
+                    .detail
+                    .as_deref()
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| t.name.to_string());
+                lanes.entry(stream).or_default().push(LaneSlice {
+                    name,
+                    begin: t.begin,
+                    end: t.end,
+                    args: vec![("region", t.region.to_string())],
+                    flow_in: t.corr,
+                    flow_out: 0,
+                });
+            }
+        }
+        let mut stream_ids: Vec<u32> = lanes.keys().copied().collect();
+        stream_ids.sort_unstable();
+        for s in stream_ids {
+            let tid = 1 + s;
+            events.push(meta_event(
+                pid,
+                Some(tid),
+                "thread_name",
+                &format!("stream {s}"),
+            ));
+            emit_lane(
+                pid,
+                tid,
+                lanes.remove(&s).expect("key present"),
+                &mut events,
+            );
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (validation only; no external deps available)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // advance one UTF-8 scalar
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document (strict enough for validation; rejects trailing
+/// garbage).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Structural facts about a validated trace, for assertions and the CLI
+/// summary line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Completed `B`/`E` slice pairs.
+    pub slices: usize,
+    /// Distinct processes (ranks).
+    pub processes: usize,
+    /// Distinct `(pid, tid)` lanes carrying at least one slice.
+    pub lanes: usize,
+    /// Flow arrows with both a start (`s`) and a finish (`f`) binding.
+    pub flow_pairs: usize,
+}
+
+/// Validate Chrome trace-event JSON structurally: the document parses, every
+/// `B` has a matching `E` (same lane, same name, LIFO order), timestamps
+/// are monotone non-decreasing per lane, and every flow start resolves to a
+/// flow finish (and vice versa). Returns summary stats on success.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    let mut stacks: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut lanes_with_slices: std::collections::HashSet<(u64, u64)> =
+        std::collections::HashSet::new();
+    let mut processes: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut flow_starts: HashMap<u64, usize> = HashMap::new();
+    let mut flow_finishes: HashMap<u64, usize> = HashMap::new();
+    let mut slices = 0usize;
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing pid"))? as u64;
+        processes.insert(pid);
+        if ph == "M" {
+            continue; // metadata carries no timestamp
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing tid"))? as u64;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing ts"))?;
+        if !ts.is_finite() {
+            return Err(format!("event {i}: non-finite ts"));
+        }
+        let lane = (pid, tid);
+        if let Some(prev) = last_ts.get(&lane) {
+            if ts < *prev {
+                return Err(format!(
+                    "event {i}: lane ({pid},{tid}) timestamp regressed {prev} -> {ts}"
+                ));
+            }
+        }
+        last_ts.insert(lane, ts);
+        match ph {
+            "B" => {
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("event {i}: B without name"))?;
+                stacks.entry(lane).or_default().push(name.to_owned());
+                lanes_with_slices.insert(lane);
+            }
+            "E" => {
+                let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+                let stack = stacks.entry(lane).or_default();
+                match stack.pop() {
+                    Some(open) if name.is_empty() || open == name => slices += 1,
+                    Some(open) => {
+                        return Err(format!(
+                            "event {i}: E '{name}' does not match open B '{open}' on lane ({pid},{tid})"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "event {i}: E '{name}' with no open B on lane ({pid},{tid})"
+                        ))
+                    }
+                }
+            }
+            "s" => {
+                let id = ev
+                    .get("id")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: flow start without id"))?
+                    as u64;
+                *flow_starts.entry(id).or_default() += 1;
+            }
+            "f" => {
+                let id = ev
+                    .get("id")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: flow finish without id"))?
+                    as u64;
+                *flow_finishes.entry(id).or_default() += 1;
+            }
+            "X" | "i" | "C" => {} // tolerated, unused by our exporter
+            other => return Err(format!("event {i}: unknown phase '{other}'")),
+        }
+    }
+
+    for (lane, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "lane ({},{}) has {} unclosed B events (first: '{}')",
+                lane.0,
+                lane.1,
+                stack.len(),
+                stack[0]
+            ));
+        }
+    }
+    let mut flow_pairs = 0usize;
+    for (id, n) in &flow_starts {
+        match flow_finishes.get(id) {
+            Some(m) if m == n => flow_pairs += n,
+            _ => {
+                return Err(format!(
+                    "flow id {id}: {n} starts without matching finishes"
+                ))
+            }
+        }
+    }
+    for id in flow_finishes.keys() {
+        if !flow_starts.contains_key(id) {
+            return Err(format!("flow id {id}: finish without start"));
+        }
+    }
+
+    Ok(TraceStats {
+        slices,
+        processes: processes.len(),
+        lanes: lanes_with_slices.len(),
+        flow_pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipm_gpu_sim::StreamId;
+
+    fn call(name: &str, begin: f64, end: f64) -> TraceRecord {
+        TraceRecord {
+            kind: TraceKind::Call,
+            name: Arc::from(name),
+            detail: None,
+            begin,
+            end,
+            bytes: 0,
+            region: 0,
+            stream: None,
+            corr: 0,
+        }
+    }
+
+    #[test]
+    fn ring_accounting_is_exact_without_overflow() {
+        let ring = TraceRing::new(16, 4);
+        for i in 0..10 {
+            assert!(ring.push(call("x", i as f64, i as f64 + 0.5)));
+        }
+        assert_eq!(ring.emitted(), 10);
+        assert_eq!(ring.captured(), 10);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.captured() + ring.dropped(), ring.emitted());
+        assert_eq!(ring.len(), 10);
+        assert_eq!(ring.high_water_mark(), 10);
+    }
+
+    #[test]
+    fn full_ring_drops_and_accounts() {
+        let ring = TraceRing::new(4, 2);
+        let mut accepted = 0;
+        for i in 0..20 {
+            if ring.push(call("x", i as f64, i as f64)) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 4);
+        assert_eq!(ring.emitted(), 20);
+        assert_eq!(ring.captured(), 4);
+        assert_eq!(ring.dropped(), 16);
+        assert_eq!(ring.captured() + ring.dropped(), ring.emitted());
+    }
+
+    #[test]
+    fn drain_frees_space_and_sorts() {
+        let ring = TraceRing::new(8, 3);
+        for &t in &[3.0, 1.0, 2.0] {
+            ring.push(call("x", t, t + 0.1));
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(drained.windows(2).all(|w| w[0].begin <= w[1].begin));
+        assert!(ring.is_empty());
+        // freed space accepts new records
+        assert!(ring.push(call("y", 9.0, 9.5)));
+        assert_eq!(ring.captured(), 4);
+    }
+
+    #[test]
+    fn concurrent_emission_keeps_accounting_exact() {
+        let ring = Arc::new(TraceRing::new(256, 8));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let ring = ring.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        ring.push(call("k", (t * 100 + i) as f64, (t * 100 + i) as f64 + 0.5));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.emitted(), 800);
+        assert_eq!(ring.captured() + ring.dropped(), 800);
+        assert_eq!(ring.len() as u64, ring.captured());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_has_flows() {
+        let mut launch = call("cudaLaunch", 1.0, 1.00001);
+        launch.corr = 42;
+        let mut exec = TraceRecord {
+            kind: TraceKind::KernelExec,
+            name: Arc::from("@CUDA_EXEC_STRM00"),
+            detail: Some(Arc::from("square")),
+            begin: 1.0001,
+            end: 2.15,
+            bytes: 0,
+            region: 0,
+            stream: Some(0),
+            corr: 42,
+        };
+        let rank = TraceRank {
+            rank: 0,
+            host: "dirac00".to_owned(),
+            records: vec![
+                call("cudaMalloc", 0.0, 0.5),
+                launch.clone(),
+                call("cudaMemcpy(D2H)", 2.2, 2.3),
+            ],
+            prof: Vec::new(),
+        };
+        let mut with_exec = rank.clone();
+        with_exec.records.push(exec.clone());
+        let json = chrome_trace(&[with_exec]);
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.processes, 1);
+        assert_eq!(stats.lanes, 2, "host lane + one stream lane");
+        assert_eq!(stats.slices, 4);
+        assert_eq!(stats.flow_pairs, 1);
+
+        // prof records take precedence for device lanes when present
+        exec.corr = 0;
+        launch.corr = 7;
+        let prof_rank = TraceRank {
+            rank: 1,
+            host: String::new(),
+            records: vec![launch],
+            prof: vec![ProfRecord {
+                method: "square".to_owned(),
+                kind: ProfKind::Kernel,
+                stream: StreamId::DEFAULT,
+                start: 1.0002,
+                gputime: 1.15,
+                cputime: 1e-5,
+                corr: 7,
+            }],
+        };
+        let json = chrome_trace(&[prof_rank]);
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.flow_pairs, 1);
+    }
+
+    #[test]
+    fn nested_and_adjacent_slices_emit_proper_b_e() {
+        // outer call wrapping an inner call, then an adjacent one
+        let rank = TraceRank {
+            rank: 0,
+            host: String::new(),
+            records: vec![
+                call("cublasDgemm", 0.0, 1.0),
+                call("cudaLaunch", 0.2, 0.4),
+                call("cudaFree", 1.0, 1.1),
+            ],
+            prof: Vec::new(),
+        };
+        let json = chrome_trace(&[rank]);
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.slices, 3);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        // unmatched B
+        let bad = r#"{"traceEvents":[{"ph":"B","name":"x","pid":0,"tid":0,"ts":1}]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("unclosed"));
+        // regressed timestamps
+        let bad = r#"{"traceEvents":[
+            {"ph":"B","name":"x","pid":0,"tid":0,"ts":5},
+            {"ph":"E","name":"x","pid":0,"tid":0,"ts":1}]}"#;
+        assert!(validate_chrome_trace(bad)
+            .unwrap_err()
+            .contains("regressed"));
+        // flow start without finish
+        let bad = r#"{"traceEvents":[{"ph":"s","id":3,"pid":0,"tid":0,"ts":1}]}"#;
+        assert!(validate_chrome_trace(bad)
+            .unwrap_err()
+            .contains("flow id 3"));
+    }
+
+    #[test]
+    fn json_parser_roundtrips_basics() {
+        let doc = parse_json(r#"{"a":[1,2.5,-3e2],"b":"q\"uote","c":null,"d":true}"#).unwrap();
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("q\"uote"));
+        assert_eq!(
+            doc.get("a").and_then(Json::as_arr).map(|a| a.len()),
+            Some(3)
+        );
+        assert!(parse_json("{\"a\":1,}").is_err() || parse_json("{\"a\":1,}").is_ok());
+        assert!(parse_json("[1,2] trailing").is_err());
+    }
+}

@@ -19,9 +19,11 @@
 //! </ipm>
 //! ```
 
-use crate::profile::{ProfileEntry, RankProfile};
+use crate::profile::{MonitorInfo, ProfileEntry, RankProfile};
+use crate::trace::{TraceKind, TraceRecord};
 use ipm_sim_core::RunningStats;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// XML parsing failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,15 +49,28 @@ impl std::fmt::Display for XmlError {
 impl std::error::Error for XmlError {}
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn unescape(s: &str) -> String {
-    s.replace("&quot;", "\"").replace("&gt;", ">").replace("&lt;", "<").replace("&amp;", "&")
+    s.replace("&quot;", "\"")
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
 }
 
 /// Serialize one rank's profile to the IPM XML dialect.
 pub fn to_xml(p: &RankProfile) -> String {
+    to_xml_with_trace(p, &[])
+}
+
+/// Serialize a profile plus its event trace: the trace's records are
+/// embedded as `<event/>` lines in a `<trace>` section, so a single XML
+/// log carries everything `ipm_parse trace` needs.
+pub fn to_xml_with_trace(p: &RankProfile, trace: &[TraceRecord]) -> String {
     let mut out = String::new();
     out.push_str("<ipm version=\"2.0\">\n");
     let _ = writeln!(
@@ -68,11 +83,46 @@ pub fn to_xml(p: &RankProfile) -> String {
         p.dropped_events,
     );
     let _ = writeln!(out, "    <command>{}</command>", escape(&p.command));
+    let m = &p.monitor;
+    let _ = writeln!(
+        out,
+        "    <monitor self_wall_ns=\"{}\" emitted=\"{}\" captured=\"{}\" dropped=\"{}\" ring_hwm_bytes=\"{}\"/>",
+        m.self_wall_ns, m.trace_emitted, m.trace_captured, m.trace_dropped, m.ring_hwm_bytes,
+    );
     out.push_str("    <regions>\n");
     for (i, r) in p.regions.iter().enumerate() {
         let _ = writeln!(out, "      <region id=\"{}\">{}</region>", i, escape(r));
     }
-    out.push_str("    </regions>\n    <hash>\n");
+    out.push_str("    </regions>\n");
+    if !trace.is_empty() {
+        out.push_str("    <trace>\n");
+        for t in trace {
+            let detail = t
+                .detail
+                .as_ref()
+                .map(|d| format!(" detail=\"{}\"", escape(d)))
+                .unwrap_or_default();
+            let stream = t
+                .stream
+                .map(|s| format!(" stream=\"{s}\""))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "      <event kind=\"{}\" name=\"{}\"{} begin=\"{}\" end=\"{}\" bytes=\"{}\" region=\"{}\"{} corr=\"{}\"/>",
+                t.kind.tag(),
+                escape(&t.name),
+                detail,
+                t.begin,
+                t.end,
+                t.bytes,
+                t.region,
+                stream,
+                t.corr,
+            );
+        }
+        out.push_str("    </trace>\n");
+    }
+    out.push_str("    <hash>\n");
     for e in &p.entries {
         let detail = e
             .detail
@@ -134,6 +184,22 @@ pub fn from_xml(xml: &str) -> Result<RankProfile, XmlError> {
         unescape(inner)
     };
 
+    // default-if-missing keeps logs from older monitors parseable
+    let monitor = match xml
+        .lines()
+        .map(str::trim)
+        .find(|l| l.starts_with("<monitor "))
+    {
+        Some(line) => MonitorInfo {
+            self_wall_ns: num_attr(line, "self_wall_ns")?,
+            trace_emitted: num_attr(line, "emitted")?,
+            trace_captured: num_attr(line, "captured")?,
+            trace_dropped: num_attr(line, "dropped")?,
+            ring_hwm_bytes: num_attr(line, "ring_hwm_bytes")?,
+        },
+        None => MonitorInfo::default(),
+    };
+
     let mut regions = Vec::new();
     let mut entries = Vec::new();
     for line in xml.lines().map(str::trim) {
@@ -171,7 +237,40 @@ pub fn from_xml(xml: &str) -> Result<RankProfile, XmlError> {
         regions,
         entries,
         dropped_events,
+        monitor,
     })
+}
+
+/// Parse the `<trace>` section back out of a log written by
+/// [`to_xml_with_trace`]. Logs without a trace yield an empty vector.
+pub fn trace_from_xml(xml: &str) -> Result<Vec<TraceRecord>, XmlError> {
+    let mut out = Vec::new();
+    for line in xml.lines().map(str::trim) {
+        if !line.starts_with("<event ") {
+            continue;
+        }
+        let kind_raw = attr(line, "kind").ok_or(XmlError::Missing("kind"))?;
+        let kind = kind_raw
+            .chars()
+            .next()
+            .and_then(TraceKind::from_tag)
+            .ok_or_else(|| XmlError::Malformed(format!("unknown event kind '{kind_raw}'")))?;
+        out.push(TraceRecord {
+            kind,
+            name: Arc::from(attr(line, "name").ok_or(XmlError::Missing("name"))?),
+            detail: attr(line, "detail").map(Arc::from),
+            begin: num_attr(line, "begin")?,
+            end: num_attr(line, "end")?,
+            bytes: num_attr(line, "bytes")?,
+            region: num_attr(line, "region")?,
+            stream: match attr(line, "stream") {
+                Some(raw) => Some(raw.parse().map_err(|_| XmlError::BadNumber(raw))?),
+                None => None,
+            },
+            corr: num_attr(line, "corr")?,
+        });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -206,6 +305,13 @@ mod tests {
                 },
             ],
             dropped_events: 7,
+            monitor: MonitorInfo {
+                self_wall_ns: 12_345,
+                trace_emitted: 100,
+                trace_captured: 98,
+                trace_dropped: 2,
+                ring_hwm_bytes: 4096,
+            },
         }
     }
 
@@ -245,11 +351,64 @@ mod tests {
     }
 
     #[test]
+    fn monitor_self_accounting_roundtrips() {
+        let p = sample();
+        let xml = to_xml(&p);
+        assert!(xml.contains("<monitor self_wall_ns=\"12345\""));
+        assert!(xml.contains("captured=\"98\" dropped=\"2\""));
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(back.monitor, p.monitor);
+    }
+
+    #[test]
+    fn logs_without_monitor_element_default_it() {
+        let xml: String = to_xml(&sample())
+            .lines()
+            .filter(|l| !l.contains("<monitor"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(back.monitor, MonitorInfo::default());
+    }
+
+    #[test]
+    fn trace_section_roundtrips() {
+        let trace = vec![
+            TraceRecord {
+                kind: TraceKind::Call,
+                name: Arc::from("cudaLaunch"),
+                detail: None,
+                begin: 1.0,
+                end: 1.25,
+                bytes: 0,
+                region: 1,
+                stream: None,
+                corr: 9,
+            },
+            TraceRecord {
+                kind: TraceKind::KernelExec,
+                name: Arc::from("@CUDA_EXEC_STRM02"),
+                detail: Some("square<T>".to_owned().into()),
+                begin: 1.25,
+                end: 2.5,
+                bytes: 0,
+                region: 0,
+                stream: Some(2),
+                corr: 9,
+            },
+        ];
+        let xml = to_xml_with_trace(&sample(), &trace);
+        let back = trace_from_xml(&xml).unwrap();
+        assert_eq!(back, trace);
+        // and the profile parse still works with the trace embedded
+        assert_eq!(from_xml(&xml).unwrap(), sample());
+        // a traceless log parses to an empty trace
+        assert_eq!(trace_from_xml(&to_xml(&sample())).unwrap(), Vec::new());
+    }
+
+    #[test]
     fn parser_survives_reordered_attributes() {
-        let xml = to_xml(&sample()).replace(
-            "rank=\"3\" nranks=\"16\"",
-            "nranks=\"16\" rank=\"3\"",
-        );
+        let xml = to_xml(&sample()).replace("rank=\"3\" nranks=\"16\"", "nranks=\"16\" rank=\"3\"");
         let back = from_xml(&xml).unwrap();
         assert_eq!(back.rank, 3);
         assert_eq!(back.nranks, 16);

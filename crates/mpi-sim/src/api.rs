@@ -33,7 +33,12 @@ pub trait MpiApi: Send + Sync {
     /// `MPI_Bcast`.
     fn mpi_bcast(&self, root: usize, data: Vec<u8>) -> MpiResult<Vec<u8>>;
     /// `MPI_Reduce` (f64).
-    fn mpi_reduce_f64(&self, root: usize, data: &[f64], op: ReduceOp) -> MpiResult<Option<Vec<f64>>>;
+    fn mpi_reduce_f64(
+        &self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> MpiResult<Option<Vec<f64>>>;
     /// `MPI_Allreduce` (f64).
     fn mpi_allreduce_f64(&self, data: &[f64], op: ReduceOp) -> MpiResult<Vec<f64>>;
     /// `MPI_Gather`.
@@ -74,7 +79,12 @@ impl MpiApi for Rank {
     fn mpi_bcast(&self, root: usize, data: Vec<u8>) -> MpiResult<Vec<u8>> {
         self.bcast(root, data)
     }
-    fn mpi_reduce_f64(&self, root: usize, data: &[f64], op: ReduceOp) -> MpiResult<Option<Vec<f64>>> {
+    fn mpi_reduce_f64(
+        &self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> MpiResult<Option<Vec<f64>>> {
         self.reduce_f64(root, data, op)
     }
     fn mpi_allreduce_f64(&self, data: &[f64], op: ReduceOp) -> MpiResult<Vec<f64>> {

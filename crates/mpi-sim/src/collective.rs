@@ -203,8 +203,11 @@ impl Rendezvous {
 
     fn combine(&self, round: Round) -> Result<CollectiveOutcome, MpiError> {
         let call = round.call.expect("at least one rank entered");
-        let payloads: Vec<Vec<u8>> =
-            round.payloads.into_iter().map(|p| p.expect("all arrived")).collect();
+        let payloads: Vec<Vec<u8>> = round
+            .payloads
+            .into_iter()
+            .map(|p| p.expect("all arrived"))
+            .collect();
         let cost = collective_cost(call.kind(), self.size, round.max_bytes, &self.net);
         let data = match call {
             CollectiveCall::Barrier => Combined::None,
@@ -246,12 +249,16 @@ impl Rendezvous {
                 Combined::PerRank(Arc::new(per_rank))
             }
         };
-        Ok(CollectiveOutcome { sync_time: round.max_time, cost, data })
+        Ok(CollectiveOutcome {
+            sync_time: round.max_time,
+            cost,
+            data,
+        })
     }
 
     fn reduce_f64(payloads: &[Vec<u8>], op: ReduceOp) -> MpiResult<Vec<f64>> {
         let len = payloads[0].len();
-        if len % 8 != 0 || payloads.iter().any(|p| p.len() != len) {
+        if !len.is_multiple_of(8) || payloads.iter().any(|p| p.len() != len) {
             return Err(MpiError::LengthMismatch);
         }
         let n = len / 8;
@@ -313,7 +320,8 @@ mod tests {
     fn barrier_synchronizes_clocks() {
         let rdv = Rendezvous::new(3, TransferModel::qdr_infiniband());
         let outs = run_all(3, &rdv, |r| {
-            rdv.enter(r, CollectiveCall::Barrier, Vec::new(), r as f64).unwrap()
+            rdv.enter(r, CollectiveCall::Barrier, Vec::new(), r as f64)
+                .unwrap()
         });
         for o in &outs {
             assert_eq!(o.sync_time, 2.0); // slowest rank arrived at t=2
@@ -326,7 +334,13 @@ mod tests {
         let rdv = Rendezvous::new(4, TransferModel::qdr_infiniband());
         let outs = run_all(4, &rdv, |r| {
             let payload = f64s_to_bytes(&[r as f64, 10.0 * r as f64]);
-            rdv.enter(r, CollectiveCall::Allreduce { op: ReduceOp::Sum }, payload, 0.0).unwrap()
+            rdv.enter(
+                r,
+                CollectiveCall::Allreduce { op: ReduceOp::Sum },
+                payload,
+                0.0,
+            )
+            .unwrap()
         });
         for o in outs {
             match o.data {
@@ -341,7 +355,8 @@ mod tests {
         let rdv = Rendezvous::new(3, TransferModel::qdr_infiniband());
         let outs = run_all(3, &rdv, |r| {
             let payload = if r == 1 { vec![42u8; 4] } else { Vec::new() };
-            rdv.enter(r, CollectiveCall::Bcast { root: 1 }, payload, 0.0).unwrap()
+            rdv.enter(r, CollectiveCall::Bcast { root: 1 }, payload, 0.0)
+                .unwrap()
         });
         for o in outs {
             match o.data {
@@ -355,7 +370,8 @@ mod tests {
     fn gather_orders_by_rank() {
         let rdv = Rendezvous::new(3, TransferModel::qdr_infiniband());
         let outs = run_all(3, &rdv, |r| {
-            rdv.enter(r, CollectiveCall::Gather { root: 0 }, vec![r as u8; 2], 0.0).unwrap()
+            rdv.enter(r, CollectiveCall::Gather { root: 0 }, vec![r as u8; 2], 0.0)
+                .unwrap()
         });
         for o in outs {
             match o.data {
@@ -373,7 +389,8 @@ mod tests {
         let outs = run_all(2, &rdv, |r| {
             // rank r sends [r*10+0] to rank 0 and [r*10+1] to rank 1
             let payload = vec![(r * 10) as u8, (r * 10 + 1) as u8];
-            rdv.enter(r, CollectiveCall::Alltoall, payload, 0.0).unwrap()
+            rdv.enter(r, CollectiveCall::Alltoall, payload, 0.0)
+                .unwrap()
         });
         match &outs[0].data {
             Combined::PerRank(v) => {
@@ -388,10 +405,16 @@ mod tests {
     fn mismatched_collectives_detected() {
         let rdv = Rendezvous::new(2, TransferModel::qdr_infiniband());
         let outs = run_all(2, &rdv, |r| {
-            let call = if r == 0 { CollectiveCall::Barrier } else { CollectiveCall::Allgather };
+            let call = if r == 0 {
+                CollectiveCall::Barrier
+            } else {
+                CollectiveCall::Allgather
+            };
             rdv.enter(r, call, Vec::new(), 0.0)
         });
-        assert!(outs.iter().all(|o| matches!(o, Err(MpiError::CollectiveMismatch))));
+        assert!(outs
+            .iter()
+            .all(|o| matches!(o, Err(MpiError::CollectiveMismatch))));
     }
 
     #[test]
@@ -399,9 +422,16 @@ mod tests {
         let rdv = Rendezvous::new(2, TransferModel::qdr_infiniband());
         let outs = run_all(2, &rdv, |r| {
             let payload = f64s_to_bytes(&vec![1.0; r + 1]);
-            rdv.enter(r, CollectiveCall::Allreduce { op: ReduceOp::Sum }, payload, 0.0)
+            rdv.enter(
+                r,
+                CollectiveCall::Allreduce { op: ReduceOp::Sum },
+                payload,
+                0.0,
+            )
         });
-        assert!(outs.iter().all(|o| matches!(o, Err(MpiError::LengthMismatch))));
+        assert!(outs
+            .iter()
+            .all(|o| matches!(o, Err(MpiError::LengthMismatch))));
     }
 
     #[test]
@@ -409,8 +439,13 @@ mod tests {
         let rdv = Rendezvous::new(2, TransferModel::qdr_infiniband());
         for round in 0..50 {
             let outs = run_all(2, &rdv, |r| {
-                rdv.enter(r, CollectiveCall::Barrier, Vec::new(), round as f64 + r as f64)
-                    .unwrap()
+                rdv.enter(
+                    r,
+                    CollectiveCall::Barrier,
+                    Vec::new(),
+                    round as f64 + r as f64,
+                )
+                .unwrap()
             });
             assert_eq!(outs[0].sync_time, round as f64 + 1.0);
         }

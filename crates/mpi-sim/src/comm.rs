@@ -94,7 +94,13 @@ impl World {
         assert!(config.size > 0, "world must have at least one rank");
         let mailboxes = (0..config.size).map(|_| Mailbox::default()).collect();
         let rendezvous = Rendezvous::new(config.size, config.inter_node);
-        Self { inner: Arc::new(WorldInner { config, mailboxes, rendezvous }) }
+        Self {
+            inner: Arc::new(WorldInner {
+                config,
+                mailboxes,
+                rendezvous,
+            }),
+        }
     }
 
     /// Number of ranks.
@@ -105,14 +111,22 @@ impl World {
     /// Create the handle for `rank`, with a fresh clock at zero.
     pub fn rank(&self, rank: usize) -> Rank {
         assert!(rank < self.size());
-        Rank { world: self.inner.clone(), rank, clock: SimClock::new() }
+        Rank {
+            world: self.inner.clone(),
+            rank,
+            clock: SimClock::new(),
+        }
     }
 
     /// Create the handle for `rank` driven by an existing clock (used when
     /// the rank also owns a GPU context on the same clock).
     pub fn rank_with_clock(&self, rank: usize, clock: SimClock) -> Rank {
         assert!(rank < self.size());
-        Rank { world: self.inner.clone(), rank, clock }
+        Rank {
+            world: self.inner.clone(),
+            rank,
+            clock,
+        }
     }
 
     /// Spawn `size` OS threads, one per rank, run `f` on each, and return
@@ -136,10 +150,17 @@ impl World {
                     s.spawn(move || f(rank))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
         })
     }
 }
+
+/// What completing one request yields: `Some((source, payload))` for
+/// receives, `None` for sends.
+pub type WaitOutcome = Option<(usize, Vec<u8>)>;
 
 /// A pending nonblocking operation (`MPI_Isend` / `MPI_Irecv`).
 #[derive(Debug)]
@@ -182,21 +203,12 @@ impl Rank {
 
     /// The node this rank lives on under the block mapping.
     pub fn node(&self) -> usize {
-        let rpn = self.world.config.ranks_per_node;
-        if rpn == 0 {
-            0
-        } else {
-            self.rank / rpn
-        }
+        self.node_of(self.rank)
     }
 
     fn node_of(&self, rank: usize) -> usize {
-        let rpn = self.world.config.ranks_per_node;
-        if rpn == 0 {
-            0
-        } else {
-            rank / rpn
-        }
+        rank.checked_div(self.world.config.ranks_per_node)
+            .unwrap_or(0)
     }
 
     fn link_to(&self, dest: usize) -> &TransferModel {
@@ -237,9 +249,16 @@ impl Rank {
         // runs (size-proportional at memory speed, bounded by the link)
         let inject = cfg.call_overhead + data.len() as f64 / 6.0e9;
         let mailbox = &self.world.mailboxes[dest];
-        mailbox.queue.lock().push(Message { src: self.rank, tag, data: data.to_vec(), arrival });
+        mailbox.queue.lock().push(Message {
+            src: self.rank,
+            tag,
+            data: data.to_vec(),
+            arrival,
+        });
         mailbox.cv.notify_all();
-        Ok(Request::Send { complete_at: now + inject })
+        Ok(Request::Send {
+            complete_at: now + inject,
+        })
     }
 
     /// Blocking receive (`MPI_Recv`). `src = None` is `MPI_ANY_SOURCE`;
@@ -252,9 +271,9 @@ impl Rank {
         let mailbox = &self.world.mailboxes[self.rank];
         let mut queue = mailbox.queue.lock();
         loop {
-            let matched = queue.iter().position(|m| {
-                src.map_or(true, |s| s == m.src) && (tag == ANY_TAG || tag == m.tag)
-            });
+            let matched = queue
+                .iter()
+                .position(|m| src.is_none_or(|s| s == m.src) && (tag == ANY_TAG || tag == m.tag));
             if let Some(idx) = matched {
                 let msg = queue.remove(idx);
                 drop(queue);
@@ -289,7 +308,7 @@ impl Rank {
 
     /// `MPI_Waitall` over a slice of requests; receive payloads are
     /// returned in request order.
-    pub fn waitall(&self, reqs: &mut [Request]) -> MpiResult<Vec<Option<(usize, Vec<u8>)>>> {
+    pub fn waitall(&self, reqs: &mut [Request]) -> MpiResult<Vec<WaitOutcome>> {
         reqs.iter_mut().map(|r| self.wait(r)).collect()
     }
 
@@ -299,14 +318,18 @@ impl Rank {
 
     fn collect(&self, call: CollectiveCall, payload: Vec<u8>) -> MpiResult<Combined> {
         self.clock.advance(self.world.config.call_overhead);
-        let outcome = self.world.rendezvous.enter(self.rank, call, payload, self.clock.now())?;
+        let outcome = self
+            .world
+            .rendezvous
+            .enter(self.rank, call, payload, self.clock.now())?;
         self.clock.advance_to(outcome.sync_time + outcome.cost);
         Ok(outcome.data)
     }
 
     /// `MPI_Barrier`.
     pub fn barrier(&self) -> MpiResult<()> {
-        self.collect(CollectiveCall::Barrier, Vec::new()).map(|_| ())
+        self.collect(CollectiveCall::Barrier, Vec::new())
+            .map(|_| ())
     }
 
     /// `MPI_Bcast`: returns the root's buffer on every rank.
@@ -319,12 +342,19 @@ impl Rank {
     }
 
     /// `MPI_Reduce` over `f64`: the root gets the reduction, others `None`.
-    pub fn reduce_f64(&self, root: usize, data: &[f64], op: ReduceOp) -> MpiResult<Option<Vec<f64>>> {
+    pub fn reduce_f64(
+        &self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> MpiResult<Option<Vec<f64>>> {
         self.check_rank(root)?;
         match self.collect(CollectiveCall::Reduce { root, op }, f64s_to_bytes(data))? {
-            Combined::Reduced(v) => {
-                Ok(if self.rank == root { Some((*v).clone()) } else { None })
-            }
+            Combined::Reduced(v) => Ok(if self.rank == root {
+                Some((*v).clone())
+            } else {
+                None
+            }),
             _ => unreachable!("reduce produces Reduced"),
         }
     }
@@ -341,9 +371,11 @@ impl Rank {
     pub fn gather(&self, root: usize, data: &[u8]) -> MpiResult<Option<Vec<Vec<u8>>>> {
         self.check_rank(root)?;
         match self.collect(CollectiveCall::Gather { root }, data.to_vec())? {
-            Combined::PerRank(v) => {
-                Ok(if self.rank == root { Some((*v).clone()) } else { None })
-            }
+            Combined::PerRank(v) => Ok(if self.rank == root {
+                Some((*v).clone())
+            } else {
+                None
+            }),
             _ => unreachable!("gather produces PerRank"),
         }
     }
@@ -432,19 +464,17 @@ mod tests {
 
     #[test]
     fn any_source_and_any_tag_match() {
-        let outs = World::run(3, |rank| {
-            match rank.rank() {
-                0 => {
-                    let (s1, _) = rank.recv(ANY_SOURCE, ANY_TAG).unwrap();
-                    let (s2, _) = rank.recv(ANY_SOURCE, ANY_TAG).unwrap();
-                    let mut got = [s1, s2];
-                    got.sort();
-                    got.to_vec()
-                }
-                r => {
-                    rank.send(0, r as i32, &[r as u8]).unwrap();
-                    Vec::new()
-                }
+        let outs = World::run(3, |rank| match rank.rank() {
+            0 => {
+                let (s1, _) = rank.recv(ANY_SOURCE, ANY_TAG).unwrap();
+                let (s2, _) = rank.recv(ANY_SOURCE, ANY_TAG).unwrap();
+                let mut got = [s1, s2];
+                got.sort();
+                got.to_vec()
+            }
+            r => {
+                rank.send(0, r as i32, &[r as u8]).unwrap();
+                Vec::new()
             }
         });
         assert_eq!(outs[0], vec![1, 2]);
@@ -513,7 +543,8 @@ mod tests {
     #[test]
     fn reduce_only_root_gets_result() {
         let outs = World::run(3, |rank| {
-            rank.reduce_f64(2, &[rank.rank() as f64 + 1.0], ReduceOp::Prod).unwrap()
+            rank.reduce_f64(2, &[rank.rank() as f64 + 1.0], ReduceOp::Prod)
+                .unwrap()
         });
         assert_eq!(outs[0], None);
         assert_eq!(outs[1], None);
@@ -555,14 +586,20 @@ mod tests {
         };
         let same_node = time_for(2); // both ranks on node 0
         let cross_node = time_for(1); // one rank per node
-        assert!(cross_node > same_node, "cross {cross_node} vs same {same_node}");
+        assert!(
+            cross_node > same_node,
+            "cross {cross_node} vs same {same_node}"
+        );
     }
 
     #[test]
     fn invalid_ranks_are_rejected() {
         World::run(2, |rank| {
             assert_eq!(rank.send(5, 0, b"x").unwrap_err(), MpiError::RankOutOfRange);
-            assert_eq!(rank.bcast(9, Vec::new()).unwrap_err(), MpiError::RankOutOfRange);
+            assert_eq!(
+                rank.bcast(9, Vec::new()).unwrap_err(),
+                MpiError::RankOutOfRange
+            );
         });
     }
 

@@ -51,6 +51,9 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert_eq!(MpiError::RankOutOfRange.to_string(), "rank out of range");
-        assert_ne!(MpiError::InvalidRoot.as_str(), MpiError::LengthMismatch.as_str());
+        assert_ne!(
+            MpiError::InvalidRoot.as_str(),
+            MpiError::LengthMismatch.as_str()
+        );
     }
 }

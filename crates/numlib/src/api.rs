@@ -57,9 +57,21 @@ pub trait BlasApi: Send + Sync {
         host_prefix: &mut [u8],
     ) -> CudaResult<()>;
     /// `cublasSetVector`.
-    fn cublas_set_vector(&self, n: usize, elem_size: usize, host: &[u8], dev: DevicePtr) -> CudaResult<()>;
+    fn cublas_set_vector(
+        &self,
+        n: usize,
+        elem_size: usize,
+        host: &[u8],
+        dev: DevicePtr,
+    ) -> CudaResult<()>;
     /// `cublasGetVector`.
-    fn cublas_get_vector(&self, n: usize, elem_size: usize, dev: DevicePtr, host: &mut [u8]) -> CudaResult<()>;
+    fn cublas_get_vector(
+        &self,
+        n: usize,
+        elem_size: usize,
+        dev: DevicePtr,
+        host: &mut [u8],
+    ) -> CudaResult<()>;
     /// `cublasDgemm`.
     #[allow(clippy::too_many_arguments)]
     fn cublas_dgemm(
@@ -149,10 +161,22 @@ impl BlasApi for CublasContext {
     ) -> CudaResult<()> {
         self.get_matrix_modeled(rows, cols, elem_size, dev, host_prefix)
     }
-    fn cublas_set_vector(&self, n: usize, elem_size: usize, host: &[u8], dev: DevicePtr) -> CudaResult<()> {
+    fn cublas_set_vector(
+        &self,
+        n: usize,
+        elem_size: usize,
+        host: &[u8],
+        dev: DevicePtr,
+    ) -> CudaResult<()> {
         self.set_vector(n, elem_size, host, dev)
     }
-    fn cublas_get_vector(&self, n: usize, elem_size: usize, dev: DevicePtr, host: &mut [u8]) -> CudaResult<()> {
+    fn cublas_get_vector(
+        &self,
+        n: usize,
+        elem_size: usize,
+        dev: DevicePtr,
+        host: &mut [u8],
+    ) -> CudaResult<()> {
         self.get_vector(n, elem_size, dev, host)
     }
     fn cublas_dgemm(
@@ -248,7 +272,9 @@ mod tests {
 
     #[test]
     fn blas_trait_object_dispatch() {
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         let ctx = CublasContext::init(rt, DeviceLibConfig::default());
         let api: &dyn BlasApi = &ctx;
         let d = api.cublas_alloc(8, 8).unwrap();
@@ -257,7 +283,9 @@ mod tests {
 
     #[test]
     fn fft_trait_object_dispatch() {
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         let ctx = CufftContext::new(rt, CufftConfig::default());
         let api: &dyn FftApi = &ctx;
         let p = api.cufft_plan_1d(64, FftType::Z2Z, 1).unwrap();

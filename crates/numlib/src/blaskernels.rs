@@ -132,12 +132,12 @@ pub fn dgemv(
         Transpose::N => (m, n),
         Transpose::T | Transpose::C => (n, m),
     };
-    for i in 0..rows {
+    for (i, yi) in y.iter_mut().enumerate().take(rows) {
         let mut acc = 0.0;
-        for j in 0..cols {
-            acc += fetch_d(a, lda, trans, i, j) * x[j];
+        for (j, xj) in x.iter().enumerate().take(cols) {
+            acc += fetch_d(a, lda, trans, i, j) * xj;
         }
-        y[i] = alpha * acc + beta * y[i];
+        *yi = alpha * acc + beta * *yi;
     }
 }
 
@@ -230,7 +230,21 @@ mod tests {
         let a = col_major(2, &[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = col_major(2, &[&[5.0, 6.0], &[7.0, 8.0]]);
         let mut c = vec![0.0; 4];
-        dgemm(Transpose::N, Transpose::N, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+        dgemm(
+            Transpose::N,
+            Transpose::N,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            2,
+            &b,
+            2,
+            0.0,
+            &mut c,
+            2,
+        );
         assert_eq!(c, col_major(2, &[&[19.0, 22.0], &[43.0, 50.0]]));
     }
 
@@ -239,10 +253,38 @@ mod tests {
         let a = col_major(2, &[&[1.0, 2.0], &[3.0, 4.0]]);
         // C = A * A^T = [5 11; 11 25]
         let mut c = vec![0.0; 4];
-        dgemm(Transpose::N, Transpose::T, 2, 2, 2, 1.0, &a, 2, &a, 2, 0.0, &mut c, 2);
+        dgemm(
+            Transpose::N,
+            Transpose::T,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            2,
+            &a,
+            2,
+            0.0,
+            &mut c,
+            2,
+        );
         assert_eq!(c, col_major(2, &[&[5.0, 11.0], &[11.0, 25.0]]));
         // C = A^T * A = [10 14; 14 20]
-        dgemm(Transpose::T, Transpose::N, 2, 2, 2, 1.0, &a, 2, &a, 2, 0.0, &mut c, 2);
+        dgemm(
+            Transpose::T,
+            Transpose::N,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            2,
+            &a,
+            2,
+            0.0,
+            &mut c,
+            2,
+        );
         assert_eq!(c, col_major(2, &[&[10.0, 14.0], &[14.0, 20.0]]));
     }
 
@@ -251,13 +293,32 @@ mod tests {
         let a = col_major(1, &[&[2.0]]);
         let b = col_major(1, &[&[3.0]]);
         let mut c = vec![10.0];
-        dgemm(Transpose::N, Transpose::N, 1, 1, 1, 2.0, &a, 1, &b, 1, 0.5, &mut c, 1);
+        dgemm(
+            Transpose::N,
+            Transpose::N,
+            1,
+            1,
+            1,
+            2.0,
+            &a,
+            1,
+            &b,
+            1,
+            0.5,
+            &mut c,
+            1,
+        );
         assert_eq!(c, vec![2.0 * 6.0 + 0.5 * 10.0]);
     }
 
     #[test]
     fn zgemm_identity_and_conjugate() {
-        let i2 = vec![Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE];
+        let i2 = vec![
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+        ];
         let a = vec![
             Complex64::new(1.0, 1.0),
             Complex64::new(2.0, -1.0),
@@ -334,7 +395,21 @@ mod tests {
         let l = col_major(2, &[&[2.0, 0.0], &[1.0, 4.0]]);
         let x_true = col_major(2, &[&[1.0, 2.0], &[3.0, 4.0]]);
         let mut b = vec![0.0; 4];
-        dgemm(Transpose::N, Transpose::N, 2, 2, 2, 1.0, &l, 2, &x_true, 2, 0.0, &mut b, 2);
+        dgemm(
+            Transpose::N,
+            Transpose::N,
+            2,
+            2,
+            2,
+            1.0,
+            &l,
+            2,
+            &x_true,
+            2,
+            0.0,
+            &mut b,
+            2,
+        );
         dtrsm_llnn(2, 2, 1.0, &l, 2, &mut b, 2);
         for (got, want) in b.iter().zip(&x_true) {
             assert!((got - want).abs() < 1e-12);

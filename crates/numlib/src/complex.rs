@@ -30,12 +30,18 @@ impl Complex64 {
 
     /// `e^{i theta}` — used by FFT twiddle factors.
     pub fn cis(theta: f64) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -50,14 +56,20 @@ impl Complex64 {
 
     /// Scale by a real factor.
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
 impl Add for Complex64 {
     type Output = Complex64;
     fn add(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -71,7 +83,10 @@ impl AddAssign for Complex64 {
 impl Sub for Complex64 {
     type Output = Complex64;
     fn sub(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -88,7 +103,10 @@ impl Mul for Complex64 {
 impl Neg for Complex64 {
     type Output = Complex64;
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -105,8 +123,13 @@ pub fn as_f64s(xs: &[Complex64]) -> Vec<f64> {
 
 /// Rebuild complex values from interleaved `f64`s.
 pub fn from_f64s(xs: &[f64]) -> Vec<Complex64> {
-    assert!(xs.len() % 2 == 0, "interleaved complex data must have even length");
-    xs.chunks_exact(2).map(|c| Complex64::new(c[0], c[1])).collect()
+    assert!(
+        xs.len().is_multiple_of(2),
+        "interleaved complex data must have even length"
+    );
+    xs.chunks_exact(2)
+        .map(|c| Complex64::new(c[0], c[1]))
+        .collect()
 }
 
 #[cfg(test)]

@@ -23,8 +23,8 @@
 use crate::blaskernels::{self, Transpose};
 use crate::complex::{as_f64s, from_f64s, Complex64};
 use ipm_gpu_sim::{
-    launch_kernel, CudaApi, CudaError, CudaResult, DevicePtr, Dim3, Kernel, KernelArg,
-    KernelCost, LaunchConfig, StreamId,
+    launch_kernel, CudaApi, CudaError, CudaResult, DevicePtr, Dim3, Kernel, KernelArg, KernelCost,
+    LaunchConfig, StreamId,
 };
 use std::sync::Arc;
 
@@ -41,7 +41,10 @@ pub struct DeviceLibConfig {
 
 impl Default for DeviceLibConfig {
     fn default() -> Self {
-        Self { gemm_efficiency: 0.6, exact_flops_limit: 5.0e7 }
+        Self {
+            gemm_efficiency: 0.6,
+            exact_flops_limit: 5.0e7,
+        }
     }
 }
 
@@ -57,7 +60,11 @@ impl CublasContext {
     /// `cublasInit`: create the library context over an interposable CUDA
     /// API (monitored or bare).
     pub fn init(api: Arc<dyn CudaApi>, cfg: DeviceLibConfig) -> Self {
-        Self { api, cfg, stream: parking_lot::Mutex::new(StreamId::DEFAULT) }
+        Self {
+            api,
+            cfg,
+            stream: parking_lot::Mutex::new(StreamId::DEFAULT),
+        }
     }
 
     /// `cublasShutdown` (releases nothing in the simulator; present for
@@ -148,12 +155,24 @@ impl CublasContext {
     }
 
     /// `cublasSetVector`.
-    pub fn set_vector(&self, n: usize, elem_size: usize, host: &[u8], dev: DevicePtr) -> CudaResult<()> {
+    pub fn set_vector(
+        &self,
+        n: usize,
+        elem_size: usize,
+        host: &[u8],
+        dev: DevicePtr,
+    ) -> CudaResult<()> {
         self.set_matrix(n, 1, elem_size, host, dev)
     }
 
     /// `cublasGetVector`.
-    pub fn get_vector(&self, n: usize, elem_size: usize, dev: DevicePtr, host: &mut [u8]) -> CudaResult<()> {
+    pub fn get_vector(
+        &self,
+        n: usize,
+        elem_size: usize,
+        dev: DevicePtr,
+        host: &mut [u8],
+    ) -> CudaResult<()> {
         self.get_matrix(n, 1, elem_size, dev, host)
     }
 
@@ -265,7 +284,9 @@ impl CublasContext {
                 heap.read_f64(dc, &mut c).expect("zgemm C operand");
                 let (az, bz) = (from_f64s(&a), from_f64s(&b));
                 let mut cz = from_f64s(&c);
-                blaskernels::zgemm(ta, tb, m, n, k, alpha, &az, lda, &bz, ldb, beta, &mut cz, ldc);
+                blaskernels::zgemm(
+                    ta, tb, m, n, k, alpha, &az, lda, &bz, ldb, beta, &mut cz, ldc,
+                );
                 heap.write_f64(dc, &as_f64s(&cz)).expect("zgemm C result");
             })
         } else {
@@ -329,7 +350,11 @@ impl CublasContext {
                 shared_mem: 256 * 8,
                 stream: *self.stream.lock(),
             },
-            &[KernelArg::Ptr(dx), KernelArg::Ptr(dy), KernelArg::Ptr(scratch)],
+            &[
+                KernelArg::Ptr(dx),
+                KernelArg::Ptr(dy),
+                KernelArg::Ptr(scratch),
+            ],
         )?;
         let mut out = [0u8; 8];
         self.api.cuda_memcpy_d2h(&mut out, scratch)?;
@@ -384,12 +409,9 @@ pub mod thunking {
         let da = ctx.alloc(lda * a_cols, Z)?;
         let db = ctx.alloc(ldb * b_cols, Z)?;
         let dc = ctx.alloc(ldc * n, Z)?;
-        let a_bytes: Vec<u8> =
-            as_f64s(a).iter().flat_map(|v| v.to_le_bytes()).collect();
-        let b_bytes: Vec<u8> =
-            as_f64s(b).iter().flat_map(|v| v.to_le_bytes()).collect();
-        let c_bytes: Vec<u8> =
-            as_f64s(c).iter().flat_map(|v| v.to_le_bytes()).collect();
+        let a_bytes: Vec<u8> = as_f64s(a).iter().flat_map(|v| v.to_le_bytes()).collect();
+        let b_bytes: Vec<u8> = as_f64s(b).iter().flat_map(|v| v.to_le_bytes()).collect();
+        let c_bytes: Vec<u8> = as_f64s(c).iter().flat_map(|v| v.to_le_bytes()).collect();
         ctx.set_matrix(lda, a_cols, Z, &a_bytes, da)?;
         ctx.set_matrix(ldb, b_cols, Z, &b_bytes, db)?;
         ctx.set_matrix(ldc, n, Z, &c_bytes, dc)?;
@@ -437,7 +459,8 @@ pub mod thunking {
         let da = ctx.alloc(lda * a_cols, D)?;
         let db = ctx.alloc(ldb * b_cols, D)?;
         let dc = ctx.alloc(ldc * n, D)?;
-        let to_bytes = |xs: &[f64]| -> Vec<u8> { xs.iter().flat_map(|v| v.to_le_bytes()).collect() };
+        let to_bytes =
+            |xs: &[f64]| -> Vec<u8> { xs.iter().flat_map(|v| v.to_le_bytes()).collect() };
         ctx.set_matrix(lda, a_cols, D, &to_bytes(a), da)?;
         ctx.set_matrix(ldb, b_cols, D, &to_bytes(b), db)?;
         ctx.set_matrix(ldc, n, D, &to_bytes(c), dc)?;
@@ -459,7 +482,9 @@ mod tests {
     use ipm_gpu_sim::{GpuConfig, GpuRuntime};
 
     fn ctx() -> CublasContext {
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         CublasContext::init(rt, DeviceLibConfig::default())
     }
 
@@ -471,7 +496,8 @@ mod tests {
     fn set_get_matrix_roundtrip() {
         let c = ctx();
         let d = c.alloc(4, 8).unwrap();
-        c.set_matrix(2, 2, 8, &to_bytes(&[1.0, 2.0, 3.0, 4.0]), d).unwrap();
+        c.set_matrix(2, 2, 8, &to_bytes(&[1.0, 2.0, 3.0, 4.0]), d)
+            .unwrap();
         let mut out = vec![0u8; 32];
         c.get_matrix(2, 2, 8, d, &mut out).unwrap();
         assert_eq!(out, to_bytes(&[1.0, 2.0, 3.0, 4.0]));
@@ -482,9 +508,15 @@ mod tests {
     fn undersized_host_buffer_rejected() {
         let c = ctx();
         let d = c.alloc(4, 8).unwrap();
-        assert_eq!(c.set_matrix(2, 2, 8, &[0u8; 16], d).unwrap_err(), CudaError::InvalidValue);
+        assert_eq!(
+            c.set_matrix(2, 2, 8, &[0u8; 16], d).unwrap_err(),
+            CudaError::InvalidValue
+        );
         let mut small = vec![0u8; 8];
-        assert_eq!(c.get_matrix(2, 2, 8, d, &mut small).unwrap_err(), CudaError::InvalidValue);
+        assert_eq!(
+            c.get_matrix(2, 2, 8, d, &mut small).unwrap_err(),
+            CudaError::InvalidValue
+        );
     }
 
     #[test]
@@ -494,10 +526,27 @@ mod tests {
         let da = c.alloc(4, 8).unwrap();
         let db = c.alloc(4, 8).unwrap();
         let dc = c.alloc(4, 8).unwrap();
-        c.set_matrix(2, 2, 8, &to_bytes(&[1.0, 0.0, 0.0, 1.0]), da).unwrap();
-        c.set_matrix(2, 2, 8, &to_bytes(&[5.0, 6.0, 7.0, 8.0]), db).unwrap();
+        c.set_matrix(2, 2, 8, &to_bytes(&[1.0, 0.0, 0.0, 1.0]), da)
+            .unwrap();
+        c.set_matrix(2, 2, 8, &to_bytes(&[5.0, 6.0, 7.0, 8.0]), db)
+            .unwrap();
         c.set_matrix(2, 2, 8, &to_bytes(&[0.0; 4]), dc).unwrap();
-        c.dgemm(Transpose::N, Transpose::N, 2, 2, 2, 1.0, da, 2, db, 2, 0.0, dc, 2).unwrap();
+        c.dgemm(
+            Transpose::N,
+            Transpose::N,
+            2,
+            2,
+            2,
+            1.0,
+            da,
+            2,
+            db,
+            2,
+            0.0,
+            dc,
+            2,
+        )
+        .unwrap();
         let mut out = vec![0u8; 32];
         c.get_matrix(2, 2, 8, dc, &mut out).unwrap();
         assert_eq!(out, to_bytes(&[5.0, 6.0, 7.0, 8.0]));
@@ -509,10 +558,39 @@ mod tests {
         let a = vec![1.0, 3.0, 2.0, 4.0]; // [1 2; 3 4] col-major
         let b = vec![5.0, 7.0, 6.0, 8.0]; // [5 6; 7 8]
         let mut got = vec![0.0; 4];
-        thunking::dgemm(&c, Transpose::N, Transpose::N, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut got, 2)
-            .unwrap();
+        thunking::dgemm(
+            &c,
+            Transpose::N,
+            Transpose::N,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            2,
+            &b,
+            2,
+            0.0,
+            &mut got,
+            2,
+        )
+        .unwrap();
         let mut want = vec![0.0; 4];
-        blaskernels::dgemm(Transpose::N, Transpose::N, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut want, 2);
+        blaskernels::dgemm(
+            Transpose::N,
+            Transpose::N,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            2,
+            &b,
+            2,
+            0.0,
+            &mut want,
+            2,
+        );
         assert_eq!(got, want);
     }
 
@@ -520,10 +598,12 @@ mod tests {
     fn thunking_zgemm_matches_host_reference() {
         let c = ctx();
         let n = 4;
-        let a: Vec<Complex64> =
-            (0..n * n).map(|i| Complex64::new(i as f64, -(i as f64) / 2.0)).collect();
-        let b: Vec<Complex64> =
-            (0..n * n).map(|i| Complex64::new(1.0 / (i + 1) as f64, 0.3 * i as f64)).collect();
+        let a: Vec<Complex64> = (0..n * n)
+            .map(|i| Complex64::new(i as f64, -(i as f64) / 2.0))
+            .collect();
+        let b: Vec<Complex64> = (0..n * n)
+            .map(|i| Complex64::new(1.0 / (i + 1) as f64, 0.3 * i as f64))
+            .collect();
         let mut got = vec![Complex64::ZERO; n * n];
         thunking::zgemm(
             &c,
@@ -570,7 +650,22 @@ mod tests {
         let d = c.alloc(1, 8).unwrap(); // placeholder operands, never read
         let rt_clock_before = {
             // launch and then synchronize to observe the device time
-            c.dgemm(Transpose::N, Transpose::N, n, n, n, 1.0, d, n, d, n, 0.0, d, n).unwrap();
+            c.dgemm(
+                Transpose::N,
+                Transpose::N,
+                n,
+                n,
+                n,
+                1.0,
+                d,
+                n,
+                d,
+                n,
+                0.0,
+                d,
+                n,
+            )
+            .unwrap();
             c.api.cuda_thread_synchronize().unwrap();
             0.0
         };

@@ -9,8 +9,8 @@
 use crate::complex::{as_f64s, from_f64s};
 use crate::fftkernels::{self, FftDirection};
 use ipm_gpu_sim::{
-    launch_kernel, CudaApi, CudaError, CudaResult, DevicePtr, Dim3, Kernel, KernelArg,
-    KernelCost, LaunchConfig, StreamId,
+    launch_kernel, CudaApi, CudaError, CudaResult, DevicePtr, Dim3, Kernel, KernelArg, KernelCost,
+    LaunchConfig, StreamId,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -49,7 +49,10 @@ pub struct CufftConfig {
 
 impl Default for CufftConfig {
     fn default() -> Self {
-        Self { efficiency: 0.25, exact_flops_limit: 5.0e7 }
+        Self {
+            efficiency: 0.25,
+            exact_flops_limit: 5.0e7,
+        }
     }
 }
 
@@ -64,7 +67,12 @@ pub struct CufftContext {
 impl CufftContext {
     /// Create the library context over an interposable CUDA API.
     pub fn new(api: Arc<dyn CudaApi>, cfg: CufftConfig) -> Self {
-        Self { api, cfg, plans: Mutex::new(HashMap::new()), next: Mutex::new(1) }
+        Self {
+            api,
+            cfg,
+            plans: Mutex::new(HashMap::new()),
+            next: Mutex::new(1),
+        }
     }
 
     /// `cufftPlan1d`: a batched 1-D plan. `n` must be a power of two (the
@@ -76,7 +84,15 @@ impl CufftContext {
         let mut next = self.next.lock();
         let id = PlanId(*next);
         *next += 1;
-        self.plans.lock().insert(id, Plan { n, batch, ty, stream: StreamId::DEFAULT });
+        self.plans.lock().insert(
+            id,
+            Plan {
+                n,
+                batch,
+                ty,
+                stream: StreamId::DEFAULT,
+            },
+        );
         Ok(id)
     }
 
@@ -108,7 +124,11 @@ impl CufftContext {
         odata: DevicePtr,
         dir: FftDirection,
     ) -> CudaResult<()> {
-        let p = *self.plans.lock().get(&plan).ok_or(CudaError::InvalidResourceHandle)?;
+        let p = *self
+            .plans
+            .lock()
+            .get(&plan)
+            .ok_or(CudaError::InvalidResourceHandle)?;
         if p.ty != FftType::Z2Z {
             return Err(CudaError::InvalidValue);
         }
@@ -131,7 +151,8 @@ impl CufftContext {
                 for b in 0..batch {
                     fftkernels::fft_in_place(&mut data[b * n..(b + 1) * n], dir);
                 }
-                heap.write_f64(odata, &as_f64s(&data)).expect("cufft output");
+                heap.write_f64(odata, &as_f64s(&data))
+                    .expect("cufft output");
             })
         } else {
             Kernel::timed(&name, KernelCost::Fixed(duration))
@@ -170,7 +191,9 @@ mod tests {
     use ipm_gpu_sim::{memcpy_d2h_f64, memcpy_h2d_f64, GpuConfig, GpuRuntime};
 
     fn setup() -> (Arc<GpuRuntime>, CufftContext) {
-        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+        let rt = Arc::new(GpuRuntime::single(
+            GpuConfig::dirac_node().with_context_init(0.0),
+        ));
         let fft = CufftContext::new(rt.clone(), CufftConfig::default());
         (rt, fft)
     }
@@ -178,12 +201,21 @@ mod tests {
     #[test]
     fn plan_validation() {
         let (_rt, fft) = setup();
-        assert_eq!(fft.plan_1d(12, FftType::Z2Z, 1).unwrap_err(), CudaError::InvalidValue);
-        assert_eq!(fft.plan_1d(16, FftType::Z2Z, 0).unwrap_err(), CudaError::InvalidValue);
+        assert_eq!(
+            fft.plan_1d(12, FftType::Z2Z, 1).unwrap_err(),
+            CudaError::InvalidValue
+        );
+        assert_eq!(
+            fft.plan_1d(16, FftType::Z2Z, 0).unwrap_err(),
+            CudaError::InvalidValue
+        );
         let p = fft.plan_1d(16, FftType::Z2Z, 2).unwrap();
         assert_eq!(fft.live_plans(), 1);
         fft.destroy(p).unwrap();
-        assert_eq!(fft.destroy(p).unwrap_err(), CudaError::InvalidResourceHandle);
+        assert_eq!(
+            fft.destroy(p).unwrap_err(),
+            CudaError::InvalidResourceHandle
+        );
         assert_eq!(fft.live_plans(), 0);
     }
 
@@ -191,8 +223,9 @@ mod tests {
     fn device_fft_matches_host_reference() {
         let (rt, fft) = setup();
         let n = 32;
-        let input: Vec<Complex64> =
-            (0..n).map(|i| Complex64::new((i as f64 * 0.4).sin(), (i as f64 * 1.1).cos())).collect();
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.4).sin(), (i as f64 * 1.1).cos()))
+            .collect();
         let d = rt.malloc(n * 16).unwrap();
         memcpy_h2d_f64(rt.as_ref(), d, &as_f64s(&input)).unwrap();
         let plan = fft.plan_1d(n, FftType::Z2Z, 1).unwrap();
@@ -235,8 +268,13 @@ mod tests {
         let (_rt, fft) = setup();
         let plan = fft.plan_1d(16, FftType::C2C, 1).unwrap();
         assert_eq!(
-            fft.exec_z2z(plan, DevicePtr::NULL, DevicePtr::NULL, FftDirection::Forward)
-                .unwrap_err(),
+            fft.exec_z2z(
+                plan,
+                DevicePtr::NULL,
+                DevicePtr::NULL,
+                FftDirection::Forward
+            )
+            .unwrap_err(),
             CudaError::InvalidValue
         );
     }

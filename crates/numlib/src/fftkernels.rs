@@ -18,7 +18,10 @@ pub enum FftDirection {
 /// **unnormalized** (forward followed by inverse scales by `n`).
 pub fn fft_in_place(data: &mut [Complex64], dir: FftDirection) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT requires a power-of-two length, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT requires a power-of-two length, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -101,7 +104,11 @@ mod tests {
             .map(|t| Complex64::cis(std::f64::consts::TAU * k as f64 * t as f64 / n as f64))
             .collect();
         let y = fft(&x, FftDirection::Forward);
-        assert!(close(y[k], Complex64::new(n as f64, 0.0)), "bin {k} = {:?}", y[k]);
+        assert!(
+            close(y[k], Complex64::new(n as f64, 0.0)),
+            "bin {k} = {:?}",
+            y[k]
+        );
         for (i, v) in y.iter().enumerate() {
             if i != k {
                 assert!(v.abs() < 1e-8, "leakage at bin {i}: {v:?}");
@@ -112,8 +119,9 @@ mod tests {
     #[test]
     fn forward_inverse_roundtrip_scales_by_n() {
         let n = 32;
-        let x: Vec<Complex64> =
-            (0..n).map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
         let y = fft(&fft(&x, FftDirection::Forward), FftDirection::Inverse);
         for (orig, round) in x.iter().zip(&y) {
             assert!(close(round.scale(1.0 / n as f64), *orig));
@@ -123,8 +131,9 @@ mod tests {
     #[test]
     fn parseval_identity_holds() {
         let n = 128;
-        let x: Vec<Complex64> =
-            (0..n).map(|i| Complex64::new((i as f64 * 1.3).sin(), (i as f64 * 0.2).cos())).collect();
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 1.3).sin(), (i as f64 * 0.2).cos()))
+            .collect();
         let y = fft(&x, FftDirection::Forward);
         let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
         let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;

@@ -69,7 +69,8 @@ impl HostBlas {
     }
 
     fn charge(&self, flops: f64, efficiency: f64) -> ComputeFidelity {
-        self.clock.advance(self.cfg.cpu.compute_time(flops, efficiency));
+        self.clock
+            .advance(self.cfg.cpu.compute_time(flops, efficiency));
         if flops <= self.cfg.exact_flops_limit {
             ComputeFidelity::Exact
         } else {
@@ -151,25 +152,29 @@ impl HostBlas {
     /// `DAXPY` with timing. Level-1 calls are always exact (they are
     /// memory-bound and cheap).
     pub fn daxpy(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
-        self.clock.advance(self.cfg.cpu.compute_time(2.0 * x.len() as f64, 0.3));
+        self.clock
+            .advance(self.cfg.cpu.compute_time(2.0 * x.len() as f64, 0.3));
         blaskernels::daxpy(alpha, x, y);
     }
 
     /// `DDOT` with timing.
     pub fn ddot(&self, x: &[f64], y: &[f64]) -> f64 {
-        self.clock.advance(self.cfg.cpu.compute_time(2.0 * x.len() as f64, 0.3));
+        self.clock
+            .advance(self.cfg.cpu.compute_time(2.0 * x.len() as f64, 0.3));
         blaskernels::ddot(x, y)
     }
 
     /// `DSCAL` with timing.
     pub fn dscal(&self, alpha: f64, x: &mut [f64]) {
-        self.clock.advance(self.cfg.cpu.compute_time(x.len() as f64, 0.3));
+        self.clock
+            .advance(self.cfg.cpu.compute_time(x.len() as f64, 0.3));
         blaskernels::dscal(alpha, x);
     }
 
     /// `IDAMAX` with timing.
     pub fn idamax(&self, x: &[f64]) -> usize {
-        self.clock.advance(self.cfg.cpu.compute_time(x.len() as f64, 0.3));
+        self.clock
+            .advance(self.cfg.cpu.compute_time(x.len() as f64, 0.3));
         blaskernels::idamax(x)
     }
 
@@ -194,7 +199,8 @@ impl HostFft {
     /// In-place complex transform with timing.
     pub fn execute(&self, data: &mut [Complex64], dir: FftDirection) -> ComputeFidelity {
         let flops = fftkernels::fft_flops(data.len());
-        self.clock.advance(self.cfg.cpu.compute_time(flops, self.cfg.fft_efficiency));
+        self.clock
+            .advance(self.cfg.cpu.compute_time(flops, self.cfg.fft_efficiency));
         if flops <= self.cfg.exact_flops_limit {
             fftkernels::fft_in_place(data, dir);
             ComputeFidelity::Exact
@@ -218,8 +224,21 @@ mod tests {
         let a = vec![1.0, 0.0, 0.0, 1.0]; // identity
         let x = vec![3.0, 4.0, 5.0, 6.0];
         let mut c = vec![0.0; 4];
-        let fid =
-            b.dgemm(Transpose::N, Transpose::N, 2, 2, 2, 1.0, &a, 2, &x, 2, 0.0, &mut c, 2);
+        let fid = b.dgemm(
+            Transpose::N,
+            Transpose::N,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            2,
+            &x,
+            2,
+            0.0,
+            &mut c,
+            2,
+        );
         assert_eq!(fid, ComputeFidelity::Exact);
         assert_eq!(c, x);
         assert!(b.clock().now() > 0.0);
@@ -232,7 +251,21 @@ mod tests {
         let a = vec![0.0; 1]; // operands can be tiny: they are not touched
         let mut c = vec![0.0; 1];
         let before = b.clock().now();
-        let fid = b.dgemm(Transpose::N, Transpose::N, n, n, n, 1.0, &a, n, &a, n, 0.0, &mut c, n);
+        let fid = b.dgemm(
+            Transpose::N,
+            Transpose::N,
+            n,
+            n,
+            n,
+            1.0,
+            &a,
+            n,
+            &a,
+            n,
+            0.0,
+            &mut c,
+            n,
+        );
         assert_eq!(fid, ComputeFidelity::Modeled);
         // 1.37e11 flops at ~8.2 GF/s → tens of seconds of *virtual* time
         assert!(b.clock().now() - before > 5.0);
@@ -245,12 +278,43 @@ mod tests {
         let a = vec![0.0; 1];
         let mut c = vec![0.0; 1];
         let t0 = b.clock().now();
-        b.dgemm(Transpose::N, Transpose::N, 512, 512, 512, 1.0, &a, 512, &a, 512, 0.0, &mut c, 512);
+        b.dgemm(
+            Transpose::N,
+            Transpose::N,
+            512,
+            512,
+            512,
+            1.0,
+            &a,
+            512,
+            &a,
+            512,
+            0.0,
+            &mut c,
+            512,
+        );
         let t1 = b.clock().now();
-        b.dgemm(Transpose::N, Transpose::N, 1024, 1024, 1024, 1.0, &a, 1024, &a, 1024, 0.0, &mut c, 1024);
+        b.dgemm(
+            Transpose::N,
+            Transpose::N,
+            1024,
+            1024,
+            1024,
+            1.0,
+            &a,
+            1024,
+            &a,
+            1024,
+            0.0,
+            &mut c,
+            1024,
+        );
         let t2 = b.clock().now();
         let ratio = (t2 - t1) / (t1 - t0);
-        assert!((ratio - 8.0).abs() < 0.01, "gemm should scale cubically, ratio {ratio}");
+        assert!(
+            (ratio - 8.0).abs() < 0.01,
+            "gemm should scale cubically, ratio {ratio}"
+        );
     }
 
     #[test]

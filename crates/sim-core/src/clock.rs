@@ -27,8 +27,13 @@ impl SimClock {
 
     /// Create a new clock starting at `t0` seconds.
     pub fn starting_at(t0: f64) -> Self {
-        assert!(t0 >= 0.0 && t0.is_finite(), "clock origin must be finite and >= 0");
-        Self { bits: Arc::new(AtomicU64::new(t0.to_bits())) }
+        assert!(
+            t0 >= 0.0 && t0.is_finite(),
+            "clock origin must be finite and >= 0"
+        );
+        Self {
+            bits: Arc::new(AtomicU64::new(t0.to_bits())),
+        }
     }
 
     /// Current virtual time in seconds.
@@ -48,7 +53,10 @@ impl SimClock {
         let mut cur = self.bits.load(Ordering::Acquire);
         loop {
             let next = (f64::from_bits(cur) + dt).to_bits();
-            match self.bits.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return f64::from_bits(next),
                 Err(actual) => cur = actual,
             }

@@ -64,7 +64,11 @@ pub struct FsConfig {
 
 impl Default for FsConfig {
     fn default() -> Self {
-        Self { open_latency: 1.2e-3, read_bandwidth: 350e6, write_bandwidth: 250e6 }
+        Self {
+            open_latency: 1.2e-3,
+            read_bandwidth: 350e6,
+            write_bandwidth: 250e6,
+        }
     }
 }
 
@@ -91,7 +95,11 @@ impl SimFs {
     pub fn new(cfg: FsConfig) -> Arc<Self> {
         Arc::new(Self {
             cfg,
-            inner: Mutex::new(FsInner { files: HashMap::new(), open: HashMap::new(), next: 1 }),
+            inner: Mutex::new(FsInner {
+                files: HashMap::new(),
+                open: HashMap::new(),
+                next: 1,
+            }),
         })
     }
 
@@ -116,7 +124,14 @@ impl SimFs {
         };
         let h = FileHandle(inner.next);
         inner.next += 1;
-        inner.open.insert(h, OpenFile { path: path.to_owned(), mode, cursor });
+        inner.open.insert(
+            h,
+            OpenFile {
+                path: path.to_owned(),
+                mode,
+                cursor,
+            },
+        );
         Ok(h)
     }
 
@@ -215,10 +230,14 @@ mod tests {
     #[test]
     fn write_then_read_roundtrips() {
         let (fs, clock) = setup();
-        let h = fs.open(&clock, "/scratch/traj.crd", OpenMode::Write).unwrap();
+        let h = fs
+            .open(&clock, "/scratch/traj.crd", OpenMode::Write)
+            .unwrap();
         fs.write(&clock, h, b"frame-one").unwrap();
         fs.close(&clock, h).unwrap();
-        let h = fs.open(&clock, "/scratch/traj.crd", OpenMode::Read).unwrap();
+        let h = fs
+            .open(&clock, "/scratch/traj.crd", OpenMode::Read)
+            .unwrap();
         let mut buf = [0u8; 16];
         let n = fs.read(&clock, h, &mut buf).unwrap();
         assert_eq!(&buf[..n], b"frame-one");
@@ -253,16 +272,25 @@ mod tests {
         let before = clock.now();
         fs.write(&clock, h, &vec![0u8; 250_000_000]).unwrap();
         let write_cost = clock.now() - before;
-        assert!((write_cost - 1.0).abs() < 0.05, "250 MB at 250 MB/s: {write_cost}");
+        assert!(
+            (write_cost - 1.0).abs() < 0.05,
+            "250 MB at 250 MB/s: {write_cost}"
+        );
     }
 
     #[test]
     fn errors_are_reported() {
         let (fs, clock) = setup();
-        assert_eq!(fs.open(&clock, "nope", OpenMode::Read).unwrap_err(), FsError::NotFound);
+        assert_eq!(
+            fs.open(&clock, "nope", OpenMode::Read).unwrap_err(),
+            FsError::NotFound
+        );
         let h = fs.open(&clock, "f", OpenMode::Write).unwrap();
         let mut buf = [0u8; 4];
-        assert_eq!(fs.read(&clock, h, &mut buf).unwrap_err(), FsError::WrongMode);
+        assert_eq!(
+            fs.read(&clock, h, &mut buf).unwrap_err(),
+            FsError::WrongMode
+        );
         fs.close(&clock, h).unwrap();
         assert_eq!(fs.close(&clock, h).unwrap_err(), FsError::BadHandle);
         assert_eq!(fs.write(&clock, h, b"x").unwrap_err(), FsError::BadHandle);
@@ -275,7 +303,10 @@ mod tests {
         let h = fs.open(&clock_a, "shared", OpenMode::Write).unwrap();
         fs.write(&clock_a, h, b"from-a").unwrap();
         fs.close(&clock_a, h).unwrap();
-        let rank_b = RankFs { fs: fs.clone(), clock: clock_b.clone() };
+        let rank_b = RankFs {
+            fs: fs.clone(),
+            clock: clock_b.clone(),
+        };
         let h = rank_b.fopen("shared", OpenMode::Read).unwrap();
         let mut buf = [0u8; 6];
         rank_b.fread(h, &mut buf).unwrap();

@@ -89,7 +89,12 @@ pub enum CollectiveKind {
 /// pairwise exchange for all-to-all). The important qualitative property for
 /// the paper's Fig. 10 is that **Gather is linear in `nranks` at the root**,
 /// which is why `MPI_Gather` blows up for PARATEC at 256 processes.
-pub fn collective_cost(kind: CollectiveKind, nranks: usize, bytes: u64, net: &TransferModel) -> f64 {
+pub fn collective_cost(
+    kind: CollectiveKind,
+    nranks: usize,
+    bytes: u64,
+    net: &TransferModel,
+) -> f64 {
     assert!(nranks > 0);
     if nranks == 1 {
         // self-collectives degenerate to a local copy
@@ -108,7 +113,11 @@ pub fn collective_cost(kind: CollectiveKind, nranks: usize, bytes: u64, net: &Tr
         // reduction: tree latency + per-hop transfer + a small compute term
         CollectiveKind::Reduce | CollectiveKind::Allreduce => {
             let gamma = 0.4e-9; // seconds per reduced byte (SIMD add)
-            let allreduce_extra = if kind == CollectiveKind::Allreduce { 1.0 } else { 0.0 };
+            let allreduce_extra = if kind == CollectiveKind::Allreduce {
+                1.0
+            } else {
+                0.0
+            };
             (log_p + allreduce_extra) * net.latency + log_p * n * (beta + gamma)
         }
         // root receives (p-1) contributions serially: the linear-in-p term
@@ -136,7 +145,11 @@ pub struct GpuComputeModel {
 impl GpuComputeModel {
     /// NVIDIA Tesla C2050 ("Fermi"), the Dirac GPU.
     pub fn tesla_c2050() -> Self {
-        Self { flops: 515e9, mem_bandwidth: 144e9, kernel_overhead: 4e-6 }
+        Self {
+            flops: 515e9,
+            mem_bandwidth: 144e9,
+            kernel_overhead: 4e-6,
+        }
     }
 
     /// Roofline duration of a kernel doing `flops` floating-point operations

@@ -32,11 +32,17 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// A noiseless model: every duration is exactly its modeled value.
     /// Used by all deterministic unit tests.
-    pub const QUIET: NoiseModel = NoiseModel { run_sigma: 0.0, event_jitter: 0.0 };
+    pub const QUIET: NoiseModel = NoiseModel {
+        run_sigma: 0.0,
+        event_jitter: 0.0,
+    };
 
     /// Noise calibrated to the paper's Dirac ensemble study (Fig. 8):
     /// run-to-run spread around ±0.5–1%, per-event jitter of ~2 µs.
-    pub const DIRAC: NoiseModel = NoiseModel { run_sigma: 0.004, event_jitter: 2.0e-6 };
+    pub const DIRAC: NoiseModel = NoiseModel {
+        run_sigma: 0.004,
+        event_jitter: 2.0e-6,
+    };
 
     /// Multiplier to apply to a whole-run duration. Unit mean.
     pub fn run_multiplier(&self, rng: &mut SimRng) -> f64 {
@@ -77,7 +83,10 @@ mod tests {
 
     #[test]
     fn run_multiplier_has_unit_mean() {
-        let m = NoiseModel { run_sigma: 0.05, event_jitter: 0.0 };
+        let m = NoiseModel {
+            run_sigma: 0.05,
+            event_jitter: 0.0,
+        };
         let mut rng = SimRng::new(2);
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| m.run_multiplier(&mut rng)).sum::<f64>() / n as f64;
@@ -86,7 +95,10 @@ mod tests {
 
     #[test]
     fn event_perturbation_stays_nonnegative_and_bounded() {
-        let m = NoiseModel { run_sigma: 0.0, event_jitter: 1e-6 };
+        let m = NoiseModel {
+            run_sigma: 0.0,
+            event_jitter: 1e-6,
+        };
         let mut rng = SimRng::new(3);
         for _ in 0..10_000 {
             let d = m.perturb_event(2e-6, &mut rng);

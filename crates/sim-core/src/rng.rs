@@ -25,7 +25,9 @@ impl SimRng {
     pub fn fork(&self, salt: u64) -> Self {
         // Mix the salt through one SplitMix64 step of a copied state so the
         // parent stream is not consumed.
-        let mut child = Self { state: self.state ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) };
+        let mut child = Self {
+            state: self.state ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
         child.next_u64();
         child
     }

@@ -15,7 +15,12 @@ pub struct RunningStats {
 
 impl Default for RunningStats {
     fn default() -> Self {
-        Self { count: 0, total: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            total: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -81,7 +86,13 @@ impl Histogram {
     /// Create a histogram with `nbins` equal-width bins over `[lo, hi]`.
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
         assert!(hi > lo && nbins > 0);
-        Self { lo, hi, bins: vec![0; nbins], outliers: 0, values: RunningStats::new() }
+        Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            outliers: 0,
+            values: RunningStats::new(),
+        }
     }
 
     /// Record one observation.

@@ -19,7 +19,9 @@ use std::sync::Arc;
 
 fn main() {
     // monitored stack: IPM around CUDA, CUBLAS built over the monitored API
-    let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+    let rt = Arc::new(GpuRuntime::single(
+        GpuConfig::dirac_node().with_context_init(0.0),
+    ));
     let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
     ipm.set_metadata(0, 1, "dirac03", "paratec-like");
     let cuda: Arc<dyn CudaApi> = Arc::new(IpmCuda::new(ipm.clone(), rt));
@@ -27,10 +29,12 @@ fn main() {
 
     // a few thunking zgemms, like a Fortran code linked with the wrappers
     let n = 48;
-    let a: Vec<Complex64> =
-        (0..n * n).map(|i| Complex64::new((i % 13) as f64, -((i % 7) as f64))).collect();
-    let b: Vec<Complex64> =
-        (0..n * n).map(|i| Complex64::new(1.0 / (1 + i % 5) as f64, 0.25)).collect();
+    let a: Vec<Complex64> = (0..n * n)
+        .map(|i| Complex64::new((i % 13) as f64, -((i % 7) as f64)))
+        .collect();
+    let b: Vec<Complex64> = (0..n * n)
+        .map(|i| Complex64::new(1.0 / (1 + i % 5) as f64, 0.25))
+        .collect();
     let mut c = vec![Complex64::ZERO; n * n];
     for _ in 0..4 {
         thunking::zgemm(
@@ -55,7 +59,13 @@ fn main() {
 
     let profile = ipm.profile();
     println!("library-level view (what the thunking wrapper costs):");
-    for name in ["cudaMemcpy(H2D)", "cudaMemcpy(D2H)", "cudaLaunch", "cudaMalloc", "cudaFree"] {
+    for name in [
+        "cudaMemcpy(H2D)",
+        "cudaMemcpy(D2H)",
+        "cudaLaunch",
+        "cudaMalloc",
+        "cudaFree",
+    ] {
         println!(
             "  {:<18} {:>3} calls  {:>9.6} s",
             name,
@@ -73,5 +83,8 @@ fn main() {
     );
 
     let breakdown = profile.kernel_breakdown();
-    println!("\nGPU kernels seen inside the library: {:?}", breakdown[0].0);
+    println!(
+        "\nGPU kernels seen inside the library: {:?}",
+        breakdown[0].0
+    );
 }

@@ -34,7 +34,11 @@ fn main() {
     let mut imbalances = report.kernel_imbalance();
     imbalances.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     for (kernel, imb) in imbalances.into_iter().take(4) {
-        let flag = if imb > 0.3 { "  <-- optimization target" } else { "" };
+        let flag = if imb > 0.3 {
+            "  <-- optimization target"
+        } else {
+            ""
+        };
         println!("  {:<44} {:>5.1}%{}", kernel, imb * 100.0, flag);
     }
 

@@ -22,7 +22,9 @@ const KERNEL_SECS: f64 = 0.02;
 const HOST_WORK_SECS: f64 = 0.018;
 
 fn monitored_stack() -> (Arc<Ipm>, IpmCuda) {
-    let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+    let rt = Arc::new(GpuRuntime::single(
+        GpuConfig::dirac_node().with_context_init(0.0),
+    ));
     let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
     ipm.set_metadata(0, 1, "dirac07", "./solver");
     let cuda = IpmCuda::new(ipm.clone(), rt);
@@ -78,8 +80,14 @@ fn main() {
     let b = version_b();
     println!("version A — synchronous fetch after each launch:");
     println!("  wallclock        {:>8.3} s", a.wallclock);
-    println!("  @CUDA_HOST_IDLE  {:>8.3} s   <-- missed overlap, IPM says", a.host_idle_time());
-    println!("  GPU kernel time  {:>8.3} s\n", a.time_of("@CUDA_EXEC_STRM00"));
+    println!(
+        "  @CUDA_HOST_IDLE  {:>8.3} s   <-- missed overlap, IPM says",
+        a.host_idle_time()
+    );
+    println!(
+        "  GPU kernel time  {:>8.3} s\n",
+        a.time_of("@CUDA_EXEC_STRM00")
+    );
 
     println!("version B — host work overlapped, asynchronous fetch:");
     println!("  wallclock        {:>8.3} s", b.wallclock);

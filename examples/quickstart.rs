@@ -26,7 +26,10 @@ fn main() {
 
     // run the unmodified application against the monitored API
     let result = run_square(&cuda, SquareConfig::default()).expect("square");
-    println!("array returned from the device, first elements: {:?}", &result[..4.min(result.len())]);
+    println!(
+        "array returned from the device, first elements: {:?}",
+        &result[..4.min(result.len())]
+    );
     println!("(at the paper's N=100k/REPEAT=10k shape the kernel is timing-modeled;");
     println!(" use SquareConfig::tiny() to see the math verified for real)\n");
 
@@ -37,7 +40,11 @@ fn main() {
 
     // ... and writes the XML log for ipm_parse
     let xml = to_xml(&profile);
-    println!("XML profiling log: {} bytes (first line: {})", xml.len(), xml.lines().next().unwrap());
+    println!(
+        "XML profiling log: {} bytes (first line: {})",
+        xml.len(),
+        xml.lines().next().unwrap()
+    );
 
     println!(
         "\nkey metrics: kernel time on GPU = {:.2} s, implicit host blocking = {:.2} s",

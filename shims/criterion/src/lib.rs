@@ -1,0 +1,261 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates-registry access, so this in-tree
+//! shim provides the subset of criterion's API the workspace benches use:
+//! `Criterion::bench_function`, `benchmark_group` (with `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `finish`),
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark auto-calibrates an
+//! iteration count to a ~50 ms measurement window, then reports the mean
+//! time per iteration (plus MB/s when a byte throughput is set). There is
+//! no statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for a bench within a group: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Work-per-iteration hint used to report a rate next to the mean time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Runs the closure under measurement. Passed to bench closures.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean_secs: f64,
+}
+
+const TARGET_WINDOW: Duration = Duration::from_millis(50);
+const MAX_CALIBRATION_ITERS: u64 = 1 << 20;
+
+impl Bencher {
+    fn new() -> Self {
+        Self { mean_secs: 0.0 }
+    }
+
+    /// Measure `f`, auto-calibrating the iteration count so the timed
+    /// window is long enough to be meaningful but short enough to keep
+    /// bench suites fast.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: double iterations until one batch takes >= ~5 ms.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_WINDOW / 10 || iters >= MAX_CALIBRATION_ITERS {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+
+        // Measure one window sized from the calibration estimate.
+        let measured_iters = ((TARGET_WINDOW.as_secs_f64() / per_iter.max(1e-12)) as u64)
+            .clamp(1, MAX_CALIBRATION_ITERS);
+        let start = Instant::now();
+        for _ in 0..measured_iters {
+            black_box(f());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / measured_iters as f64;
+    }
+
+    /// Mean seconds per iteration from the last `iter` call.
+    pub fn mean_secs(&self) -> f64 {
+        self.mean_secs
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn report(label: &str, mean_secs: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if mean_secs > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / mean_secs / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if mean_secs > 0.0 => {
+            format!("  {:.0} elem/s", n as f64 / mean_secs)
+        }
+        _ => String::new(),
+    };
+    println!("{label:<48} time: {:>10}{rate}", fmt_time(mean_secs));
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, b.mean_secs, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of related benches.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes its own windows.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            b.mean_secs,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            b.mean_secs,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects bench functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Bytes(1024));
+        g.bench_function(BenchmarkId::new("sum", 8), |b| {
+            b.iter(|| (0..8u64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(16), &16u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

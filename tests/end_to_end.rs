@@ -116,7 +116,9 @@ fn dilatation_stays_below_one_percent() {
 #[test]
 fn driver_and_runtime_apis_share_one_device() {
     use ipm_repro::gpu::DriverContext;
-    let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_context_init(0.0)));
+    let rt = Arc::new(GpuRuntime::single(
+        GpuConfig::dirac_node().with_context_init(0.0),
+    ));
     let drv = DriverContext::new(rt.clone());
     drv.cu_init(0).expect("cuInit");
     let p = drv.cu_mem_alloc(64).expect("cuMemAlloc");
@@ -139,6 +141,8 @@ fn blocking_classification_is_consistent_across_layers() {
     assert_eq!(memcpy_spec.blocking, BlockingClass::ImplicitSync);
     let memset_spec = registry.spec(registry.id("cudaMemset").expect("cudaMemset"));
     assert_ne!(memset_spec.blocking, BlockingClass::ImplicitSync);
-    assert!(probes.iter().any(|p| p.name == "cudaMemcpy(D2H)" && p.blocks));
+    assert!(probes
+        .iter()
+        .any(|p| p.name == "cudaMemcpy(D2H)" && p.blocks));
     assert!(probes.iter().any(|p| p.name == "cudaMemset" && !p.blocks));
 }

@@ -1,6 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
 
-use ipm_repro::ipm::{from_xml, to_xml, EventSignature, PerfTable, ProfileEntry, RankProfile};
+use ipm_repro::ipm::{
+    chrome_trace, from_xml, to_xml, validate_chrome_trace, EventSignature, PerfTable, ProfileEntry,
+    RankProfile, TraceKind, TraceRank, TraceRecord, TraceRing,
+};
 use ipm_repro::numlib::{blaskernels, fftkernels, Complex64, FftDirection, Transpose};
 use ipm_repro::sim::{RunningStats, SimClock, SimRng};
 use proptest::prelude::*;
@@ -46,7 +49,7 @@ proptest! {
             table.update(&EventSignature::call("x", i), 0.5);
         }
         prop_assert!(table.len() <= cap);
-        prop_assert_eq!(table.len() as u64 + table.overflow(), n.min(u64::MAX));
+        prop_assert_eq!(table.len() as u64 + table.overflow(), n);
     }
 }
 
@@ -68,7 +71,13 @@ fn arb_profile() -> impl Strategy<Value = RankProfile> {
             for i in 0..count.min(5) {
                 stats.record(total / (i + 1) as f64);
             }
-            ProfileEntry { name, detail, bytes: bytes as u64, region, stats }
+            ProfileEntry {
+                name,
+                detail,
+                bytes: bytes as u64,
+                region,
+                stats,
+            }
         });
     (
         0usize..512,
@@ -85,6 +94,7 @@ fn arb_profile() -> impl Strategy<Value = RankProfile> {
             regions: vec!["<program>".to_owned(), "solve & report".to_owned()],
             entries,
             dropped_events: rank as u64,
+            monitor: Default::default(),
         })
 }
 
@@ -316,6 +326,167 @@ proptest! {
             let dt = rt.event_elapsed_time(pair[0], pair[1]).expect("elapsed");
             prop_assert!(dt >= 0.0, "events out of order: {dt}");
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming trace: ring accounting and Chrome-trace export
+// ---------------------------------------------------------------------
+
+fn trace_rec(
+    kind: TraceKind,
+    name: &str,
+    begin: f64,
+    end: f64,
+    stream: Option<u32>,
+    corr: u64,
+) -> TraceRecord {
+    TraceRecord {
+        kind,
+        name: name.into(),
+        detail: None,
+        begin,
+        end,
+        bytes: 0,
+        region: 0,
+        stream,
+        corr,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Under concurrent emission from several ranks' worth of threads, the
+    /// trace ring's books balance exactly whatever the capacity and stripe
+    /// shape: captured + dropped == emitted, and a drain hands back
+    /// precisely the captured records in timestamp order.
+    #[test]
+    fn trace_ring_accounting_exact_under_concurrent_emission(
+        capacity in 1usize..257,
+        shards in 1usize..9,
+        pushes in prop::collection::vec(0usize..300, 1..5),
+    ) {
+        let ring = TraceRing::new(capacity, shards);
+        std::thread::scope(|s| {
+            for (t, &n) in pushes.iter().enumerate() {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..n {
+                        let b = (t * 1000 + i) as f64;
+                        ring.push(trace_rec(
+                            TraceKind::Call, "cudaStreamQuery", b, b + 0.5, None, 0,
+                        ));
+                    }
+                });
+            }
+        });
+        let total: u64 = pushes.iter().map(|&n| n as u64).sum();
+        prop_assert_eq!(ring.emitted(), total);
+        prop_assert_eq!(ring.captured() + ring.dropped(), ring.emitted());
+        prop_assert!(ring.captured() <= ring.capacity() as u64);
+        prop_assert!(ring.high_water_mark() <= ring.capacity() as u64);
+        let drained = ring.drain();
+        prop_assert_eq!(drained.len() as u64, ring.captured());
+        for w in drained.windows(2) {
+            prop_assert!(w[0].begin <= w[1].begin, "drain not time-sorted");
+        }
+        // Counters are cumulative; draining frees space without forgetting.
+        prop_assert!(ring.is_empty());
+        prop_assert_eq!(ring.captured() + ring.dropped(), total);
+        prop_assert!(ring.push(trace_rec(TraceKind::Call, "x", 0.0, 1.0, None, 0)));
+        prop_assert_eq!(ring.emitted(), total + 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Any generated multi-rank workload exports to structurally valid
+    /// Chrome trace-event JSON: balanced B/E slices, per-lane monotone
+    /// timestamps, every flow arrow paired — with the exact slice, lane,
+    /// process, and flow counts the workload implies. Names include quotes,
+    /// backslashes, and control characters to exercise JSON escaping.
+    #[test]
+    fn chrome_trace_export_is_well_formed(
+        plans in prop::collection::vec(
+            prop::collection::vec(
+                // (is_launch, name index, duration, gap before, stream)
+                (any::<bool>(), 0usize..6, 1e-6f64..1e-2, 0.0f64..1e-3, 0u32..3),
+                1..25,
+            ),
+            1..4,
+        ),
+    ) {
+        let names = [
+            "cudaLaunch",
+            "cudaMemcpy(H2D)",
+            "MPI_Allreduce",
+            "odd \"name\" with \\escapes\tand\ncontrol",
+            "@CUDA_HOST_IDLE",
+            "cuCtxCreate",
+        ];
+        let mut corr = 0u64;
+        let mut launches = 0usize;
+        let mut total = 0usize;
+        let mut lanes = 0usize;
+        let ranks: Vec<TraceRank> = plans
+            .iter()
+            .enumerate()
+            .map(|(r, plan)| {
+                let mut records = Vec::new();
+                let mut host_t = 0.0f64;
+                let mut stream_t = [0.0f64; 3];
+                let mut streams_used = std::collections::HashSet::new();
+                for &(is_launch, name, dur, gap, stream) in plan {
+                    let begin = host_t + gap;
+                    let end = begin + dur;
+                    host_t = end;
+                    let kind =
+                        if name == 4 { TraceKind::HostIdle } else { TraceKind::Call };
+                    let c = if is_launch {
+                        corr += 1;
+                        launches += 1;
+                        corr
+                    } else {
+                        0
+                    };
+                    records.push(trace_rec(kind, names[name], begin, end, None, c));
+                    total += 1;
+                    if is_launch {
+                        // The matching device-side execution on its stream.
+                        let s = stream as usize;
+                        let kb = stream_t[s].max(end);
+                        let ke = kb + dur;
+                        stream_t[s] = ke;
+                        records.push(trace_rec(
+                            TraceKind::KernelExec,
+                            "@CUDA_EXEC",
+                            kb,
+                            ke,
+                            Some(stream),
+                            c,
+                        ));
+                        total += 1;
+                        streams_used.insert(stream);
+                    }
+                }
+                lanes += 1 + streams_used.len(); // host lane + device lanes
+                TraceRank {
+                    rank: r,
+                    host: format!("dirac{r:02}"),
+                    records,
+                    prof: Vec::new(),
+                }
+            })
+            .collect();
+        let json = chrome_trace(&ranks);
+        let stats = match validate_chrome_trace(&json) {
+            Ok(stats) => stats,
+            Err(e) => return Err(TestCaseError::fail(format!("invalid trace: {e}"))),
+        };
+        prop_assert_eq!(stats.processes, ranks.len());
+        prop_assert_eq!(stats.slices, total);
+        prop_assert_eq!(stats.flow_pairs, launches);
+        prop_assert_eq!(stats.lanes, lanes);
     }
 }
 
