@@ -18,12 +18,19 @@ use crate::runtime::GpuRuntime;
 
 /// The CUDA runtime API as seen by applications (object-safe).
 ///
-/// Method names follow the `cuda*` entry points they model; see
-/// [`GpuRuntime`] for the timing semantics of each.
+/// Each method's doc comment leads with the backticked `cuda*` entry point
+/// it models — `ipm-speccheck` extracts those names as the modeled facade
+/// surface and reconciles them against the call spec and the monitor
+/// wrappers, so keep them in the `` /// `cudaXxx` `` form. See
+/// [`GpuRuntime`] for the timing semantics of each call.
 pub trait CudaApi: Send + Sync {
+    /// `cudaMalloc`.
     fn cuda_malloc(&self, size: usize) -> CudaResult<DevicePtr>;
+    /// `cudaFree`.
     fn cuda_free(&self, ptr: DevicePtr) -> CudaResult<()>;
+    /// `cudaMemcpy` (host→device).
     fn cuda_memcpy_h2d(&self, dst: DevicePtr, src: &[u8]) -> CudaResult<()>;
+    /// `cudaMemcpy` (device→host).
     fn cuda_memcpy_d2h(&self, dst: &mut [u8], src: DevicePtr) -> CudaResult<()>;
     /// Scale adapter: a synchronous H2D copy of `total_bytes` virtual
     /// bytes of which only the `src` prefix is physically transferred
@@ -37,33 +44,55 @@ pub trait CudaApi: Send + Sync {
         src: DevicePtr,
         total_bytes: u64,
     ) -> CudaResult<()>;
+    /// `cudaMemcpy` (device→device).
     fn cuda_memcpy_d2d(&self, dst: DevicePtr, src: DevicePtr, len: usize) -> CudaResult<()>;
+    /// `cudaMemcpyAsync` (host→device).
     fn cuda_memcpy_h2d_async(&self, dst: DevicePtr, src: &[u8], stream: StreamId)
         -> CudaResult<()>;
+    /// `cudaMemcpyAsync` (device→host).
     fn cuda_memcpy_d2h_async(
         &self,
         dst: &mut [u8],
         src: DevicePtr,
         stream: StreamId,
     ) -> CudaResult<()>;
+    /// `cudaMemcpyToSymbol`.
     fn cuda_memcpy_to_symbol(&self, symbol: &str, src: &[u8]) -> CudaResult<()>;
+    /// `cudaMemset`.
     fn cuda_memset(&self, dst: DevicePtr, value: u8, len: usize) -> CudaResult<()>;
+    /// `cudaConfigureCall`.
     fn cuda_configure_call(&self, config: LaunchConfig) -> CudaResult<()>;
+    /// `cudaSetupArgument`.
     fn cuda_setup_argument(&self, arg: KernelArg) -> CudaResult<()>;
+    /// `cudaLaunch`.
     fn cuda_launch(&self, kernel: &Kernel) -> CudaResult<()>;
+    /// `cudaStreamCreate`.
     fn cuda_stream_create(&self) -> CudaResult<StreamId>;
+    /// `cudaStreamDestroy`.
     fn cuda_stream_destroy(&self, stream: StreamId) -> CudaResult<()>;
+    /// `cudaStreamSynchronize`.
     fn cuda_stream_synchronize(&self, stream: StreamId) -> CudaResult<()>;
+    /// `cudaStreamQuery`.
     fn cuda_stream_query(&self, stream: StreamId) -> CudaResult<()>;
+    /// `cudaEventCreate`.
     fn cuda_event_create(&self) -> CudaResult<EventId>;
+    /// `cudaEventDestroy`.
     fn cuda_event_destroy(&self, event: EventId) -> CudaResult<()>;
+    /// `cudaEventRecord`.
     fn cuda_event_record(&self, event: EventId, stream: StreamId) -> CudaResult<()>;
+    /// `cudaEventQuery`.
     fn cuda_event_query(&self, event: EventId) -> CudaResult<()>;
+    /// `cudaEventSynchronize`.
     fn cuda_event_synchronize(&self, event: EventId) -> CudaResult<()>;
+    /// `cudaEventElapsedTime`.
     fn cuda_event_elapsed_time(&self, start: EventId, stop: EventId) -> CudaResult<f64>;
+    /// `cudaThreadSynchronize`.
     fn cuda_thread_synchronize(&self) -> CudaResult<()>;
+    /// `cudaGetDeviceCount`.
     fn cuda_get_device_count(&self) -> CudaResult<i32>;
+    /// `cudaSetDevice`.
     fn cuda_set_device(&self, ordinal: i32) -> CudaResult<()>;
+    /// `cudaGetDeviceProperties`.
     fn cuda_get_device_properties(&self) -> CudaResult<DeviceProperties>;
     /// `cudaGetLastError`: returns and clears the sticky error.
     fn cuda_get_last_error(&self) -> Option<crate::error::CudaError>;

@@ -262,8 +262,8 @@ impl DriverContext {
         Ok(())
     }
 
-    /// `cuParamSeti` / `cuParamSetf` / `cuParamSetv` (one entry point: the
-    /// marshalled argument).
+    /// `cuParamSetv` (also standing in for `cuParamSeti`/`cuParamSetf`:
+    /// one entry point taking the already-marshalled argument).
     pub fn cu_param_set(&self, arg: KernelArg) -> CudaResult<()> {
         self.check_init()?;
         self.launch_state.lock().args.push(arg);

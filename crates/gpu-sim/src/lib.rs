@@ -52,7 +52,7 @@ pub use api::{launch_kernel, memcpy_d2h_f64, memcpy_h2d_f64, CudaApi};
 pub use config::GpuConfig;
 pub use counters::{CounterStore, KernelCounters};
 pub use device::{Device, DeviceProperties, EventId, StreamId};
-pub use driver::DriverContext;
+pub use driver::{DriverContext, ModuleHandle};
 pub use error::{CudaError, CudaResult};
 pub use kernel::{Dim3, Kernel, KernelArg, KernelCost, KernelCtx, LaunchConfig};
 pub use memory::{DeviceHeap, DevicePtr};

@@ -27,4 +27,4 @@ pub mod wrap;
 
 pub use registry::{CallId, Registry};
 pub use spec::{ApiFamily, BlockingClass, CallSpec};
-pub use wrap::{wrap_call, MonitorSink, NullSink};
+pub use wrap::{wrap_call, wrap_call_sized, MonitorSink, NullSink};

@@ -86,9 +86,16 @@ pub static CUDA_RUNTIME_CALLS: &[CallSpec] = &{
             i += 1;
         }};
     }
+    // allocation carries the requested size as its bytes attribute (same
+    // convention as cublasAlloc): still Local — no device wait involved
+    push!(call(
+        "cudaMalloc",
+        ApiFamily::CudaRuntime,
+        BlockingClass::Local,
+        true
+    ));
     // memory management (local host-side calls)
     let locals = rt_local![
-        "cudaMalloc",
         "cudaMallocHost",
         "cudaMallocPitch",
         "cudaMallocArray",
@@ -171,7 +178,6 @@ pub static CUDA_RUNTIME_CALLS: &[CallSpec] = &{
         "cudaSetValidDevices",
         "cudaSetDeviceFlags",
         "cudaConfigureCall",
-        "cudaSetupArgument",
         "cudaFuncGetAttributes",
         "cudaFuncSetCacheConfig",
         "cudaStreamCreate",
@@ -198,6 +204,14 @@ pub static CUDA_RUNTIME_CALLS: &[CallSpec] = &{
         push!(more_locals[j]);
         j += 1;
     }
+    // argument marshalling: the staged argument's size is the bytes
+    // attribute the wrapper records
+    push!(call(
+        "cudaSetupArgument",
+        ApiFamily::CudaRuntime,
+        BlockingClass::Local,
+        true
+    ));
     // kernel launch: asynchronous submission
     push!(call(
         "cudaLaunch",
@@ -262,7 +276,6 @@ pub static CUDA_DRIVER_CALLS: &[CallSpec] = &{
         "cuModuleGetTexRef",
         "cuModuleGetSurfRef",
         "cuMemGetInfo",
-        "cuMemAlloc",
         "cuMemAllocPitch",
         "cuMemFree",
         "cuMemGetAddressRange",
@@ -276,6 +289,13 @@ pub static CUDA_DRIVER_CALLS: &[CallSpec] = &{
         push!(locals[j]);
         j += 1;
     }
+    // allocation records the requested size (mirrors cudaMalloc above)
+    push!(call(
+        "cuMemAlloc",
+        ApiFamily::CudaDriver,
+        BlockingClass::Local,
+        true
+    ));
     // synchronous copies: implicit-blocking set
     let sync_copies = [
         "cuMemcpyHtoD",
@@ -364,7 +384,6 @@ pub static CUDA_DRIVER_CALLS: &[CallSpec] = &{
         "cuParamSetSize",
         "cuParamSeti",
         "cuParamSetf",
-        "cuParamSetv",
         "cuParamSetTexRef",
         "cuEventCreate",
         "cuEventRecord",
@@ -380,6 +399,14 @@ pub static CUDA_DRIVER_CALLS: &[CallSpec] = &{
         push!(more_locals[j]);
         j += 1;
     }
+    // argument marshalling mirrors cudaSetupArgument: the staged argument's
+    // size is the bytes attribute
+    push!(call(
+        "cuParamSetv",
+        ApiFamily::CudaDriver,
+        BlockingClass::Local,
+        true
+    ));
     let launches = ["cuLaunch", "cuLaunchGrid", "cuLaunchGridAsync"];
     j = 0;
     while j < launches.len() {
@@ -614,17 +641,22 @@ pub static MPI_CALLS: &[CallSpec] = &[
         BlockingClass::NonBlocking,
         true,
     ),
+    // posts a receive without a payload: the message size is only known
+    // when the matching MPI_Wait completes, so the wrapper has no byte
+    // count to record at call time
     call(
         "MPI_Irecv",
         ApiFamily::Mpi,
         BlockingClass::NonBlocking,
-        true,
+        false,
     ),
+    // a wait that completes a receive delivers the payload, and the
+    // wrapper records its size (0 when completing a send)
     call(
         "MPI_Wait",
         ApiFamily::Mpi,
         BlockingClass::ExplicitSync,
-        false,
+        true,
     ),
     call(
         "MPI_Waitall",
@@ -712,6 +744,73 @@ mod tests {
             let set: HashSet<&str> = calls.iter().map(|c| c.name).collect();
             assert_eq!(set.len(), calls.len(), "duplicate names in a family");
         }
+    }
+
+    #[test]
+    fn names_are_unique_across_all_families() {
+        // the hash table keys on the bare entry-point name, so a collision
+        // across families would silently merge two different calls
+        let mut all: Vec<String> = Vec::new();
+        for calls in [
+            CUDA_RUNTIME_CALLS.to_vec(),
+            CUDA_DRIVER_CALLS.to_vec(),
+            CUFFT_CALLS.to_vec(),
+            cublas_calls(),
+            MPI_CALLS.to_vec(),
+        ] {
+            all.extend(calls.iter().map(|c| c.name.to_owned()));
+        }
+        let set: HashSet<&str> = all.iter().map(|s| s.as_str()).collect();
+        assert_eq!(set.len(), all.len(), "duplicate names across families");
+    }
+
+    /// Regression pins for rows corrected by the `ipm-speccheck` audit:
+    /// wrappers record real byte counts for these calls, so the spec must
+    /// say so (and vice versa for MPI_Irecv, whose payload size is unknown
+    /// at post time).
+    #[test]
+    fn audited_rows_keep_their_byte_attribution() {
+        let row = |fam: &[CallSpec], name: &str| -> CallSpec {
+            *fam.iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from spec"))
+        };
+        let malloc = row(CUDA_RUNTIME_CALLS, "cudaMalloc");
+        assert!(
+            malloc.has_bytes,
+            "cudaMalloc wrapper records the alloc size"
+        );
+        assert_eq!(malloc.blocking, BlockingClass::Local);
+        let setup = row(CUDA_RUNTIME_CALLS, "cudaSetupArgument");
+        assert!(
+            setup.has_bytes,
+            "cudaSetupArgument wrapper records the argument size"
+        );
+        assert_eq!(setup.blocking, BlockingClass::Local);
+        let mem_alloc = row(CUDA_DRIVER_CALLS, "cuMemAlloc");
+        assert!(mem_alloc.has_bytes, "cuMemAlloc mirrors cudaMalloc");
+        assert_eq!(mem_alloc.blocking, BlockingClass::Local);
+        let param_set = row(CUDA_DRIVER_CALLS, "cuParamSetv");
+        assert!(
+            param_set.has_bytes,
+            "cuParamSetv mirrors cudaSetupArgument: argument size is recorded"
+        );
+        assert_eq!(param_set.blocking, BlockingClass::Local);
+        let irecv = row(MPI_CALLS, "MPI_Irecv");
+        assert!(
+            !irecv.has_bytes,
+            "MPI_Irecv posts without a payload; bytes are attributed at MPI_Wait"
+        );
+        let recv = row(MPI_CALLS, "MPI_Recv");
+        assert!(
+            recv.has_bytes,
+            "MPI_Recv returns the payload; the wrapper sizes it from the result"
+        );
+        let wait = row(MPI_CALLS, "MPI_Wait");
+        assert!(
+            wait.has_bytes,
+            "MPI_Wait completing a receive delivers (and sizes) the payload"
+        );
     }
 
     #[test]

@@ -64,6 +64,27 @@ pub fn wrap_call<R>(
     ret
 }
 
+/// [`wrap_call`] for calls whose byte count is only known once the real
+/// call has returned (e.g. `MPI_Recv`, where the received payload *is* the
+/// result): `bytes_of` inspects the return value, after timing but before
+/// the sink sees the event, so the recorded size reflects what actually
+/// moved. A failed call may legitimately report 0.
+pub fn wrap_call_sized<R>(
+    clock: &SimClock,
+    sink: &dyn MonitorSink,
+    name: &'static str,
+    overhead: f64,
+    real: impl FnOnce() -> R,
+    bytes_of: impl FnOnce(&R) -> u64,
+) -> R {
+    let begin = clock.now();
+    let ret = real();
+    clock.advance(overhead);
+    let end = clock.now();
+    sink.span(name, bytes_of(&ret), begin, end);
+    ret
+}
+
 /// Generate a monitored facade method: times the inner call on `$self`'s
 /// clock and reports to `$self`'s sink. Used by `ipm-core`'s monitors; kept
 /// here so the generation logic lives with the interposition machinery.
@@ -164,6 +185,35 @@ mod tests {
         assert_eq!(name, "cudaLaunch");
         assert!((begin - 1.0).abs() < 1e-12);
         assert!((end - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_call_sized_records_result_derived_bytes() {
+        let clock = SimClock::new();
+        let sink = RecordingSink::default();
+        let got: Result<Vec<u8>, &str> = wrap_call_sized(
+            &clock,
+            &sink,
+            "MPI_Recv",
+            0.0,
+            || Ok(vec![0u8; 512]),
+            |r| r.as_ref().map_or(0, |d: &Vec<u8>| d.len() as u64),
+        );
+        assert_eq!(got.unwrap().len(), 512);
+        let events = sink.events.lock();
+        assert_eq!(events[0], ("MPI_Recv", 512, events[0].2));
+        // errors pass through and record zero bytes
+        drop(events);
+        let err: Result<Vec<u8>, &str> = wrap_call_sized(
+            &clock,
+            &sink,
+            "MPI_Recv",
+            0.0,
+            || Err("truncated"),
+            |r| r.as_ref().map_or(0, |d: &Vec<u8>| d.len() as u64),
+        );
+        assert!(err.is_err());
+        assert_eq!(sink.events.lock()[1].1, 0);
     }
 
     #[test]

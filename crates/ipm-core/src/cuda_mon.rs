@@ -281,6 +281,7 @@ impl CudaApi for IpmCuda {
             // the KTT lock is held across the bracketed launch, so the
             // wrapper inside must not sweep (EveryCall would self-deadlock);
             // sweep after the lock is released instead
+            // speccheck: allow(lock-across-call) — KTT bracketing requires it
             let ret = {
                 let mut ktt = self.ipm.ktt().lock();
                 ktt.time_launch(self.inner.as_ref(), name, stream, || {
@@ -292,6 +293,7 @@ impl CudaApi for IpmCuda {
             }
             ret
         } else {
+            // speccheck: allow(wrap-once) — one site per mutually-exclusive branch
             self.wrapped("cudaLaunch", 0, || self.inner.cuda_launch(kernel))
         }
     }

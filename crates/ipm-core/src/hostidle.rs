@@ -159,6 +159,55 @@ mod tests {
         }
     }
 
+    /// Golden cross-validation of the *whole* probe set: the dynamically
+    /// discovered blocking set, mapped back to spec rows, must equal the
+    /// spec's `ImplicitSync` classification of the same candidates —
+    /// call by call, with the memset exception and async controls intact.
+    #[test]
+    fn golden_discovered_set_equals_spec_implicit_sync_subset() {
+        use std::collections::BTreeSet;
+        fn spec_name(probe: &str) -> &str {
+            match probe {
+                "cudaMemcpy(H2D)" | "cudaMemcpy(D2H)" | "cudaMemcpy(D2D)" => "cudaMemcpy",
+                "cudaMemcpyAsync(H2D)" | "cudaMemcpyAsync(D2H)" => "cudaMemcpyAsync",
+                other => other,
+            }
+        }
+        // the probe list covers every direction split the monitor books
+        // for the implicit-sync copies, plus the two negative controls
+        for required in [
+            "cudaMemcpy(H2D)",
+            "cudaMemcpy(D2H)",
+            "cudaMemcpy(D2D)",
+            "cudaMemcpyToSymbol",
+            "cudaMemset",
+            "cudaMemcpyAsync(H2D)",
+        ] {
+            assert!(CANDIDATES.contains(&required), "{required} not probed");
+        }
+        let probes = discover_blocking_set();
+        let reg = Registry::global();
+        let discovered: BTreeSet<&str> = probes
+            .iter()
+            .filter(|p| p.blocks)
+            .map(|p| spec_name(p.name))
+            .collect();
+        let expected: BTreeSet<&str> = CANDIDATES
+            .iter()
+            .map(|&c| spec_name(c))
+            .filter(|n| {
+                let id = reg.id(n).expect("candidate in spec");
+                reg.spec(id).blocking == BlockingClass::ImplicitSync
+            })
+            .collect();
+        assert_eq!(discovered, expected, "spec/probe golden set diverged");
+        assert!(!discovered.contains("cudaMemset"), "memset must stay out");
+        assert!(
+            !discovered.contains("cudaMemcpyAsync"),
+            "async copies must stay out"
+        );
+    }
+
     #[test]
     fn probe_table_renders_all_candidates() {
         let probes = discover_blocking_set();

@@ -45,6 +45,7 @@ pub mod aggregate;
 pub mod banner;
 pub mod cube;
 pub mod cuda_mon;
+pub mod driver_mon;
 pub mod hostidle;
 pub mod io_mon;
 pub mod ktt;
@@ -64,6 +65,7 @@ pub use aggregate::{ClusterReport, ClusterSnapshot, RankSpread};
 pub use banner::{render_banner, render_cluster_banner, render_region_report};
 pub use cube::{build_cube, cube_to_xml, render_cube_text, CubeMetric};
 pub use cuda_mon::IpmCuda;
+pub use driver_mon::IpmDriver;
 pub use hostidle::{discover_blocking_set, render_probe_table, BlockingProbe};
 pub use io_mon::IpmIo;
 pub use ktt::{CompletedKernel, Ktt, KttCheckPolicy};

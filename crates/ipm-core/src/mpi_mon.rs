@@ -5,7 +5,7 @@
 //! other [`MpiApi`]) so each call is timed and its message size recorded.
 
 use crate::monitor::Ipm;
-use ipm_interpose::{wrap_call, MonitorSink};
+use ipm_interpose::{wrap_call, wrap_call_sized, MonitorSink};
 use ipm_mpi_sim::{MpiApi, MpiResult, ReduceOp, Request};
 use std::sync::Arc;
 
@@ -41,6 +41,25 @@ impl<M: MpiApi> IpmMpi<M> {
             real,
         )
     }
+
+    /// Variant for calls sized by their *result* (`MPI_Recv`: the payload
+    /// arrives as the return value, so the byte attribute is measured after
+    /// the real call completes).
+    fn wrapped_sized<R>(
+        &self,
+        name: &'static str,
+        real: impl FnOnce() -> R,
+        bytes_of: impl FnOnce(&R) -> u64,
+    ) -> R {
+        wrap_call_sized(
+            self.ipm.clock(),
+            self.ipm.as_ref() as &dyn MonitorSink,
+            name,
+            self.ipm.config().wrapper_overhead,
+            real,
+            bytes_of,
+        )
+    }
 }
 
 impl<M: MpiApi> MpiApi for IpmMpi<M> {
@@ -60,7 +79,11 @@ impl<M: MpiApi> MpiApi for IpmMpi<M> {
     }
 
     fn mpi_recv(&self, src: Option<usize>, tag: i32) -> MpiResult<(usize, Vec<u8>)> {
-        self.wrapped("MPI_Recv", 0, || self.inner.mpi_recv(src, tag))
+        self.wrapped_sized(
+            "MPI_Recv",
+            || self.inner.mpi_recv(src, tag),
+            |r| r.as_ref().map_or(0, |(_, data)| data.len() as u64),
+        )
     }
 
     fn mpi_isend(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<Request> {
@@ -74,7 +97,16 @@ impl<M: MpiApi> MpiApi for IpmMpi<M> {
     }
 
     fn mpi_wait(&self, req: &mut Request) -> MpiResult<Option<(usize, Vec<u8>)>> {
-        self.wrapped("MPI_Wait", 0, || self.inner.mpi_wait(req))
+        // completing a posted receive delivers the payload here, so this is
+        // where the bytes MPI_Irecv could not know get attributed
+        self.wrapped_sized(
+            "MPI_Wait",
+            || self.inner.mpi_wait(req),
+            |r| match r {
+                Ok(Some((_, data))) => data.len() as u64,
+                _ => 0,
+            },
+        )
     }
 
     fn mpi_barrier(&self) -> MpiResult<()> {
@@ -151,6 +183,12 @@ mod tests {
         let send = p0.entries.iter().find(|e| e.name == "MPI_Send").unwrap();
         assert_eq!(send.bytes, 4096);
         assert_eq!(profiles[1].count_of("MPI_Recv"), 1);
+        let recv = profiles[1]
+            .entries
+            .iter()
+            .find(|e| e.name == "MPI_Recv")
+            .unwrap();
+        assert_eq!(recv.bytes, 4096, "recv payload size measured from result");
         for p in &profiles {
             assert_eq!(p.count_of("MPI_Barrier"), 1);
             assert!(p.comm_fraction() > 0.0);

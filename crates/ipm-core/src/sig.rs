@@ -119,6 +119,31 @@ mod tests {
     }
 
     #[test]
+    fn signatures_are_injective_over_the_whole_registry() {
+        // every spec row must hash to its own table slot: build one
+        // signature per registered call and demand zero collisions
+        use ipm_interpose::{CallId, Registry};
+        let reg = Registry::global();
+        let mut set = HashSet::new();
+        for i in 0..reg.len() {
+            let spec = reg.spec(CallId(i as u32));
+            set.insert(EventSignature::call(spec.name, 0));
+        }
+        assert_eq!(
+            set.len(),
+            reg.len(),
+            "two registry rows collapsed to one signature"
+        );
+        // per-family counts pin the paper's interface inventory
+        use ipm_interpose::ApiFamily;
+        assert_eq!(reg.family(ApiFamily::CudaRuntime).count(), 65);
+        assert_eq!(reg.family(ApiFamily::CudaDriver).count(), 99);
+        assert_eq!(reg.family(ApiFamily::Cublas).count(), 167);
+        assert_eq!(reg.family(ApiFamily::Cufft).count(), 13);
+        assert_eq!(reg.family(ApiFamily::Mpi).count(), 17);
+    }
+
+    #[test]
     fn debug_format_is_compact() {
         let sig = EventSignature::call("cudaMemcpy(D2H)", 800_000)
             .in_region(3)

@@ -12,10 +12,20 @@
 
 use crate::sig::EventSignature;
 use ipm_sim_core::RunningStats;
-use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+
+// Model-checking flavour: under `--cfg loom` the stripe mutex and the
+// len/overflow atomics become loom primitives so every interleaving of the
+// update path is explored (see `tests/loom.rs`). The APIs are identical.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+use loom::sync::Mutex;
+#[cfg(not(loom))]
+use parking_lot::Mutex;
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default maximum number of distinct signatures (mirrors IPM's

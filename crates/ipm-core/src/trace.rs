@@ -21,9 +21,11 @@
 //!   subcommand.
 
 use ipm_gpu_sim::{ProfKind, ProfRecord};
+#[cfg(not(loom))]
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -101,6 +103,7 @@ pub const DEFAULT_TRACE_SHARDS: usize = 8;
 /// futex-backed mutex, which matters at the per-wrapped-call push rate.
 /// Contention is rare (stripes × rotating writers) and critical sections
 /// are tiny appends, so spinning on the exceptional conflict is cheap.
+#[cfg(not(loom))]
 struct SpinLock<T> {
     locked: AtomicBool,
     data: UnsafeCell<T>,
@@ -109,9 +112,34 @@ struct SpinLock<T> {
 // SAFETY: the lock protocol below gives exclusive &mut access to `data`
 // between a successful compare-exchange (Acquire) and the guard's release
 // store, so sharing across threads is sound for Send payloads.
+#[cfg(not(loom))]
 unsafe impl<T: Send> Send for SpinLock<T> {}
+#[cfg(not(loom))]
 unsafe impl<T: Send> Sync for SpinLock<T> {}
 
+// Model-checking flavour: a raw spin loop never yields to loom's cooperative
+// scheduler, so under `--cfg loom` the stripe lock becomes a scheduler-aware
+// mutex (blocked threads are unschedulable, keeping exploration finite).
+// The guard API is identical, callers don't change.
+#[cfg(loom)]
+struct SpinLock<T> {
+    inner: loom::sync::Mutex<T>,
+}
+
+#[cfg(loom)]
+impl<T> SpinLock<T> {
+    fn new(value: T) -> Self {
+        Self {
+            inner: loom::sync::Mutex::new(value),
+        }
+    }
+
+    fn lock(&self) -> loom::sync::MutexGuard<'_, T> {
+        self.inner.lock()
+    }
+}
+
+#[cfg(not(loom))]
 impl<T> SpinLock<T> {
     fn new(value: T) -> Self {
         Self {
@@ -136,10 +164,12 @@ impl<T> SpinLock<T> {
     }
 }
 
+#[cfg(not(loom))]
 struct SpinGuard<'a, T> {
     lock: &'a SpinLock<T>,
 }
 
+#[cfg(not(loom))]
 impl<T> std::ops::Deref for SpinGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
@@ -148,6 +178,7 @@ impl<T> std::ops::Deref for SpinGuard<'_, T> {
     }
 }
 
+#[cfg(not(loom))]
 impl<T> std::ops::DerefMut for SpinGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         // SAFETY: the guard holds the lock exclusively
@@ -155,6 +186,7 @@ impl<T> std::ops::DerefMut for SpinGuard<'_, T> {
     }
 }
 
+#[cfg(not(loom))]
 impl<T> Drop for SpinGuard<'_, T> {
     fn drop(&mut self) {
         self.lock.locked.store(false, Ordering::Release);
@@ -188,7 +220,9 @@ pub struct TraceRing {
     shards: Vec<SpinLock<Shard>>,
     per_shard: usize,
     /// Stripe rotation granularity (log2): writers stay on one stripe for
-    /// `1 << rot_shift` consecutive pushes before moving on.
+    /// `1 << rot_shift` consecutive pushes before moving on. (Unused by the
+    /// loom build, whose stripe pick is pinned per modeled thread.)
+    #[cfg_attr(loom, allow(dead_code))]
     rot_shift: u32,
 }
 
@@ -226,6 +260,7 @@ impl TraceRing {
     /// Sticky rotation keeps the stripe's lock and buffer tail cache-warm
     /// across a burst while still spreading one thread's records over all
     /// stripes (so a single rank thread can use the full capacity).
+    #[cfg(not(loom))]
     fn shard_index(&self) -> usize {
         use std::cell::Cell;
         thread_local! {
@@ -237,6 +272,17 @@ impl TraceRing {
             v
         });
         (n >> self.rot_shift) & (self.shards.len() - 1) // stripe count is a power of two
+    }
+
+    /// Model-checking flavour: the per-OS-thread round-robin counter would
+    /// leak state across loom's replayed executions (the driver thread is
+    /// reused), breaking schedule determinism. Pin each modeled thread to
+    /// the stripe matching its loom index instead — the invariants under
+    /// test are stripe-agnostic, and models force contention with a
+    /// single-stripe ring anyway.
+    #[cfg(loom)]
+    fn shard_index(&self) -> usize {
+        loom::managed_thread_index().unwrap_or(0) & (self.shards.len() - 1)
     }
 
     /// Offer one record; returns `false` (and counts a drop) if the ring

@@ -1,0 +1,131 @@
+//! The committed allowlist: known, justified findings.
+//!
+//! Format: one `code:target` key per line, `#` comments and blank lines
+//! ignored. A trailing `# reason` on a key line documents the waiver. CI
+//! fails only on findings *not* in the baseline, so new violations surface
+//! immediately while the justified set stays visible in review.
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeSet;
+
+/// Default baseline location, relative to the workspace root.
+pub const BASELINE_FILE: &str = "speccheck-baseline.txt";
+
+/// Parse baseline text into its key set.
+pub fn parse(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| l.to_owned())
+        .collect()
+}
+
+/// Split findings into `(new, suppressed)` against a baseline, and report
+/// baseline keys that no longer match anything (stale entries).
+pub struct Partition {
+    pub new: Vec<Diagnostic>,
+    pub suppressed: Vec<Diagnostic>,
+    pub stale: Vec<String>,
+}
+
+pub fn partition(diags: Vec<Diagnostic>, baseline: &BTreeSet<String>) -> Partition {
+    let mut new = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for d in diags {
+        let key = d.key();
+        if baseline.contains(&key) {
+            used.insert(key);
+            suppressed.push(d);
+        } else {
+            new.push(d);
+        }
+    }
+    let stale = baseline.difference(&used).cloned().collect();
+    Partition {
+        new,
+        suppressed,
+        stale,
+    }
+}
+
+/// Regenerate baseline text from the current findings, carrying over the
+/// comment of any key that already had one.
+pub fn regenerate(diags: &[Diagnostic], old_text: &str) -> String {
+    let mut comments: std::collections::BTreeMap<String, String> = Default::default();
+    for line in old_text.lines() {
+        if let Some((key, comment)) = line.split_once('#') {
+            let key = key.trim();
+            if !key.is_empty() {
+                comments.insert(key.to_owned(), comment.trim().to_owned());
+            }
+        }
+    }
+    let mut out = String::from(
+        "# ipm-speccheck baseline: known, justified findings (one `code:target` per line).\n\
+         # Regenerate with `cargo run -p ipm-speccheck -- --workspace --update-baseline`;\n\
+         # every entry should carry a `# reason`.\n",
+    );
+    let keys: BTreeSet<String> = diags.iter().map(|d| d.key()).collect();
+    for key in keys {
+        match comments.get(&key) {
+            Some(c) => out.push_str(&format!("{key} # {c}\n")),
+            None => out.push_str(&format!("{key} # TODO: justify or fix\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(code: &'static str, target: &str) -> Diagnostic {
+        Diagnostic {
+            code,
+            target: target.to_owned(),
+            file: "f.rs".to_owned(),
+            line: 1,
+            message: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let b = parse(
+            "# header\n\nmissing-wrapper:MPI_Wtime # deliberate\n  orphan-facade:cuLaunchKernel\n",
+        );
+        assert_eq!(b.len(), 2);
+        assert!(b.contains("missing-wrapper:MPI_Wtime"));
+        assert!(b.contains("orphan-facade:cuLaunchKernel"));
+    }
+
+    #[test]
+    fn partition_separates_new_suppressed_and_stale() {
+        let b = parse("missing-wrapper:MPI_Wtime\nbytes-attr:gone");
+        let p = partition(
+            vec![
+                d("missing-wrapper", "MPI_Wtime"),
+                d("wrap-once", "cudaLaunch"),
+            ],
+            &b,
+        );
+        assert_eq!(p.suppressed.len(), 1);
+        assert_eq!(p.new.len(), 1);
+        assert_eq!(p.new[0].code, "wrap-once");
+        assert_eq!(p.stale, vec!["bytes-attr:gone".to_owned()]);
+    }
+
+    #[test]
+    fn regenerate_keeps_existing_reasons() {
+        let old = "missing-wrapper:MPI_Wtime # no useful signal\n";
+        let text = regenerate(
+            &[d("missing-wrapper", "MPI_Wtime"), d("wrap-once", "x")],
+            old,
+        );
+        assert!(text.contains("missing-wrapper:MPI_Wtime # no useful signal"));
+        assert!(text.contains("wrap-once:x # TODO: justify or fix"));
+        // regenerated text round-trips through the parser
+        assert_eq!(parse(&text).len(), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Diagnostics: rustc-style text rendering and a line-oriented JSON form.
+
+/// One finding. `code` is the lint family, `target` the offending entry
+/// point (or file-scoped item); together they form the stable baseline key,
+/// so a diagnostic moving to a different line does not churn the baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: &'static str,
+    pub target: String,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-indexed; 0 when the finding has no anchor line (count mismatches).
+    pub line: usize,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The baseline key: `code:target`.
+    pub fn key(&self) -> String {
+        format!("{}:{}", self.code, self.target)
+    }
+}
+
+/// Render rustc-style:
+///
+/// ```text
+/// error[missing-wrapper]: `MPI_Wtime` is in the spec and modeled by the facade but never wrapped
+///   --> crates/mpi-sim/src/api.rs:51
+/// ```
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!("error[{}]: {}\n", d.code, d.message));
+        if d.line > 0 {
+            out.push_str(&format!("  --> {}:{}\n", d.file, d.line));
+        } else {
+            out.push_str(&format!("  --> {}\n", d.file));
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render as a JSON array of objects (machine-readable CI output).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"code\":\"{}\",\"target\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}{}\n",
+            json_escape(d.code),
+            json_escape(&d.target),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message),
+            if i + 1 < diags.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            code: "missing-wrapper",
+            target: "MPI_Wtime".to_owned(),
+            file: "crates/mpi-sim/src/api.rs".to_owned(),
+            line: 51,
+            message: "`MPI_Wtime` is never wrapped".to_owned(),
+        }
+    }
+
+    #[test]
+    fn text_is_rustc_style() {
+        let text = render_text(&[sample()]);
+        assert!(text.contains("error[missing-wrapper]:"));
+        assert!(text.contains("--> crates/mpi-sim/src/api.rs:51"));
+    }
+
+    #[test]
+    fn json_has_all_fields_and_escapes() {
+        let mut d = sample();
+        d.message = "a \"quoted\"\nthing".to_owned();
+        let json = render_json(&[d.clone(), sample()]);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"code\":\"missing-wrapper\""));
+        assert!(json.contains("\"line\":51"));
+        assert!(json.contains("a \\\"quoted\\\"\\nthing"));
+        // two objects, one separating comma
+        assert_eq!(json.matches("{\"code\"").count(), 2);
+    }
+
+    #[test]
+    fn baseline_key_is_code_and_target() {
+        assert_eq!(sample().key(), "missing-wrapper:MPI_Wtime");
+    }
+}

@@ -1,0 +1,137 @@
+//! `ipm-speccheck` — CLI for the spec-conformance checker.
+//!
+//! ```text
+//! cargo run -p ipm-speccheck -- --workspace [--format json] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (modulo baseline), 1 new findings, 2 usage error.
+
+use ipm_speccheck::{baseline, load_sources, render_json, render_text, run, spec_from_registry};
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    update_baseline: bool,
+    root: Option<std::path::PathBuf>,
+    baseline_path: Option<std::path::PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ipm-speccheck --workspace [--format text|json] [--update-baseline]\n\
+         \x20                    [--root <dir>] [--baseline <file>]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        update_baseline: false,
+        root: None,
+        baseline_path: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                _ => return Err(usage()),
+            },
+            "--root" => match it.next() {
+                Some(p) => args.root = Some(p.into()),
+                None => return Err(usage()),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => args.baseline_path = Some(p.into()),
+                None => return Err(usage()),
+            },
+            _ => return Err(usage()),
+        }
+    }
+    if !args.workspace {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let root = args
+        .root
+        .clone()
+        .unwrap_or_else(ipm_speccheck::workspace_root);
+    let files = match load_sources(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "ipm-speccheck: cannot read scan set under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let diags = run(&spec_from_registry(), &files);
+
+    let baseline_path = args
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join(baseline::BASELINE_FILE));
+    let old_text = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+
+    if args.update_baseline {
+        let text = baseline::regenerate(&diags, &old_text);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!(
+                "ipm-speccheck: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "ipm-speccheck: wrote {} entries to {}",
+            diags.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let p = baseline::partition(diags, &baseline::parse(&old_text));
+    if args.json {
+        println!("{}", render_json(&p.new));
+    } else {
+        print!("{}", render_text(&p.new));
+        if !p.suppressed.is_empty() {
+            eprintln!(
+                "ipm-speccheck: {} baselined finding(s) suppressed (see {})",
+                p.suppressed.len(),
+                baseline_path.display()
+            );
+        }
+        for stale in &p.stale {
+            eprintln!("ipm-speccheck: stale baseline entry `{stale}` no longer matches anything");
+        }
+    }
+    if p.new.is_empty() {
+        if !args.json {
+            eprintln!(
+                "ipm-speccheck: workspace conforms to the call specification ({} files scanned)",
+                ipm_speccheck::SCANNED_FILES.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !args.json {
+            eprintln!("ipm-speccheck: {} new finding(s)", p.new.len());
+        }
+        ExitCode::FAILURE
+    }
+}
