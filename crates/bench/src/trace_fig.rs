@@ -70,6 +70,7 @@ pub fn build_demo_trace(nranks: usize) -> TraceDemo {
         ranks.push(TraceRank {
             rank: r,
             host,
+            epoch: ipm.epoch(),
             records: ipm.drain_trace(),
             prof: rt.profiler_records(),
         });

@@ -446,6 +446,7 @@ mod tests {
                     time: mpi,
                 },
             ],
+            trace: Default::default(),
         };
         let merged = ClusterSnapshot::merge(&[snap(0, 0.5, 0.1), snap(1, 0.7, 0.3)]);
         assert_eq!(merged.seq, 4);

@@ -82,8 +82,8 @@ fn render_monitor_section(profile: &RankProfile) -> String {
         fmt_wall_ns(m.self_wall_ns)
     ));
     out.push_str(&format!(
-        "#             trace {} captured / {} dropped / {} emitted\n",
-        m.trace_captured, m.trace_dropped, m.trace_emitted
+        "#             trace {} captured / {} dropped / {} compacted / {} emitted\n",
+        m.trace_captured, m.trace_dropped, m.trace_compacted, m.trace_emitted
     ));
     out.push_str(&format!(
         "#             ring hwm {} bytes\n",
@@ -242,6 +242,7 @@ mod tests {
                 trace_emitted: 6,
                 trace_captured: 6,
                 trace_dropped: 0,
+                trace_compacted: 0,
                 ring_hwm_bytes: 768,
             },
         }
@@ -277,7 +278,7 @@ mod tests {
         let banner = render_banner(&sample_profile(), 0);
         let expected = "\
 # monitor   : self 12.5 us wall-clock
-#             trace 6 captured / 0 dropped / 6 emitted
+#             trace 6 captured / 0 dropped / 0 compacted / 6 emitted
 #             ring hwm 768 bytes
 ";
         assert!(

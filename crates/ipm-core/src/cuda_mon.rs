@@ -512,6 +512,7 @@ mod tests {
         let json = chrome_trace(&[TraceRank {
             rank: 0,
             host: "dirac00".to_owned(),
+            epoch: 0.0,
             records,
             prof: Vec::new(),
         }]);

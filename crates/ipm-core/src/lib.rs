@@ -43,6 +43,7 @@
 
 pub mod aggregate;
 pub mod banner;
+pub mod compact;
 pub mod cube;
 pub mod cuda_mon;
 pub mod driver_mon;
@@ -63,13 +64,14 @@ pub mod xml;
 
 pub use aggregate::{ClusterReport, ClusterSnapshot, RankSpread};
 pub use banner::{render_banner, render_cluster_banner, render_region_report};
+pub use compact::{compact_records, merge_runs, same_signature, CompactPolicy, TraceAgg};
 pub use cube::{build_cube, cube_to_xml, render_cube_text, CubeMetric};
 pub use cuda_mon::IpmCuda;
 pub use driver_mon::IpmDriver;
 pub use hostidle::{discover_blocking_set, render_probe_table, BlockingProbe};
 pub use io_mon::IpmIo;
 pub use ktt::{CompletedKernel, Ktt, KttCheckPolicy};
-pub use monitor::{FamilyDelta, Ipm, IpmConfig, Snapshot};
+pub use monitor::{FamilyDelta, Ipm, IpmConfig, Snapshot, TraceDelta};
 pub use mpi_mon::IpmMpi;
 pub use numlib_mon::{IpmBlas, IpmFft};
 pub use papi::{BoundResource, CounterRow, GpuCounterReport};
@@ -81,4 +83,7 @@ pub use timeline::render_timeline;
 pub use trace::{
     chrome_trace, validate_chrome_trace, TraceKind, TraceRank, TraceRecord, TraceRing, TraceStats,
 };
-pub use xml::{from_xml, to_xml, to_xml_with_trace, trace_from_xml, XmlError};
+pub use xml::{
+    from_xml, to_xml, to_xml_with_trace, to_xml_with_trace_at, trace_epoch_from_xml,
+    trace_from_xml, XmlError,
+};

@@ -6,6 +6,7 @@
 //! wrappers report into. The monitored API facades
 //! ([`crate::cuda_mon::IpmCuda`] and friends) share it via `Arc`.
 
+use crate::compact::CompactPolicy;
 use crate::ktt::{Ktt, KttCheckPolicy};
 use crate::profile::{classify, EventFamily, MonitorInfo, ProfileEntry, RankProfile};
 use crate::sig::EventSignature;
@@ -47,6 +48,10 @@ pub struct IpmConfig {
     pub trace_capacity: usize,
     /// Trace-ring lock stripes.
     pub trace_shards: usize,
+    /// Trace retention policy: when a stripe passes its high-water mark,
+    /// adjacent same-signature records merge into summary records instead
+    /// of the ring dropping once full. Disabled by default.
+    pub trace_compaction: CompactPolicy,
 }
 
 impl Default for IpmConfig {
@@ -62,6 +67,7 @@ impl Default for IpmConfig {
             exec_time_correction: None,
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
             trace_shards: crate::trace::DEFAULT_TRACE_SHARDS,
+            trace_compaction: CompactPolicy::DISABLED,
         }
     }
 }
@@ -91,6 +97,14 @@ impl IpmConfig {
         self.trace_capacity = 0;
         self
     }
+
+    /// Enable trace compaction: stripes past `high_water` resident records
+    /// merge adjacent same-signature records into summaries instead of
+    /// eventually dropping.
+    pub fn with_trace_compaction(mut self, high_water: usize) -> Self {
+        self.trace_compaction = CompactPolicy::with_high_water(high_water);
+        self
+    }
 }
 
 /// Per-family activity since the previous snapshot.
@@ -103,6 +117,23 @@ pub struct FamilyDelta {
     pub bytes: u64,
     /// Time spent in the interval (virtual seconds).
     pub time: f64,
+}
+
+/// Trace-ring activity since the previous snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceDelta {
+    /// Records offered to the ring in the interval.
+    pub emitted: u64,
+    /// Change in individually-accounted records. Signed: a compaction pass
+    /// moves records out of `captured`, so a busy interval can end with
+    /// fewer accounted records than it started with.
+    pub captured: i64,
+    /// Records refused (ring full) in the interval.
+    pub dropped: u64,
+    /// Records absorbed into summaries in the interval. The invariant
+    /// `captured + dropped + compacted == emitted` holds per interval
+    /// (with `captured` signed) exactly as it does cumulatively.
+    pub compacted: u64,
 }
 
 /// One periodic sample of a running rank — a cheap delta of the perf table
@@ -119,6 +150,8 @@ pub struct Snapshot {
     /// for the first).
     pub interval: f64,
     pub families: Vec<FamilyDelta>,
+    /// Trace-ring activity in the interval (all zero when tracing is off).
+    pub trace: TraceDelta,
 }
 
 impl Snapshot {
@@ -150,6 +183,9 @@ struct SnapState {
     last_at: Option<f64>,
     /// Cumulative `(count, bytes, time)` per family at the last snapshot.
     last: HashMap<EventFamily, (u64, u64, f64)>,
+    /// Cumulative `(emitted, captured, dropped, compacted)` trace counters
+    /// at the last snapshot.
+    last_trace: (u64, u64, u64, u64),
 }
 
 /// The per-rank monitoring context.
@@ -162,6 +198,9 @@ pub struct Ipm {
     regions: Mutex<Vec<String>>,
     meta: Mutex<Meta>,
     start: f64,
+    /// Cluster clock-alignment instant (first `MPI_Init` return on this
+    /// rank's clock); `None` until [`Ipm::mark_epoch`] runs.
+    epoch: Mutex<Option<f64>>,
     /// Event trace ring; `None` when tracing is disabled.
     trace: Option<TraceRing>,
     /// Wall-clock (real, not virtual) nanoseconds of IPM's own bookkeeping
@@ -193,8 +232,10 @@ impl Ipm {
                 host: "dirac00".to_owned(),
                 command: "<unknown>".to_owned(),
             }),
-            trace: (cfg.trace_capacity > 0)
-                .then(|| TraceRing::new(cfg.trace_capacity, cfg.trace_shards)),
+            epoch: Mutex::new(None),
+            trace: (cfg.trace_capacity > 0).then(|| {
+                TraceRing::with_policy(cfg.trace_capacity, cfg.trace_shards, cfg.trace_compaction)
+            }),
             self_ns: AtomicU64::new(0),
             snap: Mutex::new(SnapState::default()),
             cfg,
@@ -251,6 +292,25 @@ impl Ipm {
         self.trace.is_some()
     }
 
+    /// Pin the cluster clock-alignment epoch to the current virtual time.
+    /// First call wins; later calls are no-ops. The MPI facade calls this
+    /// when a rank attaches to the world — the analogue of `MPI_Init`
+    /// returning, the first instant every rank has passed through.
+    pub fn mark_epoch(&self) {
+        let mut epoch = self.epoch.lock();
+        if epoch.is_none() {
+            *epoch = Some(self.clock.now());
+        }
+    }
+
+    /// The clock-alignment epoch: the marked instant, or monitoring start
+    /// when [`Ipm::mark_epoch`] never ran (single-rank runs without MPI).
+    /// Exporters subtract this from trace timestamps so merged multi-rank
+    /// lanes share `ts = 0`.
+    pub fn epoch(&self) -> f64 {
+        self.epoch.lock().unwrap_or(self.start)
+    }
+
     /// Capture a kernel-execution interval in the trace (KTT completion
     /// with device timestamps). No-op when tracing is disabled.
     pub fn trace_kernel_exec(
@@ -273,6 +333,7 @@ impl Ipm {
             region: self.region.load(Ordering::Relaxed),
             stream: Some(stream),
             corr,
+            agg: None,
         });
         self.self_ns
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -293,6 +354,7 @@ impl Ipm {
             region: self.region.load(Ordering::Relaxed),
             stream: None,
             corr: 0,
+            agg: None,
         });
         self.self_ns
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -322,6 +384,11 @@ impl Ipm {
             trace_emitted: self.trace.as_ref().map(TraceRing::emitted).unwrap_or(0),
             trace_captured: self.trace.as_ref().map(TraceRing::captured).unwrap_or(0),
             trace_dropped: self.trace.as_ref().map(TraceRing::dropped).unwrap_or(0),
+            trace_compacted: self
+                .trace
+                .as_ref()
+                .map(TraceRing::compacted_away)
+                .unwrap_or(0),
             ring_hwm_bytes: self
                 .trace
                 .as_ref()
@@ -344,6 +411,15 @@ impl Ipm {
         }
         let now = self.clock.now();
         let rank = self.meta.lock().rank;
+        let cur_trace = match &self.trace {
+            Some(ring) => (
+                ring.emitted(),
+                ring.captured(),
+                ring.dropped(),
+                ring.compacted_away(),
+            ),
+            None => (0, 0, 0, 0),
+        };
         let mut snap = self.snap.lock();
         let interval = now - snap.last_at.unwrap_or(self.start);
         let mut families = Vec::new();
@@ -360,10 +436,19 @@ impl Ipm {
                 families.push(delta);
             }
         }
+        let prev_trace = snap.last_trace;
+        let trace = TraceDelta {
+            emitted: cur_trace.0 - prev_trace.0,
+            // compaction can shrink cumulative captured between samples
+            captured: cur_trace.1 as i64 - prev_trace.1 as i64,
+            dropped: cur_trace.2 - prev_trace.2,
+            compacted: cur_trace.3 - prev_trace.3,
+        };
         let seq = snap.seq;
         snap.seq += 1;
         snap.last_at = Some(now);
         snap.last = totals;
+        snap.last_trace = cur_trace;
         drop(snap);
         self.self_ns
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -373,6 +458,7 @@ impl Ipm {
             at: now,
             interval,
             families,
+            trace,
         }
     }
 
@@ -474,6 +560,7 @@ impl MonitorSink for Ipm {
                 region,
                 stream: None,
                 corr,
+                agg: None,
             });
         }
         self.self_ns
@@ -574,5 +661,58 @@ mod tests {
         assert!(fig5.gpu_timing && !fig5.host_idle);
         let fig6 = IpmConfig::default();
         assert!(fig6.gpu_timing && fig6.host_idle);
+    }
+
+    #[test]
+    fn epoch_is_first_call_wins_and_defaults_to_start() {
+        let clock = SimClock::new();
+        clock.advance(1.0);
+        let m = Ipm::new(clock.clone(), IpmConfig::default());
+        assert_eq!(m.epoch(), 1.0, "unmarked epoch is monitoring start");
+        clock.advance(2.0);
+        m.mark_epoch();
+        assert_eq!(m.epoch(), 3.0);
+        clock.advance(5.0);
+        m.mark_epoch();
+        assert_eq!(m.epoch(), 3.0, "second mark is a no-op");
+    }
+
+    #[test]
+    fn snapshot_reports_trace_deltas_including_compaction() {
+        let clock = SimClock::new();
+        let cfg = IpmConfig {
+            trace_capacity: 1 << 10,
+            trace_shards: 1,
+            ..IpmConfig::default()
+        }
+        .with_trace_compaction(8);
+        let m = Ipm::new(clock.clone(), cfg);
+        for i in 0..6 {
+            m.span("cudaMalloc", 0, i as f64, i as f64 + 0.1);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.trace.emitted, 6);
+        assert_eq!(s.trace.captured, 6);
+        assert_eq!(s.trace.dropped, 0);
+        assert_eq!(s.trace.compacted, 0);
+        // push past the high-water mark so a pass merges the backlog; the
+        // interval's captured delta goes negative while emitted stays
+        // exactly the number of new offers
+        for i in 6..40 {
+            m.span("cudaMalloc", 0, i as f64, i as f64 + 0.1);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.trace.emitted, 34);
+        assert!(s.trace.compacted > 0);
+        assert_eq!(
+            s.trace.captured + s.trace.dropped as i64 + s.trace.compacted as i64,
+            s.trace.emitted as i64,
+            "interval accounting closes"
+        );
+        let info = m.monitor_info();
+        assert_eq!(
+            info.trace_captured + info.trace_dropped + info.trace_compacted,
+            info.trace_emitted
+        );
     }
 }

@@ -16,8 +16,13 @@ pub struct IpmMpi<M: MpiApi> {
 }
 
 impl<M: MpiApi> IpmMpi<M> {
-    /// Install monitoring around `inner`.
+    /// Install monitoring around `inner`. Attaching to the world is the
+    /// rank's `MPI_Init` return: the first instant every rank has passed
+    /// through, so it pins the cluster clock-alignment epoch trace
+    /// exporters line lanes up on (first call wins if the context is
+    /// shared by several facades).
     pub fn new(ipm: Arc<Ipm>, inner: M) -> Self {
+        ipm.mark_epoch();
         Self { ipm, inner }
     }
 

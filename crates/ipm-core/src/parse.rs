@@ -11,7 +11,7 @@ use crate::aggregate::ClusterReport;
 use crate::banner::{render_banner, render_cluster_banner};
 use crate::profile::RankProfile;
 use crate::trace::{chrome_trace, TraceRank};
-use crate::xml::{from_xml, trace_from_xml, XmlError};
+use crate::xml::{from_xml, trace_epoch_from_xml, trace_from_xml, XmlError};
 use std::fmt::Write as _;
 
 /// Parse one XML log and regenerate the single-rank banner.
@@ -34,14 +34,18 @@ pub fn cluster_banner_from_xml(xmls: &[String], nodes: usize) -> Result<String, 
 /// Parse one XML log per rank and render the embedded `<trace>` sections
 /// as Chrome trace-event JSON (the `ipm_parse trace` subcommand). Logs
 /// written without tracing contribute a process entry with empty lanes.
+/// Each log's recorded clock-alignment epoch is threaded through, so
+/// merged multi-rank exports line their lanes up at `ts = 0`.
 pub fn chrome_trace_from_xml(xmls: &[String]) -> Result<String, XmlError> {
     let mut ranks = Vec::new();
     for xml in xmls {
         let profile = from_xml(xml)?;
         let records = trace_from_xml(xml)?;
+        let epoch = trace_epoch_from_xml(xml)?;
         ranks.push(TraceRank {
             rank: profile.rank,
             host: profile.host,
+            epoch,
             records,
             prof: Vec::new(),
         });
@@ -222,6 +226,7 @@ mod tests {
                     region: 0,
                     stream: None,
                     corr: 1 + rank as u64,
+                    agg: None,
                 },
                 TraceRecord {
                     kind: TraceKind::KernelExec,
@@ -233,6 +238,7 @@ mod tests {
                     region: 0,
                     stream: Some(0),
                     corr: 1 + rank as u64,
+                    agg: None,
                 },
             ];
             to_xml_with_trace(&profile(rank), &trace)
@@ -243,5 +249,38 @@ mod tests {
         assert_eq!(stats.lanes, 4, "host + stream lane per rank");
         assert_eq!(stats.slices, 4);
         assert_eq!(stats.flow_pairs, 2);
+    }
+
+    #[test]
+    fn chrome_trace_from_xml_applies_recorded_epochs() {
+        use crate::trace::{validate_chrome_trace, TraceKind, TraceRecord};
+        use crate::xml::to_xml_with_trace_at;
+        use std::sync::Arc;
+
+        // two ranks whose clocks disagree: each records the shared cluster
+        // instant at a different local time; after alignment both slices
+        // start at the same exported ts
+        let mk = |rank: usize, epoch: f64| {
+            let trace = vec![TraceRecord {
+                kind: TraceKind::Call,
+                name: Arc::from("MPI_Allreduce"),
+                detail: None,
+                begin: epoch + 0.25,
+                end: epoch + 0.5,
+                bytes: 64,
+                region: 0,
+                stream: None,
+                corr: 0,
+                agg: None,
+            }];
+            to_xml_with_trace_at(&profile(rank), &trace, epoch)
+        };
+        let json = chrome_trace_from_xml(&[mk(0, 5.0), mk(1, 9.0)]).unwrap();
+        validate_chrome_trace(&json).expect("valid chrome trace");
+        assert_eq!(
+            json.matches("\"ts\":250000,").count() + json.matches("\"ts\":250000}").count(),
+            2,
+            "both ranks' slices align at 0.25s past the epoch:\n{json}"
+        );
     }
 }

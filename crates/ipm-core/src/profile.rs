@@ -72,9 +72,13 @@ pub struct MonitorInfo {
     pub trace_emitted: u64,
     /// Trace records stored (possibly later drained).
     pub trace_captured: u64,
-    /// Trace records refused because the ring was full. The ring guarantees
-    /// `trace_captured + trace_dropped == trace_emitted`.
+    /// Trace records refused because the ring was full.
     pub trace_dropped: u64,
+    /// Trace records absorbed into summary records by compaction. The ring
+    /// guarantees `trace_captured + trace_dropped + trace_compacted ==
+    /// trace_emitted` (with compaction disabled `trace_compacted` is 0 and
+    /// this is the original two-way invariant).
+    pub trace_compacted: u64,
     /// High-water memory footprint of the trace ring, bytes.
     pub ring_hwm_bytes: u64,
 }

@@ -19,7 +19,15 @@
 //!   validator (matched `B`/`E` pairs, per-lane timestamp monotonicity,
 //!   resolved flow bindings) shared by tests and the `ipm_parse trace`
 //!   subcommand.
+//!
+//! Retention is layered on by [`crate::compact`]: a [`CompactPolicy`] makes
+//! a stripe past its high-water mark merge adjacent same-signature records
+//! into summary records (so long runs keep timeline shape under the hard
+//! cap), stripes maintain pre-sorted runs, drains k-way merge instead of
+//! globally sorting, and the accounting invariant widens to
+//! `captured + dropped + compacted_away == emitted`.
 
+use crate::compact::{cmp_time, compact_records, CompactPolicy, TraceAgg};
 use ipm_gpu_sim::{ProfKind, ProfRecord};
 #[cfg(not(loom))]
 use std::cell::UnsafeCell;
@@ -87,6 +95,49 @@ pub struct TraceRecord {
     /// Correlation id linking a `cudaLaunch` call to its kernel execution
     /// (0 when untracked).
     pub corr: u64,
+    /// Present on summary records produced by compaction: the aggregate of
+    /// every record merged in. `None` means a raw, single-event record.
+    pub agg: Option<TraceAgg>,
+}
+
+impl TraceRecord {
+    /// Whether this record is a compaction summary.
+    pub fn is_summary(&self) -> bool {
+        self.agg.is_some()
+    }
+
+    /// Original events this record represents: 1 for a raw record, the
+    /// merged count for a summary. Σ `event_count` is the conserved
+    /// quantity compaction never changes.
+    pub fn event_count(&self) -> u64 {
+        self.agg.map_or(1, |a| a.count)
+    }
+
+    /// Summed busy time this record represents, virtual seconds: its own
+    /// duration for a raw record, the merged total for a summary (the
+    /// summary's `end - begin` span also covers the gaps *between* merged
+    /// events, so it is not the conserved quantity — this is).
+    pub fn busy_total(&self) -> f64 {
+        self.agg.map_or(self.end - self.begin, |a| a.total)
+    }
+
+    /// Longest individual duration this record represents (merge-ceiling
+    /// checks compare against this, so a summary never smuggles a long
+    /// slice past the policy).
+    pub(crate) fn longest(&self) -> f64 {
+        self.agg.map_or(self.end - self.begin, |a| a.max)
+    }
+
+    /// This record's aggregate, treating a raw record as a unit summary.
+    pub(crate) fn agg_or_unit(&self) -> TraceAgg {
+        self.agg.unwrap_or(TraceAgg {
+            count: 1,
+            total: self.end - self.begin,
+            min: self.end - self.begin,
+            max: self.end - self.begin,
+            exemplar: (self.begin, self.end),
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -200,10 +251,26 @@ struct Shard {
     buf: Vec<TraceRecord>,
     /// Most records ever resident in this stripe.
     hwm: usize,
-    /// Records this stripe has stored (cumulative, survives drains).
+    /// Records this stripe has stored and still accounts for (cumulative,
+    /// survives drains; a compaction pass moves the merged-away count from
+    /// here to `compacted_away`, so `captured` always tallies records that
+    /// were either drained raw or are resident — raw or inside a summary's
+    /// `event_count`).
     captured: u64,
     /// Records this stripe has refused.
     dropped: u64,
+    /// Records absorbed into summaries by compaction passes.
+    compacted_away: u64,
+    /// Set when an append broke the buffer's `(begin, end)` order; cleared
+    /// by the sort that precedes a compaction pass or drain. Records are
+    /// appended in virtual-time order per thread, so this trips only when
+    /// stripe rotation interleaves writers — the common case is a cheap
+    /// tail comparison and no sort at all.
+    unsorted: bool,
+    /// Amortization gate: the next compaction pass runs only once the
+    /// buffer has grown past this, so a stripe full of unmergeable records
+    /// doesn't pay an O(len) scan on every push.
+    compact_gate: usize,
 }
 
 /// A bounded, lock-striped trace ring.
@@ -213,12 +280,16 @@ struct Shard {
 /// lock only; a full ring drops the *new* record (launches must never
 /// block on telemetry). Drop accounting is exact by construction: every
 /// offer increments exactly one of the stripe's `captured` or `dropped`
-/// counters under its lock, and `emitted` is *defined* as their sum — so
-/// `captured + dropped == emitted` holds at every instant, under any
-/// interleaving.
+/// counters under its lock, a compaction pass moves absorbed records from
+/// `captured` to `compacted_away` under the same lock, and `emitted` is
+/// *defined* as the sum of all three — so
+/// `captured + dropped + compacted_away == emitted` holds at every
+/// instant, under any interleaving (with compaction disabled,
+/// `compacted_away` stays 0 and this is the PR 1 invariant).
 pub struct TraceRing {
     shards: Vec<SpinLock<Shard>>,
     per_shard: usize,
+    policy: CompactPolicy,
     /// Stripe rotation granularity (log2): writers stay on one stripe for
     /// `1 << rot_shift` consecutive pushes before moving on. (Unused by the
     /// loom build, whose stripe pick is pinned per modeled thread.)
@@ -227,10 +298,18 @@ pub struct TraceRing {
 }
 
 impl TraceRing {
-    /// Ring with `capacity` total record slots split over `shards` stripes.
-    /// Both are clamped to at least 1; per-stripe capacity rounds up so the
-    /// usable total is never below `capacity`.
+    /// Ring with `capacity` total record slots split over `shards` stripes
+    /// and compaction disabled (a full stripe drops). Both are clamped to
+    /// at least 1; per-stripe capacity rounds up so the usable total is
+    /// never below `capacity`.
     pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_policy(capacity, shards, CompactPolicy::DISABLED)
+    }
+
+    /// Ring with an explicit retention policy: once a stripe holds
+    /// `policy.stripe_high_water` records, pushes first run a compaction
+    /// pass merging adjacent same-signature records into summaries.
+    pub fn with_policy(capacity: usize, shards: usize, policy: CompactPolicy) -> Self {
         let capacity = capacity.max(1);
         // power-of-two stripe count: the hot-path stripe pick is a mask,
         // not a division
@@ -246,6 +325,7 @@ impl TraceRing {
                 .map(|_| SpinLock::new(Shard::default()))
                 .collect(),
             per_shard,
+            policy,
             rot_shift,
         }
     }
@@ -253,6 +333,11 @@ impl TraceRing {
     /// Total record capacity.
     pub fn capacity(&self) -> usize {
         self.per_shard * self.shards.len()
+    }
+
+    /// The retention policy this ring was built with.
+    pub fn policy(&self) -> CompactPolicy {
+        self.policy
     }
 
     /// Round-robin stripe pick without shared state: each thread advances
@@ -287,12 +372,36 @@ impl TraceRing {
 
     /// Offer one record; returns `false` (and counts a drop) if the ring
     /// is full. Never blocks beyond one stripe lock; the hot path is one
-    /// uncontended lock and plain arithmetic under it.
+    /// uncontended lock and plain arithmetic under it. With a retention
+    /// policy set, a stripe at its high-water mark first compacts in place
+    /// (amortized by `compact_gate`, so unmergeable workloads degrade to
+    /// the plain drop path rather than rescanning every push).
     pub fn push(&self, rec: TraceRecord) -> bool {
         let mut shard = self.shards[self.shard_index()].lock();
+        if self.policy.is_enabled()
+            && shard.buf.len() >= self.policy.stripe_high_water
+            && shard.buf.len() >= shard.compact_gate
+        {
+            if shard.unsorted {
+                shard.buf.sort_by(cmp_time);
+                shard.unsorted = false;
+            }
+            let before = shard.buf.len();
+            let removed = compact_records(&mut shard.buf, &self.policy) as u64;
+            shard.captured -= removed;
+            shard.compacted_away += removed;
+            shard.compact_gate = shard.buf.len() + before / 8;
+        }
         if shard.buf.len() >= self.per_shard {
             shard.dropped += 1;
             return false;
+        }
+        if shard
+            .buf
+            .last()
+            .is_some_and(|last| cmp_time(&rec, last).is_lt())
+        {
+            shard.unsorted = true;
         }
         shard.buf.push(rec);
         shard.captured += 1;
@@ -302,18 +411,20 @@ impl TraceRing {
         true
     }
 
-    /// Records offered so far (captured plus dropped).
+    /// Records offered so far (captured plus dropped plus compacted away).
     pub fn emitted(&self) -> u64 {
         self.shards
             .iter()
             .map(|s| {
                 let g = s.lock();
-                g.captured + g.dropped
+                g.captured + g.dropped + g.compacted_away
             })
             .sum()
     }
 
-    /// Records stored so far (drained records still count).
+    /// Records stored and still individually accounted for (drained
+    /// records still count; records absorbed into summaries move to
+    /// [`TraceRing::compacted_away`]).
     pub fn captured(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().captured).sum()
     }
@@ -321,6 +432,14 @@ impl TraceRing {
     /// Records refused because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().dropped).sum()
+    }
+
+    /// Records absorbed into summary records by compaction passes. Their
+    /// count and busy time live on in the summaries' [`TraceAgg`]s:
+    /// Σ `event_count` over resident + drained records always equals
+    /// `emitted - dropped`.
+    pub fn compacted_away(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().compacted_away).sum()
     }
 
     /// Records currently resident.
@@ -346,36 +465,52 @@ impl TraceRing {
         self.high_water_mark() * std::mem::size_of::<TraceRecord>() as u64
     }
 
-    /// Remove and return every resident record, sorted by begin timestamp.
+    /// Remove and return every resident record in `(begin, end)` order.
     /// Frees ring space for further capture; counters are cumulative and
-    /// unaffected.
+    /// unaffected. Each stripe hands over a pre-sorted run (sorting only
+    /// if interleaved writers actually broke its order) and the runs are
+    /// k-way merged — same record-for-record output as the old global
+    /// sort, without re-sorting the already-ordered bulk on the consumer
+    /// thread.
     pub fn drain(&self) -> Vec<TraceRecord> {
-        let mut out = Vec::new();
+        let mut runs = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
-            out.append(&mut shard.lock().buf);
+            let (mut run, unsorted) = {
+                let mut g = shard.lock();
+                (std::mem::take(&mut g.buf), std::mem::take(&mut g.unsorted))
+            };
+            if unsorted {
+                run.sort_by(cmp_time);
+            }
+            runs.push(run);
         }
-        out.sort_by(|a, b| {
-            a.begin
-                .partial_cmp(&b.begin)
-                .expect("finite timestamps")
-                .then(a.end.partial_cmp(&b.end).expect("finite timestamps"))
-        });
-        out
+        crate::compact::merge_runs(runs)
     }
 
-    /// Copy every resident record without removing it, sorted by begin.
+    /// Copy every resident record without removing it, in `(begin, end)`
+    /// order (k-way merge of the per-stripe runs, like [`TraceRing::drain`]).
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        let mut out = Vec::new();
+        crate::compact::merge_runs(self.snapshot_runs())
+    }
+
+    /// Copy each stripe's resident records as its own sorted run, without
+    /// removing anything. This is the merge input [`TraceRing::snapshot`]
+    /// consumes; exposed so tests and benches can compare the k-way merge
+    /// against a reference global sort, and so streaming consumers can
+    /// merge incrementally.
+    pub fn snapshot_runs(&self) -> Vec<Vec<TraceRecord>> {
+        let mut runs = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
-            out.extend(shard.lock().buf.iter().cloned());
+            let (mut run, unsorted) = {
+                let g = shard.lock();
+                (g.buf.clone(), g.unsorted)
+            };
+            if unsorted {
+                run.sort_by(cmp_time);
+            }
+            runs.push(run);
         }
-        out.sort_by(|a, b| {
-            a.begin
-                .partial_cmp(&b.begin)
-                .expect("finite timestamps")
-                .then(a.end.partial_cmp(&b.end).expect("finite timestamps"))
-        });
-        out
+        runs
     }
 }
 
@@ -389,6 +524,13 @@ pub struct TraceRank {
     pub rank: usize,
     /// Host name, shown in the Perfetto process label.
     pub host: String,
+    /// This rank's clock-alignment epoch, virtual seconds: the shared
+    /// cluster instant (first `MPI_Init` return) expressed on the rank's
+    /// own clock. The exporter subtracts it from every timestamp, so
+    /// merged multi-rank lanes line up at `ts = 0` even when ranks booted
+    /// at different absolute times. 0 means unaligned (single-rank export
+    /// or pre-epoch logs).
+    pub epoch: f64,
     /// Host-side records (drained or snapshotted from the rank's ring).
     pub records: Vec<TraceRecord>,
     /// Device-side ground truth from the simulator profiler. When present,
@@ -494,6 +636,17 @@ fn emit_lane(pid: usize, tid: u32, mut slices: Vec<LaneSlice>, out: &mut Vec<Str
     close(&mut stack, f64::INFINITY, out);
 }
 
+/// Append the aggregate fields of a summary record to a slice's args, so
+/// Perfetto shows how many events a compacted slice stands for.
+fn summary_args(t: &TraceRecord, args: &mut Vec<(&'static str, String)>) {
+    if let Some(a) = t.agg {
+        args.push(("count", a.count.to_string()));
+        args.push(("total_us", format!("{}", us(a.total))));
+        args.push(("min_us", format!("{}", us(a.min))));
+        args.push(("max_us", format!("{}", us(a.max))));
+    }
+}
+
 fn meta_event(pid: usize, tid: Option<u32>, which: &str, label: &str) -> String {
     match tid {
         Some(tid) => format!(
@@ -554,10 +707,11 @@ pub fn chrome_trace(ranks: &[TraceRank]) -> String {
                     args.push(("bytes", t.bytes.to_string()));
                 }
                 args.push(("region", t.region.to_string()));
+                summary_args(t, &mut args);
                 LaneSlice {
                     name: t.name.to_string(),
-                    begin: t.begin,
-                    end: t.end,
+                    begin: t.begin - r.epoch,
+                    end: t.end - r.epoch,
                     args,
                     flow_in: 0,
                     flow_out: if t.corr != 0 && device_corrs.contains(&t.corr) {
@@ -578,8 +732,8 @@ pub fn chrome_trace(ranks: &[TraceRank]) -> String {
                 let args = vec![("gputime_us", format!("{}", p.gputime * 1e6))];
                 lanes.entry(p.stream.0).or_default().push(LaneSlice {
                     name: p.method.clone(),
-                    begin: p.start,
-                    end: p.start + p.gputime,
+                    begin: p.start - r.epoch,
+                    end: p.start + p.gputime - r.epoch,
                     args,
                     flow_in: if p.kind == ProfKind::Kernel {
                         p.corr
@@ -597,11 +751,13 @@ pub fn chrome_trace(ranks: &[TraceRank]) -> String {
                     .as_deref()
                     .map(str::to_owned)
                     .unwrap_or_else(|| t.name.to_string());
+                let mut args = vec![("region", t.region.to_string())];
+                summary_args(t, &mut args);
                 lanes.entry(stream).or_default().push(LaneSlice {
                     name,
-                    begin: t.begin,
-                    end: t.end,
-                    args: vec![("region", t.region.to_string())],
+                    begin: t.begin - r.epoch,
+                    end: t.end - r.epoch,
+                    args,
                     flow_in: t.corr,
                     flow_out: 0,
                 });
@@ -1036,6 +1192,7 @@ mod tests {
             region: 0,
             stream: None,
             corr: 0,
+            agg: None,
         }
     }
 
@@ -1103,6 +1260,96 @@ mod tests {
     }
 
     #[test]
+    fn compacting_ring_stays_under_high_water_and_conserves() {
+        // single stripe so the high-water arithmetic is easy to reason about
+        let ring = TraceRing::with_policy(1 << 12, 1, CompactPolicy::with_high_water(64));
+        let n: u64 = 10_000;
+        for i in 0..n {
+            let t = i as f64 * 0.001;
+            assert!(ring.push(call("cudaLaunch", t, t + 0.0005)), "never drops");
+        }
+        assert_eq!(ring.emitted(), n);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(
+            ring.captured() + ring.dropped() + ring.compacted_away(),
+            ring.emitted()
+        );
+        // the gate lets a stripe overshoot the high-water mark by at most
+        // len/8 between passes; it must stay far below the raw count
+        assert!(ring.len() <= 64 + 64 / 8 + 1, "resident: {}", ring.len());
+        let resident = ring.drain();
+        let events: u64 = resident.iter().map(TraceRecord::event_count).sum();
+        assert_eq!(events, n, "per-signature event count conserved");
+        let total: f64 = resident.iter().map(TraceRecord::busy_total).sum();
+        assert!((total - n as f64 * 0.0005).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disabled_policy_is_the_old_drop_behavior() {
+        let ring = TraceRing::with_policy(4, 2, CompactPolicy::DISABLED);
+        for i in 0..20 {
+            ring.push(call("x", i as f64, i as f64));
+        }
+        assert_eq!(ring.captured(), 4);
+        assert_eq!(ring.dropped(), 16);
+        assert_eq!(ring.compacted_away(), 0);
+    }
+
+    #[test]
+    fn drain_merges_interleaved_stripes_in_time_order() {
+        // multiple stripes, each receiving an ordered subsequence; drain
+        // must interleave them globally by (begin, end)
+        let ring = TraceRing::new(64, 4);
+        for i in 0..32 {
+            ring.push(call("x", i as f64, i as f64 + 0.5));
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 32);
+        assert!(drained
+            .windows(2)
+            .all(|w| (w[0].begin, w[0].end) <= (w[1].begin, w[1].end)));
+    }
+
+    #[test]
+    fn epoch_shifts_exported_timestamps() {
+        let rank = TraceRank {
+            rank: 0,
+            host: String::new(),
+            epoch: 10.0,
+            records: vec![call("cudaMalloc", 10.5, 11.0)],
+            prof: Vec::new(),
+        };
+        let json = chrome_trace(&[rank]);
+        validate_chrome_trace(&json).expect("valid trace");
+        // 10.5s on the rank clock is 0.5s after the epoch -> ts 500000 us
+        assert!(json.contains("\"ts\":500000"), "{json}");
+        assert!(!json.contains("\"ts\":10500000"), "{json}");
+    }
+
+    #[test]
+    fn summary_slices_carry_count_args() {
+        let mut rec = call("cudaLaunch", 1.0, 3.0);
+        rec.agg = Some(TraceAgg {
+            count: 17,
+            total: 1.25,
+            min: 0.05,
+            max: 0.2,
+            exemplar: (1.4, 1.6),
+        });
+        let rank = TraceRank {
+            rank: 0,
+            host: String::new(),
+            epoch: 0.0,
+            records: vec![rec],
+            prof: Vec::new(),
+        };
+        let json = chrome_trace(&[rank]);
+        validate_chrome_trace(&json).expect("valid trace");
+        assert!(json.contains("\"count\":17"), "{json}");
+        assert!(json.contains("\"total_us\":1250000"), "{json}");
+    }
+
+    #[test]
     fn chrome_trace_is_valid_and_has_flows() {
         let mut launch = call("cudaLaunch", 1.0, 1.00001);
         launch.corr = 42;
@@ -1116,10 +1363,12 @@ mod tests {
             region: 0,
             stream: Some(0),
             corr: 42,
+            agg: None,
         };
         let rank = TraceRank {
             rank: 0,
             host: "dirac00".to_owned(),
+            epoch: 0.0,
             records: vec![
                 call("cudaMalloc", 0.0, 0.5),
                 launch.clone(),
@@ -1142,6 +1391,7 @@ mod tests {
         let prof_rank = TraceRank {
             rank: 1,
             host: String::new(),
+            epoch: 0.0,
             records: vec![launch],
             prof: vec![ProfRecord {
                 method: "square".to_owned(),
@@ -1164,6 +1414,7 @@ mod tests {
         let rank = TraceRank {
             rank: 0,
             host: String::new(),
+            epoch: 0.0,
             records: vec![
                 call("cublasDgemm", 0.0, 1.0),
                 call("cudaLaunch", 0.2, 0.4),

@@ -19,6 +19,7 @@
 //! </ipm>
 //! ```
 
+use crate::compact::TraceAgg;
 use crate::profile::{MonitorInfo, ProfileEntry, RankProfile};
 use crate::trace::{TraceKind, TraceRecord};
 use ipm_sim_core::RunningStats;
@@ -69,8 +70,16 @@ pub fn to_xml(p: &RankProfile) -> String {
 
 /// Serialize a profile plus its event trace: the trace's records are
 /// embedded as `<event/>` lines in a `<trace>` section, so a single XML
-/// log carries everything `ipm_parse trace` needs.
+/// log carries everything `ipm_parse trace` needs. No clock-alignment
+/// epoch is recorded (equivalent to epoch 0).
 pub fn to_xml_with_trace(p: &RankProfile, trace: &[TraceRecord]) -> String {
+    to_xml_with_trace_at(p, trace, 0.0)
+}
+
+/// Like [`to_xml_with_trace`], also recording the rank's clock-alignment
+/// epoch on the `<trace>` element so multi-rank exports line up their
+/// lanes ([`crate::parse::chrome_trace_from_xml`] threads it through).
+pub fn to_xml_with_trace_at(p: &RankProfile, trace: &[TraceRecord], epoch: f64) -> String {
     let mut out = String::new();
     out.push_str("<ipm version=\"2.0\">\n");
     let _ = writeln!(
@@ -86,8 +95,8 @@ pub fn to_xml_with_trace(p: &RankProfile, trace: &[TraceRecord]) -> String {
     let m = &p.monitor;
     let _ = writeln!(
         out,
-        "    <monitor self_wall_ns=\"{}\" emitted=\"{}\" captured=\"{}\" dropped=\"{}\" ring_hwm_bytes=\"{}\"/>",
-        m.self_wall_ns, m.trace_emitted, m.trace_captured, m.trace_dropped, m.ring_hwm_bytes,
+        "    <monitor self_wall_ns=\"{}\" emitted=\"{}\" captured=\"{}\" dropped=\"{}\" compacted=\"{}\" ring_hwm_bytes=\"{}\"/>",
+        m.self_wall_ns, m.trace_emitted, m.trace_captured, m.trace_dropped, m.trace_compacted, m.ring_hwm_bytes,
     );
     out.push_str("    <regions>\n");
     for (i, r) in p.regions.iter().enumerate() {
@@ -95,7 +104,11 @@ pub fn to_xml_with_trace(p: &RankProfile, trace: &[TraceRecord]) -> String {
     }
     out.push_str("    </regions>\n");
     if !trace.is_empty() {
-        out.push_str("    <trace>\n");
+        if epoch != 0.0 {
+            let _ = writeln!(out, "    <trace epoch=\"{epoch}\">");
+        } else {
+            out.push_str("    <trace>\n");
+        }
         for t in trace {
             let detail = t
                 .detail
@@ -106,9 +119,18 @@ pub fn to_xml_with_trace(p: &RankProfile, trace: &[TraceRecord]) -> String {
                 .stream
                 .map(|s| format!(" stream=\"{s}\""))
                 .unwrap_or_default();
+            let agg = t
+                .agg
+                .map(|a| {
+                    format!(
+                        " count=\"{}\" total=\"{}\" min=\"{}\" max=\"{}\" ex_begin=\"{}\" ex_end=\"{}\"",
+                        a.count, a.total, a.min, a.max, a.exemplar.0, a.exemplar.1
+                    )
+                })
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
-                "      <event kind=\"{}\" name=\"{}\"{} begin=\"{}\" end=\"{}\" bytes=\"{}\" region=\"{}\"{} corr=\"{}\"/>",
+                "      <event kind=\"{}\" name=\"{}\"{} begin=\"{}\" end=\"{}\" bytes=\"{}\" region=\"{}\"{} corr=\"{}\"{}/>",
                 t.kind.tag(),
                 escape(&t.name),
                 detail,
@@ -118,6 +140,7 @@ pub fn to_xml_with_trace(p: &RankProfile, trace: &[TraceRecord]) -> String {
                 t.region,
                 stream,
                 t.corr,
+                agg,
             );
         }
         out.push_str("    </trace>\n");
@@ -159,6 +182,20 @@ fn num_attr<T: std::str::FromStr>(tag: &str, name: &'static str) -> Result<T, Xm
     raw.parse().map_err(|_| XmlError::BadNumber(raw))
 }
 
+/// Numeric attribute that may legitimately be absent (fields added after
+/// logs in the wild were written): absent parses as `default`, present but
+/// unparseable is still an error.
+fn opt_num_attr<T: std::str::FromStr>(
+    tag: &str,
+    name: &'static str,
+    default: T,
+) -> Result<T, XmlError> {
+    match attr(tag, name) {
+        Some(raw) => raw.parse().map_err(|_| XmlError::BadNumber(raw)),
+        None => Ok(default),
+    }
+}
+
 /// Parse a profile back out of the XML dialect produced by [`to_xml`].
 pub fn from_xml(xml: &str) -> Result<RankProfile, XmlError> {
     let task_tag = xml
@@ -195,6 +232,8 @@ pub fn from_xml(xml: &str) -> Result<RankProfile, XmlError> {
             trace_emitted: num_attr(line, "emitted")?,
             trace_captured: num_attr(line, "captured")?,
             trace_dropped: num_attr(line, "dropped")?,
+            // absent in pre-compaction logs
+            trace_compacted: opt_num_attr(line, "compacted", 0)?,
             ring_hwm_bytes: num_attr(line, "ring_hwm_bytes")?,
         },
         None => MonitorInfo::default(),
@@ -268,9 +307,34 @@ pub fn trace_from_xml(xml: &str) -> Result<Vec<TraceRecord>, XmlError> {
                 None => None,
             },
             corr: num_attr(line, "corr")?,
+            // summary records carry the aggregate attributes, keyed on
+            // `count`; raw records (and pre-compaction logs) omit them
+            agg: match attr(line, "count") {
+                Some(_) => Some(TraceAgg {
+                    count: num_attr(line, "count")?,
+                    total: num_attr(line, "total")?,
+                    min: num_attr(line, "min")?,
+                    max: num_attr(line, "max")?,
+                    exemplar: (num_attr(line, "ex_begin")?, num_attr(line, "ex_end")?),
+                }),
+                None => None,
+            },
         });
     }
     Ok(out)
+}
+
+/// The clock-alignment epoch recorded on a log's `<trace>` element, or 0
+/// for logs without one (traceless, pre-epoch, or single-rank exports).
+pub fn trace_epoch_from_xml(xml: &str) -> Result<f64, XmlError> {
+    match xml
+        .lines()
+        .map(str::trim)
+        .find(|l| *l == "<trace>" || l.starts_with("<trace "))
+    {
+        Some(line) => opt_num_attr(line, "epoch", 0.0),
+        None => Ok(0.0),
+    }
 }
 
 #[cfg(test)]
@@ -308,8 +372,9 @@ mod tests {
             monitor: MonitorInfo {
                 self_wall_ns: 12_345,
                 trace_emitted: 100,
-                trace_captured: 98,
+                trace_captured: 90,
                 trace_dropped: 2,
+                trace_compacted: 8,
                 ring_hwm_bytes: 4096,
             },
         }
@@ -355,9 +420,17 @@ mod tests {
         let p = sample();
         let xml = to_xml(&p);
         assert!(xml.contains("<monitor self_wall_ns=\"12345\""));
-        assert!(xml.contains("captured=\"98\" dropped=\"2\""));
+        assert!(xml.contains("captured=\"90\" dropped=\"2\" compacted=\"8\""));
         let back = from_xml(&xml).unwrap();
         assert_eq!(back.monitor, p.monitor);
+    }
+
+    #[test]
+    fn pre_compaction_monitor_element_defaults_compacted() {
+        let xml = to_xml(&sample()).replace(" compacted=\"8\"", "");
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(back.monitor.trace_compacted, 0);
+        assert_eq!(back.monitor.trace_captured, 90, "other fields untouched");
     }
 
     #[test]
@@ -384,6 +457,7 @@ mod tests {
                 region: 1,
                 stream: None,
                 corr: 9,
+                agg: None,
             },
             TraceRecord {
                 kind: TraceKind::KernelExec,
@@ -395,6 +469,7 @@ mod tests {
                 region: 0,
                 stream: Some(2),
                 corr: 9,
+                agg: None,
             },
         ];
         let xml = to_xml_with_trace(&sample(), &trace);
@@ -404,6 +479,39 @@ mod tests {
         assert_eq!(from_xml(&xml).unwrap(), sample());
         // a traceless log parses to an empty trace
         assert_eq!(trace_from_xml(&to_xml(&sample())).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn summary_records_and_epoch_roundtrip() {
+        let trace = vec![TraceRecord {
+            kind: TraceKind::Call,
+            name: Arc::from("cudaLaunch"),
+            detail: None,
+            begin: 1.0,
+            end: 4.75,
+            bytes: 0,
+            region: 0,
+            stream: None,
+            corr: 0,
+            agg: Some(TraceAgg {
+                count: 123,
+                total: 2.5,
+                min: 0.001953125,
+                max: 0.125,
+                exemplar: (2.0, 2.125),
+            }),
+        }];
+        let xml = to_xml_with_trace_at(&sample(), &trace, 0.5);
+        assert!(xml.contains("<trace epoch=\"0.5\">"));
+        assert!(xml.contains("count=\"123\""));
+        assert_eq!(trace_from_xml(&xml).unwrap(), trace);
+        assert_eq!(trace_epoch_from_xml(&xml).unwrap(), 0.5);
+        // epoch 0 writes the bare element, which parses back to 0
+        let xml0 = to_xml_with_trace(&sample(), &trace);
+        assert!(xml0.contains("<trace>"));
+        assert_eq!(trace_epoch_from_xml(&xml0).unwrap(), 0.0);
+        // traceless logs have epoch 0 too
+        assert_eq!(trace_epoch_from_xml(&to_xml(&sample())).unwrap(), 0.0);
     }
 
     #[test]

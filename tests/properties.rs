@@ -1,8 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
 
 use ipm_repro::ipm::{
-    chrome_trace, from_xml, to_xml, validate_chrome_trace, EventSignature, PerfTable, ProfileEntry,
-    RankProfile, TraceKind, TraceRank, TraceRecord, TraceRing,
+    chrome_trace, from_xml, merge_runs, to_xml, validate_chrome_trace, CompactPolicy,
+    EventSignature, PerfTable, ProfileEntry, RankProfile, TraceKind, TraceRank, TraceRecord,
+    TraceRing,
 };
 use ipm_repro::numlib::{blaskernels, fftkernels, Complex64, FftDirection, Transpose};
 use ipm_repro::sim::{RunningStats, SimClock, SimRng};
@@ -351,6 +352,7 @@ fn trace_rec(
         region: 0,
         stream,
         corr,
+        agg: None,
     }
 }
 
@@ -473,6 +475,7 @@ proptest! {
                 TraceRank {
                     rank: r,
                     host: format!("dirac{r:02}"),
+                    epoch: 0.0,
                     records,
                     prof: Vec::new(),
                 }
@@ -488,6 +491,186 @@ proptest! {
         prop_assert_eq!(stats.flow_pairs, launches);
         prop_assert_eq!(stats.lanes, lanes);
     }
+}
+
+// ---------------------------------------------------------------------
+// Trace compaction: conservation, bounding, and merge-vs-sort equivalence
+// ---------------------------------------------------------------------
+
+/// Timestamp quantum for conservation properties: durations and gaps are
+/// integer multiples of 2^-20 s, so every partial sum is a dyadic rational
+/// well inside f64's exact-integer range — summation order cannot perturb
+/// totals and `==` on f64 sums is legitimate.
+const Q: f64 = 1.0 / (1 << 20) as f64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Compaction conserves per-signature event count and total busy time
+    /// EXACTLY (not approximately), whatever the record stream, cap, or
+    /// stripe shape; summary min/max never escape the durations actually
+    /// merged; and the widened accounting invariant closes.
+    #[test]
+    fn compaction_conserves_per_signature_count_and_time(
+        capacity in 32usize..400,
+        shards in 1usize..5,
+        high_water in 4usize..48,
+        // (signature index, duration steps, gap steps)
+        stream in prop::collection::vec((0usize..4, 1u32..64, 0u32..32), 1..400),
+    ) {
+        let names = ["cudaLaunch", "cudaMemcpy(H2D)", "MPI_Allreduce", "@CUDA_HOST_IDLE"];
+        let ring = TraceRing::with_policy(
+            capacity, shards, CompactPolicy::with_high_water(high_water),
+        );
+        // reference model: per-signature (count, total, min, max) over the
+        // records the ring actually accepted
+        let mut model = std::collections::HashMap::<usize, (u64, f64, f64, f64)>::new();
+        let mut t = 0.0f64;
+        let mut accepted = 0u64;
+        for &(sig, dur, gap) in &stream {
+            let begin = t + gap as f64 * Q;
+            let end = begin + dur as f64 * Q;
+            t = end;
+            let kind = if sig == 3 { TraceKind::HostIdle } else { TraceKind::Call };
+            if ring.push(trace_rec(kind, names[sig], begin, end, None, 0)) {
+                accepted += 1;
+                let e = model.entry(sig).or_insert((0, 0.0, f64::INFINITY, 0.0));
+                e.0 += 1;
+                e.1 += dur as f64 * Q;
+                e.2 = e.2.min(dur as f64 * Q);
+                e.3 = e.3.max(dur as f64 * Q);
+            }
+        }
+        prop_assert_eq!(
+            ring.captured() + ring.dropped() + ring.compacted_away(),
+            ring.emitted()
+        );
+        prop_assert_eq!(ring.emitted(), stream.len() as u64);
+        prop_assert_eq!(ring.emitted() - ring.dropped(), accepted);
+        let drained = ring.drain();
+        let mut got = std::collections::HashMap::<usize, (u64, f64)>::new();
+        for r in &drained {
+            let sig = names.iter().position(|n| **n == *r.name).expect("known name");
+            let e = got.entry(sig).or_default();
+            e.0 += r.event_count();
+            e.1 += r.busy_total();
+            if let Some(a) = r.agg {
+                let (_, _, min, max) = model[&sig];
+                prop_assert!(a.min >= min && a.max <= max,
+                    "summary [{}, {}] escapes merged durations [{min}, {max}]", a.min, a.max);
+                prop_assert!(a.min <= a.max);
+                let (eb, ee) = a.exemplar;
+                prop_assert!(eb >= r.begin && ee <= r.end, "exemplar outside summary span");
+                prop_assert!((ee - eb) == a.max, "exemplar is the longest merged record");
+            }
+        }
+        for (sig, (count, total, _, _)) in model {
+            let (gc, gt) = got.get(&sig).copied().unwrap_or_default();
+            prop_assert_eq!(gc, count, "event count not conserved for {}", names[sig]);
+            // exact: quantized dyadic durations make every sum exact
+            prop_assert_eq!(gt, total, "busy time not conserved for {}", names[sig]);
+        }
+    }
+
+    /// The k-way merged drain equals the old sort-everything drain
+    /// record-for-record on uncompacted input: merging the per-stripe runs
+    /// reproduces a stable global sort of the stripes' concatenation, ties
+    /// and all.
+    #[test]
+    fn merged_drain_equals_global_sort_reference(
+        capacity in 8usize..300,
+        shards in 1usize..9,
+        // unordered (begin, duration) pairs, coarse enough to force ties
+        stream in prop::collection::vec((0u32..24, 0u32..4), 1..300),
+    ) {
+        let ring = TraceRing::new(capacity, shards);
+        for (i, &(begin, dur)) in stream.iter().enumerate() {
+            ring.push(trace_rec(
+                TraceKind::Call,
+                ["a", "b", "c"][i % 3],
+                begin as f64 * 0.125,
+                (begin + dur) as f64 * 0.125,
+                None,
+                i as u64 + 1, // distinct corrs make records distinguishable
+            ));
+        }
+        let runs = ring.snapshot_runs();
+        for run in &runs {
+            for w in run.windows(2) {
+                prop_assert!(
+                    (w[0].begin, w[0].end) <= (w[1].begin, w[1].end),
+                    "stripe run not pre-sorted"
+                );
+            }
+        }
+        // the old drain: concatenate stripes, stable-sort by (begin, end)
+        let mut reference: Vec<TraceRecord> = runs.iter().flatten().cloned().collect();
+        reference.sort_by(|a, b| {
+            a.begin
+                .partial_cmp(&b.begin)
+                .unwrap()
+                .then(a.end.partial_cmp(&b.end).unwrap())
+        });
+        let merged = merge_runs(runs);
+        prop_assert_eq!(&merged, &reference, "merge differs from stable global sort");
+        prop_assert_eq!(&ring.snapshot(), &reference);
+        prop_assert_eq!(&ring.drain(), &reference);
+    }
+}
+
+/// The ISSUE acceptance case, pinned as a plain test: a 1M-event synthetic
+/// run against a 4k-per-stripe cap stays under the cap without dropping a
+/// single event's accounting, and conserves per-signature count and busy
+/// time exactly.
+#[test]
+fn million_event_run_stays_under_cap_and_conserves() {
+    const HW: usize = 4096;
+    const N: u64 = 1_000_000;
+    let ring = TraceRing::with_policy(1 << 16, 8, CompactPolicy::with_high_water(HW));
+    let names = ["cudaLaunch", "cudaMemcpy(D2H)", "MPI_Send"];
+    let mut t = 0.0f64;
+    let mut pushed_per_sig = [0u64; 3];
+    for i in 0..N {
+        // bursty mix: runs of identical calls, the shape compaction targets
+        let sig = ((i / 64) % 3) as usize;
+        let dur = ((i % 13) + 1) as f64 * Q;
+        let accepted = ring.push(trace_rec(TraceKind::Call, names[sig], t, t + dur, None, 0));
+        assert!(accepted, "compacting ring must never drop (event {i})");
+        pushed_per_sig[sig] += 1;
+        t += dur + Q;
+    }
+    assert_eq!(ring.emitted(), N);
+    assert_eq!(ring.dropped(), 0);
+    assert_eq!(
+        ring.captured() + ring.compacted_away(),
+        N,
+        "accounting closes"
+    );
+    // 8 stripes, each bounded by the high-water mark plus the compaction
+    // gate's len/8 overshoot allowance
+    let cap = 8 * (HW + HW / 8 + 1);
+    assert!(
+        ring.len() <= cap,
+        "resident {} exceeds bound {cap}",
+        ring.len()
+    );
+    assert!(ring.high_water_mark() <= cap as u64);
+    let drained = ring.drain();
+    assert!(drained.len() <= cap);
+    let mut count_per_sig = [0u64; 3];
+    let mut total_per_sig = [0.0f64; 3];
+    for r in &drained {
+        let sig = names.iter().position(|n| **n == *r.name).unwrap();
+        count_per_sig[sig] += r.event_count();
+        total_per_sig[sig] += r.busy_total();
+    }
+    // expected totals, accumulated the same exact-dyadic way
+    let mut want_total = [0.0f64; 3];
+    for i in 0..N {
+        let sig = ((i / 64) % 3) as usize;
+        want_total[sig] += ((i % 13) + 1) as f64 * Q;
+    }
+    assert_eq!(count_per_sig, pushed_per_sig, "event counts conserved");
+    assert_eq!(total_per_sig, want_total, "busy time conserved exactly");
 }
 
 // ---------------------------------------------------------------------
