@@ -81,7 +81,8 @@ pub use sig::EventSignature;
 pub use table::PerfTable;
 pub use timeline::render_timeline;
 pub use trace::{
-    chrome_trace, validate_chrome_trace, TraceKind, TraceRank, TraceRecord, TraceRing, TraceStats,
+    chrome_trace, validate_chrome_trace, TraceCounters, TraceKind, TraceRank, TraceRecord,
+    TraceRing, TraceStats,
 };
 pub use xml::{
     from_xml, to_xml, to_xml_with_trace, to_xml_with_trace_at, trace_epoch_from_xml,

@@ -11,7 +11,7 @@ use crate::ktt::{Ktt, KttCheckPolicy};
 use crate::profile::{classify, EventFamily, MonitorInfo, ProfileEntry, RankProfile};
 use crate::sig::EventSignature;
 use crate::table::PerfTable;
-use crate::trace::{TraceKind, TraceRecord, TraceRing};
+use crate::trace::{TraceCounters, TraceKind, TraceRecord, TraceRing};
 use ipm_interpose::MonitorSink;
 use ipm_sim_core::SimClock;
 use parking_lot::Mutex;
@@ -183,9 +183,8 @@ struct SnapState {
     last_at: Option<f64>,
     /// Cumulative `(count, bytes, time)` per family at the last snapshot.
     last: HashMap<EventFamily, (u64, u64, f64)>,
-    /// Cumulative `(emitted, captured, dropped, compacted)` trace counters
-    /// at the last snapshot.
-    last_trace: (u64, u64, u64, u64),
+    /// Cumulative trace counters at the last snapshot.
+    last_trace: TraceCounters,
 }
 
 /// The per-rank monitoring context.
@@ -377,18 +376,22 @@ impl Ipm {
             .unwrap_or_default()
     }
 
-    /// Current self-accounting counters.
+    /// Current self-accounting counters. The four trace counters come from
+    /// one consistent [`TraceRing::counters`] sweep, so the reported ledger
+    /// closes (`captured + dropped + compacted == emitted`) even when this
+    /// is sampled mid-run with writers still pushing.
     pub fn monitor_info(&self) -> MonitorInfo {
+        let trace = self
+            .trace
+            .as_ref()
+            .map(TraceRing::counters)
+            .unwrap_or_default();
         MonitorInfo {
             self_wall_ns: self.self_ns.load(Ordering::Relaxed),
-            trace_emitted: self.trace.as_ref().map(TraceRing::emitted).unwrap_or(0),
-            trace_captured: self.trace.as_ref().map(TraceRing::captured).unwrap_or(0),
-            trace_dropped: self.trace.as_ref().map(TraceRing::dropped).unwrap_or(0),
-            trace_compacted: self
-                .trace
-                .as_ref()
-                .map(TraceRing::compacted_away)
-                .unwrap_or(0),
+            trace_emitted: trace.emitted,
+            trace_captured: trace.captured,
+            trace_dropped: trace.dropped,
+            trace_compacted: trace.compacted,
             ring_hwm_bytes: self
                 .trace
                 .as_ref()
@@ -402,6 +405,12 @@ impl Ipm {
     /// cheap enough to run at a few hertz against a live rank.
     pub fn snapshot(&self) -> Snapshot {
         let t = Instant::now();
+        // The snap lock is taken *before* sampling the cumulative counters
+        // and held until the baselines are replaced: two concurrent
+        // snapshot() callers are serialized, so the later one can never
+        // compute deltas from a counter read older than the stored
+        // baseline (which would underflow the unsigned subtractions).
+        let mut snap = self.snap.lock();
         let mut totals: HashMap<EventFamily, (u64, u64, f64)> = HashMap::new();
         for (sig, stats) in self.table.snapshot() {
             let e = totals.entry(classify(&sig.name)).or_default();
@@ -411,16 +420,11 @@ impl Ipm {
         }
         let now = self.clock.now();
         let rank = self.meta.lock().rank;
-        let cur_trace = match &self.trace {
-            Some(ring) => (
-                ring.emitted(),
-                ring.captured(),
-                ring.dropped(),
-                ring.compacted_away(),
-            ),
-            None => (0, 0, 0, 0),
-        };
-        let mut snap = self.snap.lock();
+        let cur_trace = self
+            .trace
+            .as_ref()
+            .map(TraceRing::counters)
+            .unwrap_or_default();
         let interval = now - snap.last_at.unwrap_or(self.start);
         let mut families = Vec::new();
         for family in FAMILY_ORDER {
@@ -438,11 +442,11 @@ impl Ipm {
         }
         let prev_trace = snap.last_trace;
         let trace = TraceDelta {
-            emitted: cur_trace.0 - prev_trace.0,
+            emitted: cur_trace.emitted - prev_trace.emitted,
             // compaction can shrink cumulative captured between samples
-            captured: cur_trace.1 as i64 - prev_trace.1 as i64,
-            dropped: cur_trace.2 - prev_trace.2,
-            compacted: cur_trace.3 - prev_trace.3,
+            captured: cur_trace.captured as i64 - prev_trace.captured as i64,
+            dropped: cur_trace.dropped - prev_trace.dropped,
+            compacted: cur_trace.compacted - prev_trace.compacted,
         };
         let seq = snap.seq;
         snap.seq += 1;

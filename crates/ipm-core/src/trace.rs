@@ -244,6 +244,21 @@ impl<T> Drop for SpinGuard<'_, T> {
     }
 }
 
+/// A consistent sample of a ring's cumulative counters, taken with one
+/// lock acquisition per stripe (see [`TraceRing::counters`]); always
+/// satisfies `captured + dropped + compacted == emitted`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Records offered (the sum of the other three).
+    pub emitted: u64,
+    /// Records stored and still individually accounted for.
+    pub captured: u64,
+    /// Records refused because the ring was full.
+    pub dropped: u64,
+    /// Records absorbed into summaries by compaction passes.
+    pub compacted: u64,
+}
+
 /// One lock stripe: its record buffer plus bookkeeping that only ever
 /// changes under the stripe lock (so it needs no atomics of its own).
 #[derive(Default)]
@@ -422,6 +437,25 @@ impl TraceRing {
             .sum()
     }
 
+    /// All cumulative counters in one sweep, each stripe read under a
+    /// single lock acquisition. Because every stripe's triple is sampled
+    /// atomically (and `emitted` is their sum by definition), the returned
+    /// snapshot satisfies `captured + dropped + compacted == emitted` even
+    /// while writers and compaction passes are running — unlike combining
+    /// the individual accessors, which sweep the stripes once each and can
+    /// interleave with concurrent pushes.
+    pub fn counters(&self) -> TraceCounters {
+        let mut c = TraceCounters::default();
+        for shard in &self.shards {
+            let g = shard.lock();
+            c.captured += g.captured;
+            c.dropped += g.dropped;
+            c.compacted += g.compacted_away;
+            c.emitted += g.captured + g.dropped + g.compacted_away;
+        }
+        c
+    }
+
     /// Records stored and still individually accounted for (drained
     /// records still count; records absorbed into summaries move to
     /// [`TraceRing::compacted_away`]).
@@ -573,10 +607,22 @@ struct LaneSlice {
     flow_in: u64,
     /// Flow id to originate at this slice's begin (0 = none).
     flow_out: u64,
+    /// Compaction summary: emitted as a Chrome `X` (complete) event rather
+    /// than a `B`/`E` pair. Summaries span `first_begin..last_end` of an
+    /// interleaved subsequence (writers rotate ring stripes, each stripe
+    /// compacts its own subsequence), so two stripes' summaries can
+    /// *partially* overlap — something `B`/`E` nesting cannot express. An
+    /// `X` event carries its own `dur` and takes no part in the nesting
+    /// stack, so overlap is harmless.
+    summary: bool,
 }
 
-/// Emit one lane's slices as properly nested `B`/`E` events (JSON object
-/// strings), timestamps non-decreasing.
+/// Emit one lane's slices: raw records as properly nested `B`/`E` pairs,
+/// summaries as self-contained `X` events (JSON object strings). Events
+/// are produced in `(begin, -end)` order and every event's `ts` is either
+/// the current slice's begin or a pending end ≤ it, so timestamps are
+/// non-decreasing even when summary spans partially overlap raw slices or
+/// each other.
 fn emit_lane(pid: usize, tid: u32, mut slices: Vec<LaneSlice>, out: &mut Vec<String>) {
     slices.sort_by(|a, b| {
         a.begin
@@ -623,15 +669,27 @@ fn emit_lane(pid: usize, tid: u32, mut slices: Vec<LaneSlice>, out: &mut Vec<Str
             }
             let _ = write!(args, "\"{}\":{}", k, v);
         }
-        out.push(format!(
-            "{{\"ph\":\"B\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{{}}}}}",
-            esc(&s.name),
-            pid,
-            tid,
-            us(s.begin),
-            args
-        ));
-        stack.push((s.end, s.name));
+        if s.summary {
+            out.push(format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{}}}}}",
+                esc(&s.name),
+                pid,
+                tid,
+                us(s.begin),
+                us(s.end - s.begin),
+                args
+            ));
+        } else {
+            out.push(format!(
+                "{{\"ph\":\"B\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{{}}}}}",
+                esc(&s.name),
+                pid,
+                tid,
+                us(s.begin),
+                args
+            ));
+            stack.push((s.end, s.name));
+        }
     }
     close(&mut stack, f64::INFINITY, out);
 }
@@ -669,7 +727,10 @@ fn meta_event(pid: usize, tid: Option<u32>, which: &str, label: &str) -> String 
 /// object form). One process per rank; `tid 0` is the host lane and
 /// `tid 1 + s` is device stream `s`. `cudaLaunch` slices originate flow
 /// arrows (`ph:"s"`) that terminate (`ph:"f"`) at the kernel slice with the
-/// same correlation id.
+/// same correlation id. Raw records render as `B`/`E` pairs; compaction
+/// summaries render as `X` (complete) events carrying their aggregate in
+/// `args`, since summaries from different ring stripes may partially
+/// overlap in time.
 pub fn chrome_trace(ranks: &[TraceRank]) -> String {
     let mut events: Vec<String> = Vec::new();
     for r in ranks {
@@ -719,6 +780,7 @@ pub fn chrome_trace(ranks: &[TraceRank]) -> String {
                     } else {
                         0
                     },
+                    summary: t.is_summary(),
                 }
             })
             .collect();
@@ -741,6 +803,7 @@ pub fn chrome_trace(ranks: &[TraceRank]) -> String {
                         0
                     },
                     flow_out: 0,
+                    summary: false,
                 });
             }
         } else {
@@ -760,6 +823,7 @@ pub fn chrome_trace(ranks: &[TraceRank]) -> String {
                     args,
                     flow_in: t.corr,
                     flow_out: 0,
+                    summary: t.is_summary(),
                 });
             }
         }
@@ -1041,9 +1105,11 @@ pub struct TraceStats {
 }
 
 /// Validate Chrome trace-event JSON structurally: the document parses, every
-/// `B` has a matching `E` (same lane, same name, LIFO order), timestamps
-/// are monotone non-decreasing per lane, and every flow start resolves to a
-/// flow finish (and vice versa). Returns summary stats on success.
+/// `B` has a matching `E` (same lane, same name, LIFO order), every `X`
+/// carries a name and a finite non-negative `dur`, timestamps are monotone
+/// non-decreasing per lane, and every flow start resolves to a flow finish
+/// (and vice versa). Returns summary stats on success (`X` events count as
+/// completed slices).
 pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
     let doc = parse_json(text)?;
     let events = doc
@@ -1135,7 +1201,21 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
                     as u64;
                 *flow_finishes.entry(id).or_default() += 1;
             }
-            "X" | "i" | "C" => {} // tolerated, unused by our exporter
+            "X" => {
+                ev.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("event {i}: X without name"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: X without dur"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i}: X with bad dur {dur}"));
+                }
+                slices += 1;
+                lanes_with_slices.insert(lane);
+            }
+            "i" | "C" => {} // tolerated, unused by our exporter
             other => return Err(format!("event {i}: unknown phase '{other}'")),
         }
     }
@@ -1308,6 +1388,92 @@ mod tests {
         assert!(drained
             .windows(2)
             .all(|w| (w[0].begin, w[0].end) <= (w[1].begin, w[1].end)));
+    }
+
+    #[test]
+    fn multi_stripe_compacted_burst_exports_valid_chrome_trace() {
+        // Writers rotate stripes, so with the default 8 stripes a
+        // same-signature burst lands as interleaved subsequences; each
+        // stripe compacts its own subsequence into summaries whose time
+        // spans partially overlap across stripes. The exporter must render
+        // those as X events — B/E nesting cannot express partial overlap
+        // (regression: E timestamps regressed and the validator rejected
+        // the exporter's own output).
+        let ring = TraceRing::with_policy(
+            1 << 12,
+            DEFAULT_TRACE_SHARDS,
+            CompactPolicy::with_high_water(16),
+        );
+        for i in 0..2000 {
+            let t = i as f64 * 1e-3;
+            assert!(ring.push(call("cudaLaunch", t, t + 5e-4)));
+        }
+        assert!(ring.compacted_away() > 0, "burst must compact");
+        let records = ring.drain();
+        let summaries: Vec<&TraceRecord> = records.iter().filter(|r| r.is_summary()).collect();
+        assert!(
+            summaries
+                .windows(2)
+                .any(|w| w[1].begin < w[0].end && w[0].begin < w[1].end),
+            "want partially overlapping summaries from several stripes"
+        );
+        let rank = TraceRank {
+            rank: 0,
+            host: String::new(),
+            epoch: 0.0,
+            records,
+            prof: Vec::new(),
+        };
+        let json = chrome_trace(&[rank]);
+        let stats = validate_chrome_trace(&json).expect("multi-stripe compacted export invalid");
+        assert!(stats.slices > 0);
+    }
+
+    #[test]
+    fn counters_sweep_matches_individual_accessors() {
+        let ring = TraceRing::with_policy(8, 2, CompactPolicy::with_high_water(2));
+        for i in 0..50 {
+            ring.push(call("x", i as f64, i as f64 + 0.5));
+        }
+        let c = ring.counters();
+        assert_eq!(c.emitted, ring.emitted());
+        assert_eq!(c.captured, ring.captured());
+        assert_eq!(c.dropped, ring.dropped());
+        assert_eq!(c.compacted, ring.compacted_away());
+        assert_eq!(c.captured + c.dropped + c.compacted, c.emitted);
+    }
+
+    #[test]
+    fn counters_ledger_closes_while_writers_race() {
+        // the single-lock-per-stripe sweep must return a closing ledger at
+        // any instant, concurrent pushes notwithstanding
+        let ring = Arc::new(TraceRing::with_policy(
+            64,
+            4,
+            CompactPolicy::with_high_water(8),
+        ));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let ring = ring.clone();
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        let b = (t * 500 + i) as f64;
+                        ring.push(call("k", b, b + 0.5));
+                    }
+                });
+            }
+            let ring = ring.clone();
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    let c = ring.counters();
+                    assert_eq!(
+                        c.captured + c.dropped + c.compacted,
+                        c.emitted,
+                        "mid-run counter sweep tore"
+                    );
+                }
+            });
+        });
     }
 
     #[test]

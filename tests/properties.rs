@@ -571,6 +571,47 @@ proptest! {
         }
     }
 
+    /// A compacted multi-stripe drain always exports to structurally valid
+    /// Chrome trace JSON. Writers rotate stripes, so each stripe compacts
+    /// an interleaved subsequence of a burst and per-stripe summaries can
+    /// partially overlap in time — the exporter must render summaries as
+    /// self-contained `X` events (B/E nesting cannot express the overlap).
+    #[test]
+    fn compacted_multi_stripe_drain_exports_valid_chrome_trace(
+        shards in 1usize..9,
+        high_water in 2usize..24,
+        // (signature index, duration steps, gap steps)
+        stream in prop::collection::vec((0usize..4, 1u32..64, 0u32..16), 1..400),
+    ) {
+        let names = ["cudaLaunch", "cudaMemcpy(H2D)", "@CUDA_HOST_IDLE", "@CUDA_EXEC_STRM00"];
+        let ring = TraceRing::with_policy(
+            1 << 12, shards, CompactPolicy::with_high_water(high_water),
+        );
+        let mut t = 0.0f64;
+        for &(sig, dur, gap) in &stream {
+            let begin = t + gap as f64 * Q;
+            let end = begin + dur as f64 * Q;
+            t = end;
+            let (kind, stream_id) = match sig {
+                2 => (TraceKind::HostIdle, None),
+                3 => (TraceKind::KernelExec, Some(0)),
+                _ => (TraceKind::Call, None),
+            };
+            ring.push(trace_rec(kind, names[sig], begin, end, stream_id, 0));
+        }
+        let rank = TraceRank {
+            rank: 0,
+            host: "dirac00".to_owned(),
+            epoch: 0.0,
+            records: ring.drain(),
+            prof: Vec::new(),
+        };
+        let json = chrome_trace(&[rank]);
+        if let Err(e) = validate_chrome_trace(&json) {
+            return Err(TestCaseError::fail(format!("invalid compacted trace: {e}")));
+        }
+    }
+
     /// The k-way merged drain equals the old sort-everything drain
     /// record-for-record on uncompacted input: merging the per-stripe runs
     /// reproduces a stable global sort of the stripes' concatenation, ties
