@@ -23,6 +23,7 @@ use ipm_sim_core::fsio::{FsConfig, IoApi, RankFs, SimFs};
 use ipm_sim_core::{NoiseModel, SimClock, SimRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Cluster-run configuration.
 #[derive(Clone, Debug)]
@@ -152,6 +153,25 @@ impl RankCtx {
 pub struct ClusterObserver {
     ipms: Mutex<Vec<(usize, Arc<Ipm>)>>,
     done: AtomicBool,
+    /// EWMA of the wall-clock cost of one [`ClusterObserver::sample`]
+    /// sweep, seconds; `None` until the first sweep.
+    sample_cost: Mutex<Option<f64>>,
+}
+
+/// Bounds for the auto-tuned polling period: even a free snapshot is not
+/// polled faster than 1 ms, and even a very expensive one is still polled
+/// every few seconds so the dashboard keeps moving.
+const MIN_SAMPLE_PERIOD: Duration = Duration::from_millis(1);
+const MAX_SAMPLE_PERIOD: Duration = Duration::from_secs(5);
+
+/// The polling period that keeps observer overhead within `budget`: the
+/// measured per-sweep cost divided by the budget fraction, clamped to
+/// [`MIN_SAMPLE_PERIOD`, `MAX_SAMPLE_PERIOD`]. A 50 µs sweep on a 1%
+/// budget polls every 5 ms.
+pub fn period_for_budget(sweep_cost: Duration, budget: f64) -> Duration {
+    assert!(budget > 0.0, "snapshot budget must be positive");
+    let period = sweep_cost.as_secs_f64() / budget;
+    Duration::from_secs_f64(period).clamp(MIN_SAMPLE_PERIOD, MAX_SAMPLE_PERIOD)
 }
 
 impl ClusterObserver {
@@ -159,6 +179,7 @@ impl ClusterObserver {
         Self {
             ipms: Mutex::new(Vec::new()),
             done: AtomicBool::new(false),
+            sample_cost: Mutex::new(None),
         }
     }
 
@@ -197,9 +218,44 @@ impl ClusterObserver {
         if ipms.is_empty() {
             return None;
         }
+        let sweep_start = Instant::now();
         let snaps: Vec<Snapshot> = ipms.iter().map(|(_, ipm)| ipm.snapshot()).collect();
+        self.record_sweep_cost(sweep_start.elapsed());
         let interval = snaps.iter().map(|s| s.interval).fold(0.0, f64::max);
         Some((ClusterSnapshot::merge(&snaps), interval))
+    }
+
+    /// Fold one measured sweep cost into the EWMA (α = 1/4: smooth enough
+    /// to ride out scheduler noise, fast enough to track load changes
+    /// within a handful of samples).
+    fn record_sweep_cost(&self, cost: Duration) {
+        let mut ewma = self.sample_cost.lock().expect("sample cost poisoned");
+        let cost = cost.as_secs_f64();
+        *ewma = Some(match *ewma {
+            None => cost,
+            Some(prev) => prev + (cost - prev) * 0.25,
+        });
+    }
+
+    /// The auto-tuned polling period (ROADMAP: sampling-rate auto-tuning):
+    /// the EWMA per-sweep cost measured by [`ClusterObserver::sample`]
+    /// against the tightest [`IpmConfig::snapshot_overhead_budget`] of the
+    /// registered ranks, clamped to sane bounds. `None` until the first
+    /// sweep has been measured — callers fall back to a fixed warm-up
+    /// period.
+    pub fn auto_period(&self) -> Option<Duration> {
+        let cost = (*self.sample_cost.lock().expect("sample cost poisoned"))?;
+        let budget = self
+            .ipms
+            .lock()
+            .expect("observer registry poisoned")
+            .iter()
+            .map(|(_, ipm)| ipm.config().snapshot_overhead_budget)
+            .fold(f64::INFINITY, f64::min);
+        if !budget.is_finite() {
+            return None;
+        }
+        Some(period_for_budget(Duration::from_secs_f64(cost), budget))
     }
 }
 
@@ -597,5 +653,68 @@ mod tests {
         assert_eq!(p.count_of("cufftExecZ2Z"), 1);
         // library-internal launches intercepted too
         assert!(p.count_of("cudaLaunch") >= 2);
+    }
+
+    #[test]
+    fn period_for_budget_scales_and_clamps() {
+        use std::time::Duration;
+        // 50 µs sweep on a 1% budget → poll every 5 ms
+        assert_eq!(
+            period_for_budget(Duration::from_micros(50), 0.01),
+            Duration::from_millis(5)
+        );
+        // a free sweep still waits the minimum period
+        assert_eq!(
+            period_for_budget(Duration::ZERO, 0.01),
+            Duration::from_millis(1)
+        );
+        // a pathological sweep is capped so the dashboard keeps moving
+        assert_eq!(
+            period_for_budget(Duration::from_secs(10), 0.01),
+            Duration::from_secs(5)
+        );
+    }
+
+    #[test]
+    fn observer_auto_tunes_its_polling_period() {
+        let cfg = ClusterConfig::dirac(2, 1)
+            .with_ipm(IpmConfig::default().with_snapshot_budget(0.02))
+            .with_command("tuned");
+        let periods = Mutex::new(Vec::new());
+        run_cluster_observed(
+            &cfg,
+            |ctx| {
+                for _ in 0..20 {
+                    let k = Kernel::timed("work", KernelCost::Fixed(0.01));
+                    launch_kernel(
+                        ctx.cuda.as_ref(),
+                        &k,
+                        LaunchConfig::simple(8u32, 32u32),
+                        &[],
+                    )
+                    .unwrap();
+                    ctx.cuda.cuda_thread_synchronize().unwrap();
+                }
+            },
+            |obs| {
+                // before any sweep there is no measurement to tune from
+                assert!(obs.auto_period().is_none());
+                while !obs.is_done() {
+                    obs.sample();
+                    // warm-up fallback until the first sweep lands
+                    let period = obs
+                        .auto_period()
+                        .unwrap_or(std::time::Duration::from_millis(1));
+                    periods.lock().unwrap().push(period);
+                    std::thread::sleep(period);
+                }
+            },
+        );
+        let periods = periods.into_inner().unwrap();
+        assert!(!periods.is_empty(), "observer never polled");
+        // once a sweep was measured every derived period respects the bounds
+        assert!(periods
+            .iter()
+            .all(|p| (MIN_SAMPLE_PERIOD..=MAX_SAMPLE_PERIOD).contains(p)));
     }
 }

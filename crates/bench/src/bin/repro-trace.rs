@@ -1,18 +1,63 @@
-//! Emit a Chrome/Perfetto trace of a monitored two-rank run.
+//! Emit a trace of a monitored two-rank run.
 //!
 //! Runs the demo workload of [`ipm_bench::trace_fig`] and prints the
 //! Chrome trace-event JSON to stdout (or writes it to the file given as
 //! the first argument). Load the output in `chrome://tracing` or
-//! <https://ui.perfetto.dev>.
+//! <https://ui.perfetto.dev>. With `--otlp` the same run is exported as
+//! OTLP-shaped `resourceSpans` JSON instead — the document any
+//! OTLP-ingesting backend accepts on `/v1/traces`.
 //!
 //! ```text
 //! cargo run --release -p ipm-bench --bin repro-trace -- trace.json
+//! cargo run --release -p ipm-bench --bin repro-trace -- --otlp spans.json
 //! ```
 
 use ipm_bench::trace_fig::build_demo_trace;
 
+fn write_or_print(json: &str, out: Option<String>, hint: &str) -> std::process::ExitCode {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("repro-trace: cannot write {path}: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+            eprintln!("repro-trace: wrote {path} — {hint}");
+        }
+        None => print!("{json}"),
+    }
+    std::process::ExitCode::SUCCESS
+}
+
+#[cfg(feature = "otlp")]
+fn run_otlp(out: Option<String>) -> std::process::ExitCode {
+    use ipm_core::{validate_otlp, Otlp};
+    let (export, captured, dropped) = ipm_bench::trace_fig::demo_export(2);
+    let json = export.to(Otlp).expect("demo has ranks");
+    let stats = validate_otlp(&json).expect("exporter produced invalid OTLP");
+    eprintln!(
+        "repro-trace: {} spans over {} ranks, {} links, {} summary spans; \
+         ring captured {captured} / dropped {dropped}",
+        stats.spans, stats.resources, stats.links, stats.summary_spans,
+    );
+    write_or_print(&json, out, "POST it to an OTLP/HTTP collector's /v1/traces")
+}
+
+#[cfg(not(feature = "otlp"))]
+fn run_otlp(_out: Option<String>) -> std::process::ExitCode {
+    eprintln!("repro-trace: built without the `otlp` feature");
+    std::process::ExitCode::FAILURE
+}
+
 fn main() -> std::process::ExitCode {
-    let out = std::env::args().nth(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let otlp = args.iter().any(|a| a == "--otlp");
+    args.retain(|a| a != "--otlp");
+    let out = args.into_iter().next();
+
+    if otlp {
+        return run_otlp(out);
+    }
+
     let demo = build_demo_trace(2);
     eprintln!(
         "repro-trace: {} slices over {} lanes ({} ranks), {} flow arrows; \
@@ -24,15 +69,9 @@ fn main() -> std::process::ExitCode {
         demo.captured,
         demo.dropped,
     );
-    match out {
-        Some(path) => {
-            if let Err(e) = std::fs::write(&path, &demo.json) {
-                eprintln!("repro-trace: cannot write {path}: {e}");
-                return std::process::ExitCode::FAILURE;
-            }
-            eprintln!("repro-trace: wrote {path} — open it in chrome://tracing or ui.perfetto.dev");
-        }
-        None => print!("{}", demo.json),
-    }
-    std::process::ExitCode::SUCCESS
+    write_or_print(
+        &demo.json,
+        out,
+        "open it in chrome://tracing or ui.perfetto.dev",
+    )
 }

@@ -8,7 +8,7 @@
 //! `ReduceForces`/`ClearForces` imbalanced by up to 55%.
 
 use ipm_apps::{run_amber, run_cluster, AmberConfig, ClusterConfig};
-use ipm_core::{render_cluster_banner, ClusterReport};
+use ipm_core::{Banner, ClusterReport, Export};
 
 /// Outcome of the Fig. 11 experiment.
 pub struct Fig11Result {
@@ -42,7 +42,11 @@ fn run_fig11_inner(nranks: usize, cfg: AmberConfig, steady: bool) -> Fig11Result
 impl Fig11Result {
     /// The cluster banner (the Fig. 11 format).
     pub fn banner(&self) -> String {
-        render_cluster_banner(&self.report, 20)
+        Export::from_profiles(self.report.profiles().to_vec())
+            .nodes(self.report.nodes)
+            .max_rows(20)
+            .to(Banner)
+            .expect("profiles present")
     }
 
     /// Key derived metrics, as `(label, paper value, measured value)`.

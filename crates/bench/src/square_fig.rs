@@ -8,7 +8,7 @@
 //! Fig. 7: the run rendered as a timeline.
 
 use ipm_apps::{run_square, SquareConfig};
-use ipm_core::{render_banner, render_timeline, Ipm, IpmConfig, IpmCuda, RankProfile};
+use ipm_core::{render_timeline, Banner, Export, Ipm, IpmConfig, IpmCuda, RankProfile};
 use ipm_gpu_sim::{GpuConfig, GpuRuntime};
 use std::sync::Arc;
 
@@ -56,7 +56,10 @@ pub fn run_square_fig(mode: SquareMode, cfg: SquareConfig) -> SquareResult {
 impl SquareResult {
     /// The banner (Figs. 4/5/6 depending on the mode used).
     pub fn banner(&self) -> String {
-        render_banner(&self.profile, 10)
+        Export::from_profile(self.profile.clone())
+            .max_rows(10)
+            .to(Banner)
+            .expect("profile present")
     }
 
     /// The timeline rendering (Fig. 7).

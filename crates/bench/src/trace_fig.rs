@@ -11,7 +11,7 @@
 
 use ipm_apps::{run_square, SquareConfig};
 use ipm_core::{
-    chrome_trace, validate_chrome_trace, Ipm, IpmConfig, IpmCuda, TraceRank, TraceStats,
+    validate_chrome_trace, ChromeTrace, Export, Ipm, IpmConfig, IpmCuda, TraceRank, TraceStats,
 };
 use ipm_gpu_sim::{
     launch_kernel, CudaApi, GpuConfig, GpuRuntime, Kernel, KernelArg, KernelCost, LaunchConfig,
@@ -31,11 +31,12 @@ pub struct TraceDemo {
     pub dropped: u64,
 }
 
-/// Run the monitored demo workload on `nranks` simulated ranks and export
-/// the merged trace. Panics if the exporter ever produces structurally
-/// invalid JSON — that is a bug, not an input condition.
-pub fn build_demo_trace(nranks: usize) -> TraceDemo {
-    let mut ranks = Vec::new();
+/// Run the monitored demo workload on `nranks` simulated ranks and return
+/// the ready-to-render [`Export`] plus the ring accounting (records
+/// captured / dropped, summed over ranks). The caller picks the backend —
+/// [`ChromeTrace`] for `repro-trace`, `Otlp` for `repro-trace --otlp`.
+pub fn demo_export(nranks: usize) -> (Export, u64, u64) {
+    let mut export = Export::new();
     let (mut captured, mut dropped) = (0u64, 0u64);
     for r in 0..nranks {
         let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node().with_profiler()));
@@ -67,7 +68,7 @@ pub fn build_demo_trace(nranks: usize) -> TraceDemo {
         let m = ipm.monitor_info();
         captured += m.trace_captured;
         dropped += m.trace_dropped;
-        ranks.push(TraceRank {
+        export = export.with_trace_rank(TraceRank {
             rank: r,
             host,
             epoch: ipm.epoch(),
@@ -75,8 +76,15 @@ pub fn build_demo_trace(nranks: usize) -> TraceDemo {
             prof: rt.profiler_records(),
         });
     }
+    (export, captured, dropped)
+}
 
-    let json = chrome_trace(&ranks);
+/// Run the monitored demo workload on `nranks` simulated ranks and export
+/// the merged trace. Panics if the exporter ever produces structurally
+/// invalid JSON — that is a bug, not an input condition.
+pub fn build_demo_trace(nranks: usize) -> TraceDemo {
+    let (export, captured, dropped) = demo_export(nranks);
+    let json = export.to(ChromeTrace).expect("demo has ranks");
     let stats = validate_chrome_trace(&json).expect("exporter produced invalid chrome trace");
     TraceDemo {
         json,

@@ -21,7 +21,7 @@ const RULE: &str = "##IPMv2.0###################################################
 
 /// Render a single-rank banner (Figs. 4–6). `max_rows` limits the function
 /// table (0 = unlimited).
-pub fn render_banner(profile: &RankProfile, max_rows: usize) -> String {
+pub(crate) fn render_banner(profile: &RankProfile, max_rows: usize) -> String {
     let mut out = String::new();
     out.push_str(RULE);
     out.push_str("#\n");
@@ -94,7 +94,7 @@ fn render_monitor_section(profile: &RankProfile) -> String {
 }
 
 /// Render the cluster banner (Fig. 11 format) from an aggregated report.
-pub fn render_cluster_banner(report: &ClusterReport, max_rows: usize) -> String {
+pub(crate) fn render_cluster_banner(report: &ClusterReport, max_rows: usize) -> String {
     let mut out = String::new();
     out.push_str(RULE);
     out.push_str("#\n");
@@ -162,7 +162,7 @@ pub fn render_cluster_banner(report: &ClusterReport, max_rows: usize) -> String 
 
 /// Render the per-region breakdown (IPM's `MPI_Pcontrol` regions): one
 /// section per user region, each with its own function table.
-pub fn render_region_report(profile: &RankProfile, max_rows: usize) -> String {
+pub(crate) fn render_region_report(profile: &RankProfile, max_rows: usize) -> String {
     let mut out = String::new();
     for (region_id, region_name) in profile.regions.iter().enumerate() {
         let mut map: HashMap<&str, RunningStats> = HashMap::new();

@@ -9,19 +9,36 @@
 //! ipm_parse -cube rank*.xml                # CUBE text view
 //! ipm_parse -cubexml rank*.xml             # CUBE XML document
 //! ipm_parse trace rank*.xml                # Chrome/Perfetto trace JSON
+//! ipm_parse otlp rank*.xml                 # OTLP resourceSpans JSON
 //! ```
 
+use ipm_core::export::{Banner, Export, Html};
+use ipm_core::parse::export_from_xml;
 use ipm_core::{
-    build_cube, chrome_trace_from_xml, cube_to_xml, from_xml, html_report, render_banner,
-    render_cluster_banner, render_cube_text, validate_chrome_trace, ClusterReport,
+    build_cube, cube_to_xml, from_xml, render_cube_text, validate_chrome_trace, ChromeTrace,
+    ClusterReport,
 };
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ipm_parse [-b | -html <out.html> | -cube | -cubexml | trace] <profile.xml>..."
+        "usage: ipm_parse [-b | -html <out.html> | -cube | -cubexml | trace | otlp] <profile.xml>..."
     );
     ExitCode::FAILURE
+}
+
+fn read_all(files: &[String]) -> Result<Vec<String>, ExitCode> {
+    let mut xmls = Vec::new();
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(s) => xmls.push(s),
+            Err(e) => {
+                eprintln!("ipm_parse: cannot read {path}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(xmls)
 }
 
 fn main() -> ExitCode {
@@ -41,40 +58,60 @@ fn main() -> ExitCode {
         "-cube" => ("cube", None, &args[1..]),
         "-cubexml" => ("cubexml", None, &args[1..]),
         "trace" | "-trace" => ("trace", None, &args[1..]),
+        "otlp" | "-otlp" => ("otlp", None, &args[1..]),
         _ => ("banner", None, &args[..]),
     };
     if files.is_empty() {
         return usage();
     }
 
-    if mode == "trace" {
-        let mut xmls = Vec::new();
-        for path in files {
-            match std::fs::read_to_string(path) {
-                Ok(s) => xmls.push(s),
-                Err(e) => {
-                    eprintln!("ipm_parse: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        let json = match chrome_trace_from_xml(&xmls) {
-            Ok(j) => j,
+    if mode == "trace" || mode == "otlp" {
+        let xmls = match read_all(files) {
+            Ok(x) => x,
+            Err(code) => return code,
+        };
+        let export = match export_from_xml(&xmls) {
+            Ok(e) => e,
             Err(e) => {
                 eprintln!("ipm_parse: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        match validate_chrome_trace(&json) {
-            Ok(stats) => eprintln!(
-                "ipm_parse: trace ok — {} slices, {} ranks, {} lanes, {} flows",
-                stats.slices, stats.processes, stats.lanes, stats.flow_pairs
-            ),
-            Err(e) => {
-                eprintln!("ipm_parse: internal error, produced invalid trace: {e}");
+        let json = if mode == "trace" {
+            let json = export.to(ChromeTrace).expect("ranks present");
+            match validate_chrome_trace(&json) {
+                Ok(stats) => eprintln!(
+                    "ipm_parse: trace ok — {} slices, {} ranks, {} lanes, {} flows",
+                    stats.slices, stats.processes, stats.lanes, stats.flow_pairs
+                ),
+                Err(e) => {
+                    eprintln!("ipm_parse: internal error, produced invalid trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            json
+        } else {
+            #[cfg(feature = "otlp")]
+            {
+                let json = export.to(ipm_core::export::Otlp).expect("ranks present");
+                match ipm_core::export::validate_otlp(&json) {
+                    Ok(stats) => eprintln!(
+                        "ipm_parse: otlp ok — {} spans, {} ranks, {} links, {} summaries",
+                        stats.spans, stats.resources, stats.links, stats.summary_spans
+                    ),
+                    Err(e) => {
+                        eprintln!("ipm_parse: internal error, produced invalid OTLP: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                json
+            }
+            #[cfg(not(feature = "otlp"))]
+            {
+                eprintln!("ipm_parse: built without the `otlp` feature");
                 return ExitCode::FAILURE;
             }
-        }
+        };
         print!("{json}");
         return ExitCode::SUCCESS;
     }
@@ -97,22 +134,18 @@ fn main() -> ExitCode {
         }
     }
 
-    // nodes: infer from distinct hosts
-    let nodes = {
-        let mut hosts: Vec<&str> = profiles.iter().map(|p| p.host.as_str()).collect();
-        hosts.sort_unstable();
-        hosts.dedup();
-        hosts.len().max(1)
-    };
-
     match mode {
-        "banner" if profiles.len() == 1 => print!("{}", render_banner(&profiles[0], 0)),
         "banner" => {
-            let report = ClusterReport::from_profiles(profiles, nodes);
-            print!("{}", render_cluster_banner(&report, 0));
+            // node count is inferred from the distinct hosts by the builder
+            let banner = Export::from_profiles(profiles)
+                .to(Banner)
+                .expect("profiles present");
+            print!("{banner}");
         }
         "html" => {
-            let html = html_report(&profiles, nodes);
+            let html = Export::from_profiles(profiles)
+                .to(Html)
+                .expect("profiles present");
             let out = html_out.expect("checked");
             if let Err(e) = std::fs::write(&out, html) {
                 eprintln!("ipm_parse: cannot write {out}: {e}");
@@ -121,6 +154,12 @@ fn main() -> ExitCode {
             eprintln!("ipm_parse: wrote {out}");
         }
         "cube" | "cubexml" => {
+            let nodes = {
+                let mut hosts: Vec<&str> = profiles.iter().map(|p| p.host.as_str()).collect();
+                hosts.sort_unstable();
+                hosts.dedup();
+                hosts.len().max(1)
+            };
             let report = ClusterReport::from_profiles(profiles, nodes);
             let cube = build_cube(&report);
             if mode == "cube" {

@@ -473,7 +473,8 @@ mod tests {
 
     #[test]
     fn trace_captures_the_run_end_to_end() {
-        use crate::trace::{chrome_trace, validate_chrome_trace, TraceKind, TraceRank};
+        use crate::export::{validate_chrome_trace, ChromeTrace, Export};
+        use crate::trace::{TraceKind, TraceRank};
         let (ipm, _cuda) = square_run(IpmConfig::default());
 
         // exact accounting all the way through the monitored run
@@ -509,13 +510,16 @@ mod tests {
 
         // and the whole thing exports as a valid Chrome trace with the
         // launch → kernel flow resolved
-        let json = chrome_trace(&[TraceRank {
-            rank: 0,
-            host: "dirac00".to_owned(),
-            epoch: 0.0,
-            records,
-            prof: Vec::new(),
-        }]);
+        let json = Export::new()
+            .with_trace_rank(TraceRank {
+                rank: 0,
+                host: "dirac00".to_owned(),
+                epoch: 0.0,
+                records,
+                prof: Vec::new(),
+            })
+            .to(ChromeTrace)
+            .unwrap();
         let stats = validate_chrome_trace(&json).expect("valid chrome trace");
         assert!(stats.flow_pairs >= 1, "launch→exec flow missing");
     }

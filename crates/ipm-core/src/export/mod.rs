@@ -1,0 +1,478 @@
+//! The unified export pipeline: one canonical view of a run, many renderings.
+//!
+//! The paper's §II reporting layer emits one profile through several
+//! renderings (banner, XML log, `ipm_parse` HTML/CUBE). This module is the
+//! single entry point for all of them: an [`ExportSource`] holds the
+//! canonical per-rank view (profile + trace records + device ground truth +
+//! clock epoch), an [`Exporter`] turns that view into one output format,
+//! and the [`Export`] builder assembles the source from whatever the caller
+//! has on hand — a live [`Ipm`] context, parsed XML logs, or raw pieces.
+//!
+//! ```text
+//!   Ipm ──┐
+//!   XML ──┼─► Export (builder) ─► ExportSource ─► Exporter::render ─► String
+//!   raw ──┘        .rank(..)        per-rank:        Banner
+//!                  .with_trace(..)   profile          RegionReport
+//!                  .with_epoch(..)   records          Xml
+//!                  .nodes(..)        prof             Html
+//!                  .to(backend) ──►  epoch            ChromeTrace
+//!                                                     Otlp  (feature "otlp")
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ipm_core::export::{Banner, ChromeTrace, Export, Xml};
+//! use ipm_core::{Ipm, IpmConfig, IpmCuda};
+//! use ipm_gpu_sim::{CudaApi, GpuConfig, GpuRuntime};
+//!
+//! let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node()));
+//! let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
+//! let cuda = IpmCuda::new(ipm.clone(), rt);
+//! let dev = cuda.cuda_malloc(1024).unwrap();
+//! cuda.cuda_free(dev).unwrap();
+//!
+//! let banner = Export::from(&ipm).max_rows(10).to(Banner).unwrap();
+//! assert!(banner.contains("cudaMalloc"));
+//! let xml = Export::from(&ipm).to(Xml).unwrap();
+//! let trace = Export::from(&ipm).to(ChromeTrace).unwrap();
+//! ```
+
+pub mod chrome;
+#[cfg(feature = "otlp")]
+pub mod otlp;
+
+pub use chrome::{validate_chrome_trace, TraceStats};
+#[cfg(feature = "otlp")]
+pub use otlp::{validate_otlp, OtlpStats};
+
+use crate::aggregate::ClusterReport;
+use crate::monitor::Ipm;
+use crate::profile::RankProfile;
+use crate::trace::{TraceRank, TraceRecord};
+use ipm_gpu_sim::ProfRecord;
+use std::sync::Arc;
+
+/// One rank's slice of the canonical export view.
+#[derive(Clone, Debug, Default)]
+pub struct ExportRank {
+    pub rank: usize,
+    /// Host name (Perfetto process label, OTLP `host.name`).
+    pub host: String,
+    /// Clock-alignment epoch, virtual seconds (see [`TraceRank::epoch`]).
+    pub epoch: f64,
+    /// Host-side trace records (drained or snapshotted from the ring).
+    pub records: Vec<TraceRecord>,
+    /// Device-side ground truth from the simulator profiler, when captured.
+    pub prof: Vec<ProfRecord>,
+    /// The aggregated profile (hash-table contents + monitor
+    /// self-accounting). Absent for trace-only sources.
+    pub profile: Option<RankProfile>,
+}
+
+impl ExportRank {
+    fn from_profile(p: RankProfile) -> Self {
+        ExportRank {
+            rank: p.rank,
+            host: p.host.clone(),
+            epoch: 0.0,
+            records: Vec::new(),
+            prof: Vec::new(),
+            profile: Some(p),
+        }
+    }
+
+    fn from_trace_rank(t: TraceRank) -> Self {
+        ExportRank {
+            rank: t.rank,
+            host: t.host,
+            epoch: t.epoch,
+            records: t.records,
+            prof: t.prof,
+            profile: None,
+        }
+    }
+
+    fn trace_rank(&self) -> TraceRank {
+        TraceRank {
+            rank: self.rank,
+            host: self.host.clone(),
+            epoch: self.epoch,
+            records: self.records.clone(),
+            prof: self.prof.clone(),
+        }
+    }
+}
+
+/// The canonical view every exporter renders: per-rank data plus the few
+/// presentation knobs the text renderings take.
+#[derive(Clone, Debug, Default)]
+pub struct ExportSource {
+    pub ranks: Vec<ExportRank>,
+    /// Node count for cluster renderings; `None` means "infer from the
+    /// distinct host names".
+    pub nodes: Option<usize>,
+    /// Row cap for the banner/region tables (0 = renderer default).
+    pub max_rows: usize,
+}
+
+impl ExportSource {
+    /// Node count: the explicit override, else the number of distinct
+    /// non-empty host names (at least 1).
+    pub fn node_count(&self) -> usize {
+        self.nodes.unwrap_or_else(|| {
+            let hosts: std::collections::HashSet<&str> = self
+                .ranks
+                .iter()
+                .map(|r| r.host.as_str())
+                .filter(|h| !h.is_empty())
+                .collect();
+            hosts.len().max(1)
+        })
+    }
+
+    /// The profiles present, in rank order.
+    pub fn profiles(&self) -> Vec<RankProfile> {
+        self.ranks
+            .iter()
+            .filter_map(|r| r.profile.clone())
+            .collect()
+    }
+
+    /// Every rank as exporter trace input.
+    pub fn trace_ranks(&self) -> Vec<TraceRank> {
+        self.ranks.iter().map(ExportRank::trace_rank).collect()
+    }
+
+    fn require_profiles(&self) -> Result<Vec<RankProfile>, ExportError> {
+        if self.ranks.is_empty() {
+            return Err(ExportError::NoRanks);
+        }
+        if let Some(r) = self.ranks.iter().find(|r| r.profile.is_none()) {
+            return Err(ExportError::MissingProfile { rank: r.rank });
+        }
+        Ok(self.profiles())
+    }
+}
+
+/// Why an export could not be rendered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExportError {
+    /// The source holds no ranks at all.
+    NoRanks,
+    /// The requested rendering needs a profile this rank does not carry
+    /// (trace-only source fed to a profile rendering).
+    MissingProfile { rank: usize },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::NoRanks => write!(f, "export source holds no ranks"),
+            ExportError::MissingProfile { rank } => {
+                write!(f, "rank {rank} carries no profile for this rendering")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// One output format of the pipeline. Implementations render the whole
+/// canonical view; they never see the raw `(profile, trace, epoch)` tuples
+/// the pre-pipeline free functions used to take.
+pub trait Exporter {
+    fn render(&self, src: &ExportSource) -> Result<String, ExportError>;
+}
+
+/// The banner rendering: the single-rank banner (paper Fig. 6) for one
+/// profile, the cluster banner (Fig. 11) when several ranks are present.
+pub struct Banner;
+
+impl Exporter for Banner {
+    fn render(&self, src: &ExportSource) -> Result<String, ExportError> {
+        let profiles = src.require_profiles()?;
+        if profiles.len() == 1 {
+            Ok(crate::banner::render_banner(&profiles[0], src.max_rows))
+        } else {
+            let report = ClusterReport::from_profiles(profiles, src.node_count());
+            Ok(crate::banner::render_cluster_banner(&report, src.max_rows))
+        }
+    }
+}
+
+/// The per-region breakdown report for a single rank.
+pub struct RegionReport;
+
+impl Exporter for RegionReport {
+    fn render(&self, src: &ExportSource) -> Result<String, ExportError> {
+        let profiles = src.require_profiles()?;
+        Ok(crate::banner::render_region_report(
+            &profiles[0],
+            src.max_rows,
+        ))
+    }
+}
+
+/// The XML profiling log: one `<task>` document per rank (the on-disk
+/// format `ipm_parse` consumes), embedded trace section included.
+pub struct Xml;
+
+impl Exporter for Xml {
+    fn render(&self, src: &ExportSource) -> Result<String, ExportError> {
+        if src.ranks.is_empty() {
+            return Err(ExportError::NoRanks);
+        }
+        let mut out = String::new();
+        for r in &src.ranks {
+            let p = r
+                .profile
+                .as_ref()
+                .ok_or(ExportError::MissingProfile { rank: r.rank })?;
+            out.push_str(&crate::xml::to_xml_with_trace_at(p, &r.records, r.epoch));
+        }
+        Ok(out)
+    }
+}
+
+/// The `ipm_parse -html`-style report page.
+pub struct Html;
+
+impl Exporter for Html {
+    fn render(&self, src: &ExportSource) -> Result<String, ExportError> {
+        let profiles = src.require_profiles()?;
+        Ok(crate::parse::html_report(&profiles, src.node_count()))
+    }
+}
+
+/// Chrome trace-event JSON (Perfetto / `chrome://tracing`).
+pub struct ChromeTrace;
+
+impl Exporter for ChromeTrace {
+    fn render(&self, src: &ExportSource) -> Result<String, ExportError> {
+        if src.ranks.is_empty() {
+            return Err(ExportError::NoRanks);
+        }
+        Ok(chrome::chrome_trace_json(&src.trace_ranks()))
+    }
+}
+
+/// OTLP-shaped trace JSON (`resourceSpans`), for feeding standard
+/// OpenTelemetry collectors. Only present with the `otlp` feature.
+#[cfg(feature = "otlp")]
+pub struct Otlp;
+
+#[cfg(feature = "otlp")]
+impl Exporter for Otlp {
+    fn render(&self, src: &ExportSource) -> Result<String, ExportError> {
+        if src.ranks.is_empty() {
+            return Err(ExportError::NoRanks);
+        }
+        Ok(otlp::otlp_trace_json(src))
+    }
+}
+
+/// Builder assembling an [`ExportSource`] and handing it to an exporter.
+///
+/// Rank-scoped setters (`with_trace`, `with_prof`, `with_epoch`) apply to
+/// the most recently added rank, so a multi-rank source reads as a flat
+/// chain: `.rank(p0).with_trace(t0).rank(p1).with_trace(t1)`.
+#[derive(Clone, Debug, Default)]
+pub struct Export {
+    src: ExportSource,
+}
+
+impl Export {
+    /// An empty source; add ranks with [`Export::rank`] /
+    /// [`Export::with_trace_rank`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A source with one profiled rank.
+    pub fn from_profile(p: RankProfile) -> Self {
+        Export::new().rank(p)
+    }
+
+    /// A source with one profiled rank per element, in iteration order.
+    pub fn from_profiles(ps: impl IntoIterator<Item = RankProfile>) -> Self {
+        Export::new().ranks(ps)
+    }
+
+    /// Append one rank from its profile.
+    pub fn rank(mut self, p: RankProfile) -> Self {
+        self.src.ranks.push(ExportRank::from_profile(p));
+        self
+    }
+
+    /// Append one rank per profile.
+    pub fn ranks(mut self, ps: impl IntoIterator<Item = RankProfile>) -> Self {
+        for p in ps {
+            self.src.ranks.push(ExportRank::from_profile(p));
+        }
+        self
+    }
+
+    /// Append a trace-only rank (no profile attached).
+    pub fn with_trace_rank(mut self, t: TraceRank) -> Self {
+        self.src.ranks.push(ExportRank::from_trace_rank(t));
+        self
+    }
+
+    /// Attach trace records to the last added rank (creates a bare rank 0
+    /// if none exists yet).
+    pub fn with_trace(mut self, records: Vec<TraceRecord>) -> Self {
+        self.last_rank().records = records;
+        self
+    }
+
+    /// Attach device profiler ground truth to the last added rank.
+    pub fn with_prof(mut self, prof: Vec<ProfRecord>) -> Self {
+        self.last_rank().prof = prof;
+        self
+    }
+
+    /// Set the clock-alignment epoch of the last added rank.
+    pub fn with_epoch(mut self, epoch: f64) -> Self {
+        self.last_rank().epoch = epoch;
+        self
+    }
+
+    /// Override the node count used by cluster renderings.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.src.nodes = Some(nodes);
+        self
+    }
+
+    /// Cap table rows in the banner/region renderings (0 = no cap).
+    pub fn max_rows(mut self, rows: usize) -> Self {
+        self.src.max_rows = rows;
+        self
+    }
+
+    /// The assembled canonical view.
+    pub fn source(&self) -> &ExportSource {
+        &self.src
+    }
+
+    /// Render through the given backend.
+    pub fn to<E: Exporter>(&self, exporter: E) -> Result<String, ExportError> {
+        exporter.render(&self.src)
+    }
+
+    fn last_rank(&mut self) -> &mut ExportRank {
+        if self.src.ranks.is_empty() {
+            self.src.ranks.push(ExportRank::default());
+        }
+        self.src.ranks.last_mut().expect("non-empty")
+    }
+}
+
+/// Capture a live context: its profile, a trace snapshot (the ring is left
+/// intact — use [`Ipm::drain_trace`] + [`Export::with_trace`] to consume
+/// instead), and its clock epoch.
+impl From<&Ipm> for Export {
+    fn from(ipm: &Ipm) -> Self {
+        let profile = ipm.profile();
+        let records = ipm.trace_snapshot();
+        let epoch = ipm.epoch();
+        Export::from_profile(profile)
+            .with_trace(records)
+            .with_epoch(epoch)
+    }
+}
+
+impl From<&Arc<Ipm>> for Export {
+    fn from(ipm: &Arc<Ipm>) -> Self {
+        Export::from(ipm.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::IpmConfig;
+    use ipm_gpu_sim::{CudaApi, GpuConfig, GpuRuntime};
+
+    fn live_ipm() -> Arc<Ipm> {
+        let rt = Arc::new(GpuRuntime::single(GpuConfig::dirac_node()));
+        let ipm = Ipm::new(rt.clock().clone(), IpmConfig::default());
+        ipm.set_metadata(0, 1, "dirac00", "./cuda.ipm");
+        let cuda = crate::cuda_mon::IpmCuda::new(ipm.clone(), rt);
+        let dev = cuda.cuda_malloc(4096).unwrap();
+        cuda.cuda_free(dev).unwrap();
+        ipm
+    }
+
+    #[test]
+    fn builder_from_live_context_feeds_every_backend() {
+        let ipm = live_ipm();
+        let banner = Export::from(&ipm).max_rows(10).to(Banner).unwrap();
+        assert!(banner.contains("cudaMalloc"), "{banner}");
+
+        let xml = Export::from(&ipm).to(Xml).unwrap();
+        let parsed = crate::xml::from_xml(&xml).expect("roundtrip");
+        assert_eq!(parsed.host, "dirac00");
+
+        let chrome = Export::from(&ipm).to(ChromeTrace).unwrap();
+        validate_chrome_trace(&chrome).expect("valid chrome trace");
+
+        let html = Export::from(&ipm).to(Html).unwrap();
+        assert!(html.contains("<html"), "{html}");
+
+        let regions = Export::from(&ipm).to(RegionReport).unwrap();
+        assert!(!regions.is_empty());
+    }
+
+    #[test]
+    fn snapshot_capture_leaves_the_ring_intact() {
+        let ipm = live_ipm();
+        let before = ipm.monitor_info().trace_captured;
+        let _ = Export::from(&ipm).to(ChromeTrace).unwrap();
+        assert_eq!(ipm.monitor_info().trace_captured, before);
+    }
+
+    #[test]
+    fn multi_rank_source_renders_the_cluster_banner() {
+        let mut p0 = live_ipm().profile();
+        p0.rank = 0;
+        p0.nranks = 2;
+        let mut p1 = p0.clone();
+        p1.rank = 1;
+        p1.host = "dirac01".to_owned();
+        let banner = Export::from_profiles([p0, p1]).to(Banner).unwrap();
+        assert!(banner.contains("# mpi_tasks : 2 on"), "{banner}");
+    }
+
+    #[test]
+    fn profile_renderings_reject_trace_only_sources() {
+        let t = TraceRank {
+            rank: 3,
+            ..TraceRank::default()
+        };
+        let e = Export::new().with_trace_rank(t);
+        assert_eq!(
+            e.to(Banner).unwrap_err(),
+            ExportError::MissingProfile { rank: 3 }
+        );
+        assert_eq!(Export::new().to(Banner).unwrap_err(), ExportError::NoRanks);
+        assert_eq!(
+            Export::new().to(ChromeTrace).unwrap_err(),
+            ExportError::NoRanks
+        );
+    }
+
+    #[test]
+    fn node_count_is_inferred_from_distinct_hosts() {
+        let mk = |rank: usize, host: &str| {
+            let mut p = live_ipm().profile();
+            p.rank = rank;
+            p.host = host.to_owned();
+            p
+        };
+        let e = Export::from_profiles([mk(0, "a"), mk(1, "a"), mk(2, "b")]);
+        assert_eq!(e.source().node_count(), 2);
+        assert_eq!(e.nodes(3).source().node_count(), 3);
+    }
+}

@@ -44,11 +44,14 @@
 pub mod aggregate;
 pub mod banner;
 pub mod compact;
+pub mod compat;
 pub mod cube;
 pub mod cuda_mon;
 pub mod driver_mon;
+pub mod export;
 pub mod hostidle;
 pub mod io_mon;
+pub mod jsonw;
 pub mod ktt;
 pub mod monitor;
 pub mod mpi_mon;
@@ -63,11 +66,16 @@ pub mod trace;
 pub mod xml;
 
 pub use aggregate::{ClusterReport, ClusterSnapshot, RankSpread};
-pub use banner::{render_banner, render_cluster_banner, render_region_report};
 pub use compact::{compact_records, merge_runs, same_signature, CompactPolicy, TraceAgg};
 pub use cube::{build_cube, cube_to_xml, render_cube_text, CubeMetric};
 pub use cuda_mon::IpmCuda;
 pub use driver_mon::IpmDriver;
+pub use export::{
+    validate_chrome_trace, Banner, ChromeTrace, Export, ExportError, ExportRank, ExportSource,
+    Exporter, Html, RegionReport, TraceStats, Xml,
+};
+#[cfg(feature = "otlp")]
+pub use export::{validate_otlp, Otlp, OtlpStats};
 pub use hostidle::{discover_blocking_set, render_probe_table, BlockingProbe};
 pub use io_mon::IpmIo;
 pub use ktt::{CompletedKernel, Ktt, KttCheckPolicy};
@@ -75,16 +83,20 @@ pub use monitor::{FamilyDelta, Ipm, IpmConfig, Snapshot, TraceDelta};
 pub use mpi_mon::IpmMpi;
 pub use numlib_mon::{IpmBlas, IpmFft};
 pub use papi::{BoundResource, CounterRow, GpuCounterReport};
-pub use parse::{banner_from_xml, chrome_trace_from_xml, cluster_banner_from_xml, html_report};
+#[cfg(feature = "otlp")]
+pub use parse::otlp_from_xml;
+pub use parse::{banner_from_xml, chrome_trace_from_xml, cluster_banner_from_xml};
 pub use profile::{classify, EventFamily, MonitorInfo, ProfileEntry, RankProfile};
 pub use sig::EventSignature;
 pub use table::PerfTable;
 pub use timeline::render_timeline;
-pub use trace::{
-    chrome_trace, validate_chrome_trace, TraceCounters, TraceKind, TraceRank, TraceRecord,
-    TraceRing, TraceStats,
-};
-pub use xml::{
-    from_xml, to_xml, to_xml_with_trace, to_xml_with_trace_at, trace_epoch_from_xml,
-    trace_from_xml, XmlError,
+pub use trace::{TraceCounters, TraceKind, TraceRank, TraceRecord, TraceRing};
+pub use xml::{from_xml, to_xml, trace_epoch_from_xml, trace_from_xml, XmlError};
+
+// Pre-pipeline names, kept for external compatibility only (every one is a
+// deprecated shim over the `export` builder).
+#[allow(deprecated)]
+pub use compat::{
+    chrome_trace, html_report, render_banner, render_cluster_banner, render_region_report,
+    to_xml_with_trace, to_xml_with_trace_at,
 };

@@ -52,6 +52,13 @@ pub struct IpmConfig {
     /// adjacent same-signature records merge into summary records instead
     /// of the ring dropping once full. Disabled by default.
     pub trace_compaction: CompactPolicy,
+    /// Live-telemetry overhead budget: the fraction of wall-clock time the
+    /// observer is allowed to spend taking [`Ipm::snapshot`]s of this
+    /// rank. `ClusterObserver::auto_period` divides the measured
+    /// per-snapshot cost by this budget to derive the polling period, so a
+    /// rank whose snapshots are expensive is polled less often. Default
+    /// 1%.
+    pub snapshot_overhead_budget: f64,
 }
 
 impl Default for IpmConfig {
@@ -68,6 +75,7 @@ impl Default for IpmConfig {
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
             trace_shards: crate::trace::DEFAULT_TRACE_SHARDS,
             trace_compaction: CompactPolicy::DISABLED,
+            snapshot_overhead_budget: 0.01,
         }
     }
 }
@@ -103,6 +111,14 @@ impl IpmConfig {
     /// eventually dropping.
     pub fn with_trace_compaction(mut self, high_water: usize) -> Self {
         self.trace_compaction = CompactPolicy::with_high_water(high_water);
+        self
+    }
+
+    /// Set the live-telemetry overhead budget (fraction of wall-clock the
+    /// observer may spend in snapshots of this rank; must be positive).
+    pub fn with_snapshot_budget(mut self, budget: f64) -> Self {
+        assert!(budget > 0.0, "snapshot budget must be positive");
+        self.snapshot_overhead_budget = budget;
         self
     }
 }

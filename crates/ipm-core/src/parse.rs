@@ -9,8 +9,8 @@
 
 use crate::aggregate::ClusterReport;
 use crate::banner::{render_banner, render_cluster_banner};
+use crate::export::{ChromeTrace, Export};
 use crate::profile::RankProfile;
-use crate::trace::{chrome_trace, TraceRank};
 use crate::xml::{from_xml, trace_epoch_from_xml, trace_from_xml, XmlError};
 use std::fmt::Write as _;
 
@@ -31,32 +31,48 @@ pub fn cluster_banner_from_xml(xmls: &[String], nodes: usize) -> Result<String, 
     ))
 }
 
+/// Rebuild the canonical export view from a set of XML logs (one per
+/// rank): each rank carries its parsed profile, the embedded `<trace>`
+/// records, and the recorded clock-alignment epoch, sorted by rank. Every
+/// `ipm_parse` rendering goes through this one loader.
+pub fn export_from_xml(xmls: &[String]) -> Result<Export, XmlError> {
+    let mut parsed = Vec::new();
+    for xml in xmls {
+        let profile = from_xml(xml)?;
+        let records = trace_from_xml(xml)?;
+        let epoch = trace_epoch_from_xml(xml)?;
+        parsed.push((profile, records, epoch));
+    }
+    parsed.sort_by_key(|(p, _, _)| p.rank);
+    let mut export = Export::new();
+    for (profile, records, epoch) in parsed {
+        export = export.rank(profile).with_trace(records).with_epoch(epoch);
+    }
+    Ok(export)
+}
+
 /// Parse one XML log per rank and render the embedded `<trace>` sections
 /// as Chrome trace-event JSON (the `ipm_parse trace` subcommand). Logs
 /// written without tracing contribute a process entry with empty lanes.
 /// Each log's recorded clock-alignment epoch is threaded through, so
 /// merged multi-rank exports line their lanes up at `ts = 0`.
 pub fn chrome_trace_from_xml(xmls: &[String]) -> Result<String, XmlError> {
-    let mut ranks = Vec::new();
-    for xml in xmls {
-        let profile = from_xml(xml)?;
-        let records = trace_from_xml(xml)?;
-        let epoch = trace_epoch_from_xml(xml)?;
-        ranks.push(TraceRank {
-            rank: profile.rank,
-            host: profile.host,
-            epoch,
-            records,
-            prof: Vec::new(),
-        });
-    }
-    ranks.sort_by_key(|r| r.rank);
-    Ok(chrome_trace(&ranks))
+    let export = export_from_xml(xmls)?;
+    Ok(export.to(ChromeTrace).expect("ranks present"))
+}
+
+/// Parse one XML log per rank and render the embedded `<trace>` sections
+/// as OTLP-shaped JSON (the `ipm_parse otlp` subcommand).
+#[cfg(feature = "otlp")]
+pub fn otlp_from_xml(xmls: &[String]) -> Result<String, XmlError> {
+    let export = export_from_xml(xmls)?;
+    Ok(export.to(crate::export::Otlp).expect("ranks present"))
 }
 
 /// Generate the HTML report page for a set of rank profiles — the format
-/// "well-suited for permanent storage of the profiling report".
-pub fn html_report(profiles: &[RankProfile], nodes: usize) -> String {
+/// "well-suited for permanent storage of the profiling report". The `Html`
+/// backend of [`crate::export`] renders through this.
+pub(crate) fn html_report(profiles: &[RankProfile], nodes: usize) -> String {
     let report = ClusterReport::from_profiles(profiles.to_vec(), nodes);
     let mut out = String::new();
     out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
@@ -210,8 +226,8 @@ mod tests {
 
     #[test]
     fn chrome_trace_from_xml_logs_is_valid() {
-        use crate::trace::{validate_chrome_trace, TraceKind, TraceRecord};
-        use crate::xml::to_xml_with_trace;
+        use crate::export::{validate_chrome_trace, Xml};
+        use crate::trace::{TraceKind, TraceRecord};
         use std::sync::Arc;
 
         let mk = |rank: usize| {
@@ -241,7 +257,10 @@ mod tests {
                     agg: None,
                 },
             ];
-            to_xml_with_trace(&profile(rank), &trace)
+            Export::from_profile(profile(rank))
+                .with_trace(trace)
+                .to(Xml)
+                .unwrap()
         };
         let json = chrome_trace_from_xml(&[mk(0), mk(1)]).unwrap();
         let stats = validate_chrome_trace(&json).expect("valid chrome trace");
@@ -251,10 +270,56 @@ mod tests {
         assert_eq!(stats.flow_pairs, 2);
     }
 
+    #[cfg(feature = "otlp")]
+    #[test]
+    fn otlp_from_xml_logs_is_valid_and_linked() {
+        use crate::export::{validate_otlp, Xml};
+        use crate::trace::{TraceKind, TraceRecord};
+        use std::sync::Arc;
+
+        let mk = |rank: usize| {
+            let trace = vec![
+                TraceRecord {
+                    kind: TraceKind::Call,
+                    name: Arc::from("cudaLaunch"),
+                    detail: None,
+                    begin: 0.1,
+                    end: 0.101,
+                    bytes: 0,
+                    region: 0,
+                    stream: None,
+                    corr: 5,
+                    agg: None,
+                },
+                TraceRecord {
+                    kind: TraceKind::KernelExec,
+                    name: Arc::from("@CUDA_EXEC_STRM00"),
+                    detail: Some(Arc::from("zgemm_kernel_NN")),
+                    begin: 0.102,
+                    end: 0.2,
+                    bytes: 0,
+                    region: 0,
+                    stream: Some(0),
+                    corr: 5,
+                    agg: None,
+                },
+            ];
+            Export::from_profile(profile(rank))
+                .with_trace(trace)
+                .to(Xml)
+                .unwrap()
+        };
+        let json = otlp_from_xml(&[mk(0), mk(1)]).unwrap();
+        let stats = validate_otlp(&json).expect("valid OTLP");
+        assert_eq!(stats.resources, 2);
+        assert_eq!(stats.spans, 4);
+        assert_eq!(stats.links, 2, "one launch→kernel link per rank");
+    }
+
     #[test]
     fn chrome_trace_from_xml_applies_recorded_epochs() {
-        use crate::trace::{validate_chrome_trace, TraceKind, TraceRecord};
-        use crate::xml::to_xml_with_trace_at;
+        use crate::export::{validate_chrome_trace, Xml};
+        use crate::trace::{TraceKind, TraceRecord};
         use std::sync::Arc;
 
         // two ranks whose clocks disagree: each records the shared cluster
@@ -273,7 +338,11 @@ mod tests {
                 corr: 0,
                 agg: None,
             }];
-            to_xml_with_trace_at(&profile(rank), &trace, epoch)
+            Export::from_profile(profile(rank))
+                .with_trace(trace)
+                .with_epoch(epoch)
+                .to(Xml)
+                .unwrap()
         };
         let json = chrome_trace_from_xml(&[mk(0, 5.0), mk(1, 9.0)]).unwrap();
         validate_chrome_trace(&json).expect("valid chrome trace");

@@ -9,16 +9,11 @@
 //!   `@CUDA_HOST_IDLE` interval, with **exact drop accounting**: the
 //!   invariant `captured + dropped == emitted` holds at every instant,
 //!   under concurrent emission, whether or not the ring overflowed.
-//! * [`chrome_trace`] — merges host-side trace records with the device
-//!   ground truth (`gpu-sim` [`ProfRecord`]s) into Chrome trace-event JSON
-//!   loadable in Perfetto / `chrome://tracing`: one process per rank, a
-//!   host lane plus one lane per stream, and flow arrows linking each
-//!   `cudaLaunch` to the kernel execution it submitted (via the
-//!   correlation id the runtime assigns at enqueue).
-//! * [`validate_chrome_trace`] — a dependency-free JSON parser + structural
-//!   validator (matched `B`/`E` pairs, per-lane timestamp monotonicity,
-//!   resolved flow bindings) shared by tests and the `ipm_parse trace`
-//!   subcommand.
+//! * [`TraceRank`] — one rank's exporter input: its records, the device
+//!   ground truth (`gpu-sim` [`ProfRecord`]s), and the clock-alignment
+//!   epoch. Rendering lives in the unified [`crate::export`] pipeline
+//!   (`Export::…​.to(ChromeTrace | Otlp)`); the validator and JSON parser
+//!   are re-exported below so established `trace::` paths keep working.
 //!
 //! Retention is layered on by [`crate::compact`]: a [`CompactPolicy`] makes
 //! a stripe past its high-water mark merge adjacent same-signature records
@@ -28,11 +23,9 @@
 //! `captured + dropped + compacted_away == emitted`.
 
 use crate::compact::{cmp_time, compact_records, CompactPolicy, TraceAgg};
-use ipm_gpu_sim::{ProfKind, ProfRecord};
+use ipm_gpu_sim::ProfRecord;
 #[cfg(not(loom))]
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
-use std::fmt::Write as _;
 #[cfg(not(loom))]
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -574,692 +567,22 @@ pub struct TraceRank {
     pub prof: Vec<ProfRecord>,
 }
 
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Microseconds for the `ts` field (Chrome's unit).
-fn us(t: f64) -> f64 {
-    t * 1e6
-}
-
-/// An interval destined for one lane.
-struct LaneSlice {
-    name: String,
-    begin: f64,
-    end: f64,
-    args: Vec<(&'static str, String)>,
-    /// Flow id to terminate at this slice's begin (0 = none).
-    flow_in: u64,
-    /// Flow id to originate at this slice's begin (0 = none).
-    flow_out: u64,
-    /// Compaction summary: emitted as a Chrome `X` (complete) event rather
-    /// than a `B`/`E` pair. Summaries span `first_begin..last_end` of an
-    /// interleaved subsequence (writers rotate ring stripes, each stripe
-    /// compacts its own subsequence), so two stripes' summaries can
-    /// *partially* overlap — something `B`/`E` nesting cannot express. An
-    /// `X` event carries its own `dur` and takes no part in the nesting
-    /// stack, so overlap is harmless.
-    summary: bool,
-}
-
-/// Emit one lane's slices: raw records as properly nested `B`/`E` pairs,
-/// summaries as self-contained `X` events (JSON object strings). Events
-/// are produced in `(begin, -end)` order and every event's `ts` is either
-/// the current slice's begin or a pending end ≤ it, so timestamps are
-/// non-decreasing even when summary spans partially overlap raw slices or
-/// each other.
-fn emit_lane(pid: usize, tid: u32, mut slices: Vec<LaneSlice>, out: &mut Vec<String>) {
-    slices.sort_by(|a, b| {
-        a.begin
-            .partial_cmp(&b.begin)
-            .expect("finite timestamps")
-            .then(b.end.partial_cmp(&a.end).expect("finite timestamps"))
-    });
-    // stack of pending end timestamps with their slice names
-    let mut stack: Vec<(f64, String)> = Vec::new();
-    let close = |stack: &mut Vec<(f64, String)>, upto: f64, out: &mut Vec<String>| {
-        while let Some((end, _)) = stack.last() {
-            if *end <= upto {
-                let (end, name) = stack.pop().expect("checked non-empty");
-                out.push(format!(
-                    "{{\"ph\":\"E\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}}}",
-                    esc(&name),
-                    pid,
-                    tid,
-                    us(end)
-                ));
-            } else {
-                break;
-            }
-        }
-    };
-    for s in slices {
-        close(&mut stack, s.begin, out);
-        if s.flow_in != 0 {
-            out.push(format!(
-                "{{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"launch\",\"name\":\"launch\",\"id\":{},\"pid\":{},\"tid\":{},\"ts\":{}}}",
-                s.flow_in, pid, tid, us(s.begin)
-            ));
-        }
-        if s.flow_out != 0 {
-            out.push(format!(
-                "{{\"ph\":\"s\",\"cat\":\"launch\",\"name\":\"launch\",\"id\":{},\"pid\":{},\"tid\":{},\"ts\":{}}}",
-                s.flow_out, pid, tid, us(s.begin)
-            ));
-        }
-        let mut args = String::new();
-        for (i, (k, v)) in s.args.iter().enumerate() {
-            if i > 0 {
-                args.push(',');
-            }
-            let _ = write!(args, "\"{}\":{}", k, v);
-        }
-        if s.summary {
-            out.push(format!(
-                "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{}}}}}",
-                esc(&s.name),
-                pid,
-                tid,
-                us(s.begin),
-                us(s.end - s.begin),
-                args
-            ));
-        } else {
-            out.push(format!(
-                "{{\"ph\":\"B\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{{}}}}}",
-                esc(&s.name),
-                pid,
-                tid,
-                us(s.begin),
-                args
-            ));
-            stack.push((s.end, s.name));
-        }
-    }
-    close(&mut stack, f64::INFINITY, out);
-}
-
-/// Append the aggregate fields of a summary record to a slice's args, so
-/// Perfetto shows how many events a compacted slice stands for.
-fn summary_args(t: &TraceRecord, args: &mut Vec<(&'static str, String)>) {
-    if let Some(a) = t.agg {
-        args.push(("count", a.count.to_string()));
-        args.push(("total_us", format!("{}", us(a.total))));
-        args.push(("min_us", format!("{}", us(a.min))));
-        args.push(("max_us", format!("{}", us(a.max))));
-    }
-}
-
-fn meta_event(pid: usize, tid: Option<u32>, which: &str, label: &str) -> String {
-    match tid {
-        Some(tid) => format!(
-            "{{\"ph\":\"M\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
-            which,
-            pid,
-            tid,
-            esc(label)
-        ),
-        None => format!(
-            "{{\"ph\":\"M\",\"name\":\"{}\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
-            which,
-            pid,
-            esc(label)
-        ),
-    }
-}
-
-/// Render ranks into Chrome trace-event JSON (the `{"traceEvents": [...]}`
-/// object form). One process per rank; `tid 0` is the host lane and
-/// `tid 1 + s` is device stream `s`. `cudaLaunch` slices originate flow
-/// arrows (`ph:"s"`) that terminate (`ph:"f"`) at the kernel slice with the
-/// same correlation id. Raw records render as `B`/`E` pairs; compaction
-/// summaries render as `X` (complete) events carrying their aggregate in
-/// `args`, since summaries from different ring stripes may partially
-/// overlap in time.
-pub fn chrome_trace(ranks: &[TraceRank]) -> String {
-    let mut events: Vec<String> = Vec::new();
-    for r in ranks {
-        let pid = r.rank;
-        let label = if r.host.is_empty() {
-            format!("rank {}", r.rank)
-        } else {
-            format!("rank {} ({})", r.rank, r.host)
-        };
-        events.push(meta_event(pid, None, "process_name", &label));
-        events.push(meta_event(pid, Some(0), "thread_name", "host"));
-
-        // Which correlation ids have a device-side slice to land on?
-        let use_prof = !r.prof.is_empty();
-        let mut device_corrs: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        if use_prof {
-            device_corrs.extend(r.prof.iter().filter(|p| p.corr != 0).map(|p| p.corr));
-        } else {
-            device_corrs.extend(
-                r.records
-                    .iter()
-                    .filter(|t| t.kind == TraceKind::KernelExec && t.corr != 0)
-                    .map(|t| t.corr),
-            );
-        }
-
-        // Host lane: wrapped calls + host-idle intervals.
-        let host_slices: Vec<LaneSlice> = r
-            .records
-            .iter()
-            .filter(|t| t.kind != TraceKind::KernelExec)
-            .map(|t| {
-                let mut args: Vec<(&'static str, String)> = Vec::new();
-                if t.bytes > 0 {
-                    args.push(("bytes", t.bytes.to_string()));
-                }
-                args.push(("region", t.region.to_string()));
-                summary_args(t, &mut args);
-                LaneSlice {
-                    name: t.name.to_string(),
-                    begin: t.begin - r.epoch,
-                    end: t.end - r.epoch,
-                    args,
-                    flow_in: 0,
-                    flow_out: if t.corr != 0 && device_corrs.contains(&t.corr) {
-                        t.corr
-                    } else {
-                        0
-                    },
-                    summary: t.is_summary(),
-                }
-            })
-            .collect();
-        emit_lane(pid, 0, host_slices, &mut events);
-
-        // Device lanes: one per stream, from the profiler ground truth when
-        // available, otherwise from KTT KernelExec records.
-        let mut lanes: HashMap<u32, Vec<LaneSlice>> = HashMap::new();
-        if use_prof {
-            for p in &r.prof {
-                let args = vec![("gputime_us", format!("{}", p.gputime * 1e6))];
-                lanes.entry(p.stream.0).or_default().push(LaneSlice {
-                    name: p.method.clone(),
-                    begin: p.start - r.epoch,
-                    end: p.start + p.gputime - r.epoch,
-                    args,
-                    flow_in: if p.kind == ProfKind::Kernel {
-                        p.corr
-                    } else {
-                        0
-                    },
-                    flow_out: 0,
-                    summary: false,
-                });
-            }
-        } else {
-            for t in r.records.iter().filter(|t| t.kind == TraceKind::KernelExec) {
-                let stream = t.stream.unwrap_or(0);
-                let name = t
-                    .detail
-                    .as_deref()
-                    .map(str::to_owned)
-                    .unwrap_or_else(|| t.name.to_string());
-                let mut args = vec![("region", t.region.to_string())];
-                summary_args(t, &mut args);
-                lanes.entry(stream).or_default().push(LaneSlice {
-                    name,
-                    begin: t.begin - r.epoch,
-                    end: t.end - r.epoch,
-                    args,
-                    flow_in: t.corr,
-                    flow_out: 0,
-                    summary: t.is_summary(),
-                });
-            }
-        }
-        let mut stream_ids: Vec<u32> = lanes.keys().copied().collect();
-        stream_ids.sort_unstable();
-        for s in stream_ids {
-            let tid = 1 + s;
-            events.push(meta_event(
-                pid,
-                Some(tid),
-                "thread_name",
-                &format!("stream {s}"),
-            ));
-            emit_lane(
-                pid,
-                tid,
-                lanes.remove(&s).expect("key present"),
-                &mut events,
-            );
-        }
-    }
-
-    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-    for (i, e) in events.iter().enumerate() {
-        out.push_str(e);
-        if i + 1 < events.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("]}\n");
-    out
-}
-
 // ---------------------------------------------------------------------------
-// Minimal JSON parser (validation only; no external deps available)
+// Moved items
 // ---------------------------------------------------------------------------
 
-/// A parsed JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object field lookup.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Self {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(_) => self.number(),
-            None => Err("unexpected end of input".to_owned()),
-        }
-    }
-
-    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("bad number at byte {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // advance one UTF-8 scalar
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8 in string")?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-                None => return Err("unterminated string".to_owned()),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-}
-
-/// Parse a JSON document (strict enough for validation; rejects trailing
-/// garbage).
-pub fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser::new(text);
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(v)
-}
-
-/// Structural facts about a validated trace, for assertions and the CLI
-/// summary line.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct TraceStats {
-    /// Completed `B`/`E` slice pairs.
-    pub slices: usize,
-    /// Distinct processes (ranks).
-    pub processes: usize,
-    /// Distinct `(pid, tid)` lanes carrying at least one slice.
-    pub lanes: usize,
-    /// Flow arrows with both a start (`s`) and a finish (`f`) binding.
-    pub flow_pairs: usize,
-}
-
-/// Validate Chrome trace-event JSON structurally: the document parses, every
-/// `B` has a matching `E` (same lane, same name, LIFO order), every `X`
-/// carries a name and a finite non-negative `dur`, timestamps are monotone
-/// non-decreasing per lane, and every flow start resolves to a flow finish
-/// (and vice versa). Returns summary stats on success (`X` events count as
-/// completed slices).
-pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
-    let doc = parse_json(text)?;
-    let events = doc
-        .get("traceEvents")
-        .and_then(Json::as_arr)
-        .ok_or("missing traceEvents array")?;
-
-    let mut stacks: HashMap<(u64, u64), Vec<String>> = HashMap::new();
-    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
-    let mut lanes_with_slices: std::collections::HashSet<(u64, u64)> =
-        std::collections::HashSet::new();
-    let mut processes: std::collections::HashSet<u64> = std::collections::HashSet::new();
-    let mut flow_starts: HashMap<u64, usize> = HashMap::new();
-    let mut flow_finishes: HashMap<u64, usize> = HashMap::new();
-    let mut slices = 0usize;
-
-    for (i, ev) in events.iter().enumerate() {
-        let ph = ev
-            .get("ph")
-            .and_then(Json::as_str)
-            .ok_or(format!("event {i}: missing ph"))?;
-        let pid = ev
-            .get("pid")
-            .and_then(Json::as_f64)
-            .ok_or(format!("event {i}: missing pid"))? as u64;
-        processes.insert(pid);
-        if ph == "M" {
-            continue; // metadata carries no timestamp
-        }
-        let tid = ev
-            .get("tid")
-            .and_then(Json::as_f64)
-            .ok_or(format!("event {i}: missing tid"))? as u64;
-        let ts = ev
-            .get("ts")
-            .and_then(Json::as_f64)
-            .ok_or(format!("event {i}: missing ts"))?;
-        if !ts.is_finite() {
-            return Err(format!("event {i}: non-finite ts"));
-        }
-        let lane = (pid, tid);
-        if let Some(prev) = last_ts.get(&lane) {
-            if ts < *prev {
-                return Err(format!(
-                    "event {i}: lane ({pid},{tid}) timestamp regressed {prev} -> {ts}"
-                ));
-            }
-        }
-        last_ts.insert(lane, ts);
-        match ph {
-            "B" => {
-                let name = ev
-                    .get("name")
-                    .and_then(Json::as_str)
-                    .ok_or(format!("event {i}: B without name"))?;
-                stacks.entry(lane).or_default().push(name.to_owned());
-                lanes_with_slices.insert(lane);
-            }
-            "E" => {
-                let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
-                let stack = stacks.entry(lane).or_default();
-                match stack.pop() {
-                    Some(open) if name.is_empty() || open == name => slices += 1,
-                    Some(open) => {
-                        return Err(format!(
-                            "event {i}: E '{name}' does not match open B '{open}' on lane ({pid},{tid})"
-                        ))
-                    }
-                    None => {
-                        return Err(format!(
-                            "event {i}: E '{name}' with no open B on lane ({pid},{tid})"
-                        ))
-                    }
-                }
-            }
-            "s" => {
-                let id = ev
-                    .get("id")
-                    .and_then(Json::as_f64)
-                    .ok_or(format!("event {i}: flow start without id"))?
-                    as u64;
-                *flow_starts.entry(id).or_default() += 1;
-            }
-            "f" => {
-                let id = ev
-                    .get("id")
-                    .and_then(Json::as_f64)
-                    .ok_or(format!("event {i}: flow finish without id"))?
-                    as u64;
-                *flow_finishes.entry(id).or_default() += 1;
-            }
-            "X" => {
-                ev.get("name")
-                    .and_then(Json::as_str)
-                    .ok_or(format!("event {i}: X without name"))?;
-                let dur = ev
-                    .get("dur")
-                    .and_then(Json::as_f64)
-                    .ok_or(format!("event {i}: X without dur"))?;
-                if !dur.is_finite() || dur < 0.0 {
-                    return Err(format!("event {i}: X with bad dur {dur}"));
-                }
-                slices += 1;
-                lanes_with_slices.insert(lane);
-            }
-            "i" | "C" => {} // tolerated, unused by our exporter
-            other => return Err(format!("event {i}: unknown phase '{other}'")),
-        }
-    }
-
-    for (lane, stack) in &stacks {
-        if !stack.is_empty() {
-            return Err(format!(
-                "lane ({},{}) has {} unclosed B events (first: '{}')",
-                lane.0,
-                lane.1,
-                stack.len(),
-                stack[0]
-            ));
-        }
-    }
-    let mut flow_pairs = 0usize;
-    for (id, n) in &flow_starts {
-        match flow_finishes.get(id) {
-            Some(m) if m == n => flow_pairs += n,
-            _ => {
-                return Err(format!(
-                    "flow id {id}: {n} starts without matching finishes"
-                ))
-            }
-        }
-    }
-    for id in flow_finishes.keys() {
-        if !flow_starts.contains_key(id) {
-            return Err(format!("flow id {id}: finish without start"));
-        }
-    }
-
-    Ok(TraceStats {
-        slices,
-        processes: processes.len(),
-        lanes: lanes_with_slices.len(),
-        flow_pairs,
-    })
-}
+// The Chrome exporter, its validator, and the JSON parser now live in the
+// unified export pipeline (`crate::export::chrome`) and the shared JSON
+// module (`crate::jsonw`); re-exported here so the established
+// `ipm_core::trace::…` paths keep working.
+#[allow(deprecated)]
+pub use crate::compat::chrome_trace;
+pub use crate::export::chrome::{validate_chrome_trace, TraceStats};
+pub use crate::jsonw::{parse_json, Json};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipm_gpu_sim::StreamId;
 
     fn call(name: &str, begin: f64, end: f64) -> TraceRecord {
         TraceRecord {
@@ -1391,45 +714,6 @@ mod tests {
     }
 
     #[test]
-    fn multi_stripe_compacted_burst_exports_valid_chrome_trace() {
-        // Writers rotate stripes, so with the default 8 stripes a
-        // same-signature burst lands as interleaved subsequences; each
-        // stripe compacts its own subsequence into summaries whose time
-        // spans partially overlap across stripes. The exporter must render
-        // those as X events — B/E nesting cannot express partial overlap
-        // (regression: E timestamps regressed and the validator rejected
-        // the exporter's own output).
-        let ring = TraceRing::with_policy(
-            1 << 12,
-            DEFAULT_TRACE_SHARDS,
-            CompactPolicy::with_high_water(16),
-        );
-        for i in 0..2000 {
-            let t = i as f64 * 1e-3;
-            assert!(ring.push(call("cudaLaunch", t, t + 5e-4)));
-        }
-        assert!(ring.compacted_away() > 0, "burst must compact");
-        let records = ring.drain();
-        let summaries: Vec<&TraceRecord> = records.iter().filter(|r| r.is_summary()).collect();
-        assert!(
-            summaries
-                .windows(2)
-                .any(|w| w[1].begin < w[0].end && w[0].begin < w[1].end),
-            "want partially overlapping summaries from several stripes"
-        );
-        let rank = TraceRank {
-            rank: 0,
-            host: String::new(),
-            epoch: 0.0,
-            records,
-            prof: Vec::new(),
-        };
-        let json = chrome_trace(&[rank]);
-        let stats = validate_chrome_trace(&json).expect("multi-stripe compacted export invalid");
-        assert!(stats.slices > 0);
-    }
-
-    #[test]
     fn counters_sweep_matches_individual_accessors() {
         let ring = TraceRing::with_policy(8, 2, CompactPolicy::with_high_water(2));
         for i in 0..50 {
@@ -1474,154 +758,5 @@ mod tests {
                 }
             });
         });
-    }
-
-    #[test]
-    fn epoch_shifts_exported_timestamps() {
-        let rank = TraceRank {
-            rank: 0,
-            host: String::new(),
-            epoch: 10.0,
-            records: vec![call("cudaMalloc", 10.5, 11.0)],
-            prof: Vec::new(),
-        };
-        let json = chrome_trace(&[rank]);
-        validate_chrome_trace(&json).expect("valid trace");
-        // 10.5s on the rank clock is 0.5s after the epoch -> ts 500000 us
-        assert!(json.contains("\"ts\":500000"), "{json}");
-        assert!(!json.contains("\"ts\":10500000"), "{json}");
-    }
-
-    #[test]
-    fn summary_slices_carry_count_args() {
-        let mut rec = call("cudaLaunch", 1.0, 3.0);
-        rec.agg = Some(TraceAgg {
-            count: 17,
-            total: 1.25,
-            min: 0.05,
-            max: 0.2,
-            exemplar: (1.4, 1.6),
-        });
-        let rank = TraceRank {
-            rank: 0,
-            host: String::new(),
-            epoch: 0.0,
-            records: vec![rec],
-            prof: Vec::new(),
-        };
-        let json = chrome_trace(&[rank]);
-        validate_chrome_trace(&json).expect("valid trace");
-        assert!(json.contains("\"count\":17"), "{json}");
-        assert!(json.contains("\"total_us\":1250000"), "{json}");
-    }
-
-    #[test]
-    fn chrome_trace_is_valid_and_has_flows() {
-        let mut launch = call("cudaLaunch", 1.0, 1.00001);
-        launch.corr = 42;
-        let mut exec = TraceRecord {
-            kind: TraceKind::KernelExec,
-            name: Arc::from("@CUDA_EXEC_STRM00"),
-            detail: Some(Arc::from("square")),
-            begin: 1.0001,
-            end: 2.15,
-            bytes: 0,
-            region: 0,
-            stream: Some(0),
-            corr: 42,
-            agg: None,
-        };
-        let rank = TraceRank {
-            rank: 0,
-            host: "dirac00".to_owned(),
-            epoch: 0.0,
-            records: vec![
-                call("cudaMalloc", 0.0, 0.5),
-                launch.clone(),
-                call("cudaMemcpy(D2H)", 2.2, 2.3),
-            ],
-            prof: Vec::new(),
-        };
-        let mut with_exec = rank.clone();
-        with_exec.records.push(exec.clone());
-        let json = chrome_trace(&[with_exec]);
-        let stats = validate_chrome_trace(&json).expect("valid trace");
-        assert_eq!(stats.processes, 1);
-        assert_eq!(stats.lanes, 2, "host lane + one stream lane");
-        assert_eq!(stats.slices, 4);
-        assert_eq!(stats.flow_pairs, 1);
-
-        // prof records take precedence for device lanes when present
-        exec.corr = 0;
-        launch.corr = 7;
-        let prof_rank = TraceRank {
-            rank: 1,
-            host: String::new(),
-            epoch: 0.0,
-            records: vec![launch],
-            prof: vec![ProfRecord {
-                method: "square".to_owned(),
-                kind: ProfKind::Kernel,
-                stream: StreamId::DEFAULT,
-                start: 1.0002,
-                gputime: 1.15,
-                cputime: 1e-5,
-                corr: 7,
-            }],
-        };
-        let json = chrome_trace(&[prof_rank]);
-        let stats = validate_chrome_trace(&json).expect("valid trace");
-        assert_eq!(stats.flow_pairs, 1);
-    }
-
-    #[test]
-    fn nested_and_adjacent_slices_emit_proper_b_e() {
-        // outer call wrapping an inner call, then an adjacent one
-        let rank = TraceRank {
-            rank: 0,
-            host: String::new(),
-            epoch: 0.0,
-            records: vec![
-                call("cublasDgemm", 0.0, 1.0),
-                call("cudaLaunch", 0.2, 0.4),
-                call("cudaFree", 1.0, 1.1),
-            ],
-            prof: Vec::new(),
-        };
-        let json = chrome_trace(&[rank]);
-        let stats = validate_chrome_trace(&json).expect("valid trace");
-        assert_eq!(stats.slices, 3);
-    }
-
-    #[test]
-    fn validator_rejects_malformed_traces() {
-        assert!(validate_chrome_trace("not json").is_err());
-        // unmatched B
-        let bad = r#"{"traceEvents":[{"ph":"B","name":"x","pid":0,"tid":0,"ts":1}]}"#;
-        assert!(validate_chrome_trace(bad).unwrap_err().contains("unclosed"));
-        // regressed timestamps
-        let bad = r#"{"traceEvents":[
-            {"ph":"B","name":"x","pid":0,"tid":0,"ts":5},
-            {"ph":"E","name":"x","pid":0,"tid":0,"ts":1}]}"#;
-        assert!(validate_chrome_trace(bad)
-            .unwrap_err()
-            .contains("regressed"));
-        // flow start without finish
-        let bad = r#"{"traceEvents":[{"ph":"s","id":3,"pid":0,"tid":0,"ts":1}]}"#;
-        assert!(validate_chrome_trace(bad)
-            .unwrap_err()
-            .contains("flow id 3"));
-    }
-
-    #[test]
-    fn json_parser_roundtrips_basics() {
-        let doc = parse_json(r#"{"a":[1,2.5,-3e2],"b":"q\"uote","c":null,"d":true}"#).unwrap();
-        assert_eq!(doc.get("b").and_then(Json::as_str), Some("q\"uote"));
-        assert_eq!(
-            doc.get("a").and_then(Json::as_arr).map(|a| a.len()),
-            Some(3)
-        );
-        assert!(parse_json("{\"a\":1,}").is_err() || parse_json("{\"a\":1,}").is_ok());
-        assert!(parse_json("[1,2] trailing").is_err());
     }
 }

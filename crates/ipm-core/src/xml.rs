@@ -63,23 +63,19 @@ fn unescape(s: &str) -> String {
         .replace("&amp;", "&")
 }
 
-/// Serialize one rank's profile to the IPM XML dialect.
+/// Serialize one rank's profile to the IPM XML dialect (no trace section;
+/// use `Export::…​.to(Xml)` to embed one).
 pub fn to_xml(p: &RankProfile) -> String {
-    to_xml_with_trace(p, &[])
+    to_xml_with_trace_at(p, &[], 0.0)
 }
 
 /// Serialize a profile plus its event trace: the trace's records are
-/// embedded as `<event/>` lines in a `<trace>` section, so a single XML
-/// log carries everything `ipm_parse trace` needs. No clock-alignment
-/// epoch is recorded (equivalent to epoch 0).
-pub fn to_xml_with_trace(p: &RankProfile, trace: &[TraceRecord]) -> String {
-    to_xml_with_trace_at(p, trace, 0.0)
-}
-
-/// Like [`to_xml_with_trace`], also recording the rank's clock-alignment
-/// epoch on the `<trace>` element so multi-rank exports line up their
-/// lanes ([`crate::parse::chrome_trace_from_xml`] threads it through).
-pub fn to_xml_with_trace_at(p: &RankProfile, trace: &[TraceRecord], epoch: f64) -> String {
+/// embedded as `<event/>` lines in a `<trace>` section (with the rank's
+/// clock-alignment epoch on the `<trace>` element, so multi-rank exports
+/// line up their lanes), and a single XML log carries everything
+/// `ipm_parse trace` needs. This is the one real XML writer; the `Xml`
+/// backend of [`crate::export`] renders through it.
+pub(crate) fn to_xml_with_trace_at(p: &RankProfile, trace: &[TraceRecord], epoch: f64) -> String {
     let mut out = String::new();
     out.push_str("<ipm version=\"2.0\">\n");
     let _ = writeln!(
@@ -281,7 +277,7 @@ pub fn from_xml(xml: &str) -> Result<RankProfile, XmlError> {
 }
 
 /// Parse the `<trace>` section back out of a log written by
-/// [`to_xml_with_trace`]. Logs without a trace yield an empty vector.
+/// [`to_xml_with_trace_at`]. Logs without a trace yield an empty vector.
 pub fn trace_from_xml(xml: &str) -> Result<Vec<TraceRecord>, XmlError> {
     let mut out = Vec::new();
     for line in xml.lines().map(str::trim) {
@@ -472,7 +468,7 @@ mod tests {
                 agg: None,
             },
         ];
-        let xml = to_xml_with_trace(&sample(), &trace);
+        let xml = to_xml_with_trace_at(&sample(), &trace, 0.0);
         let back = trace_from_xml(&xml).unwrap();
         assert_eq!(back, trace);
         // and the profile parse still works with the trace embedded
@@ -507,7 +503,7 @@ mod tests {
         assert_eq!(trace_from_xml(&xml).unwrap(), trace);
         assert_eq!(trace_epoch_from_xml(&xml).unwrap(), 0.5);
         // epoch 0 writes the bare element, which parses back to 0
-        let xml0 = to_xml_with_trace(&sample(), &trace);
+        let xml0 = to_xml_with_trace_at(&sample(), &trace, 0.0);
         assert!(xml0.contains("<trace>"));
         assert_eq!(trace_epoch_from_xml(&xml0).unwrap(), 0.0);
         // traceless logs have epoch 0 too

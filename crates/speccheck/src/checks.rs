@@ -59,6 +59,12 @@ pub const SCANNED_FILES: &[(&str, Role)] = &[
     ("crates/ipm-core/src/numlib_mon.rs", Role::Monitor),
     ("crates/ipm-core/src/table.rs", Role::LockDiscipline),
     ("crates/ipm-core/src/trace.rs", Role::LockDiscipline),
+    // The export pipeline: lock-free rendering code, scanned so the
+    // lock-order discipline keeps holding as backends grow.
+    ("crates/ipm-core/src/jsonw.rs", Role::LockDiscipline),
+    ("crates/ipm-core/src/export/mod.rs", Role::LockDiscipline),
+    ("crates/ipm-core/src/export/chrome.rs", Role::LockDiscipline),
+    ("crates/ipm-core/src/export/otlp.rs", Role::LockDiscipline),
 ];
 
 /// Paper Table: per-family call counts the spec must reproduce.

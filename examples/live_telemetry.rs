@@ -37,7 +37,11 @@ fn main() {
         |ctx| run_hpl(ctx, hpl).expect("hpl rank failed"),
         |obs| {
             while !obs.is_done() {
-                std::thread::sleep(Duration::from_millis(2));
+                // auto-tuned: the period that keeps the measured sweep cost
+                // within each rank's snapshot overhead budget (fixed 2 ms
+                // warm-up until the first sweep has been timed)
+                let period = obs.auto_period().unwrap_or(Duration::from_millis(2));
+                std::thread::sleep(period);
                 print_sample(obs);
             }
             // final delta: whatever was booked after the last poll

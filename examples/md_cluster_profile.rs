@@ -12,7 +12,7 @@
 //! ```
 
 use ipm_repro::apps::{run_amber, run_cluster, AmberConfig, ClusterConfig};
-use ipm_repro::ipm::{html_report, render_cluster_banner, ClusterReport};
+use ipm_repro::ipm::{Banner, ClusterReport, Export, Html};
 
 fn main() {
     let nranks = 4;
@@ -23,7 +23,11 @@ fn main() {
     let run = run_cluster(&cluster, |ctx| run_amber(ctx, md).expect("md step failed"));
     let report = ClusterReport::from_profiles(run.profiles, nranks);
 
-    println!("{}", render_cluster_banner(&report, 14));
+    // one source, many renderings: the banner now, the HTML page below
+    let export = Export::from_profiles(report.profiles().to_vec())
+        .nodes(nranks)
+        .max_rows(14);
+    println!("{}", export.to(Banner).expect("ranks present"));
 
     println!("GPU kernels by share of device time:");
     for (kernel, share) in report.kernel_shares().into_iter().take(6) {
@@ -42,7 +46,7 @@ fn main() {
         println!("  {:<44} {:>5.1}%{}", kernel, imb * 100.0, flag);
     }
 
-    let html = html_report(report.profiles(), nranks);
+    let html = export.to(Html).expect("ranks present");
     let path = std::env::temp_dir().join("ipm_md_profile.html");
     std::fs::write(&path, html).expect("write HTML report");
     println!("\nHTML report written to {}", path.display());

@@ -12,7 +12,7 @@
 
 use ipm_repro::apps::{run_square, SquareConfig};
 use ipm_repro::gpu::{GpuConfig, GpuRuntime};
-use ipm_repro::ipm::{render_banner, to_xml, Ipm, IpmConfig, IpmCuda};
+use ipm_repro::ipm::{to_xml, Banner, Export, Ipm, IpmConfig, IpmCuda};
 use std::sync::Arc;
 
 fn main() {
@@ -33,10 +33,17 @@ fn main() {
     println!("(at the paper's N=100k/REPEAT=10k shape the kernel is timing-modeled;");
     println!(" use SquareConfig::tiny() to see the math verified for real)\n");
 
-    // at exit, IPM prints the banner (Fig. 6) ...
+    // at exit, IPM prints the banner (Fig. 6) — the export pipeline
+    // captures the live context and renders it through any backend
     cuda.finalize();
     let profile = ipm.profile();
-    println!("{}", render_banner(&profile, 10));
+    println!(
+        "{}",
+        Export::from(&ipm)
+            .max_rows(10)
+            .to(Banner)
+            .expect("profile present")
+    );
 
     // ... and writes the XML log for ipm_parse
     let xml = to_xml(&profile);

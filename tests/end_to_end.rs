@@ -10,8 +10,8 @@ use ipm_repro::apps::{
 };
 use ipm_repro::gpu::{GpuConfig, GpuRuntime};
 use ipm_repro::ipm::{
-    banner_from_xml, cluster_banner_from_xml, from_xml, html_report, render_banner, to_xml,
-    ClusterReport, Ipm, IpmConfig, IpmCuda,
+    banner_from_xml, cluster_banner_from_xml, from_xml, to_xml, Banner, ClusterReport, Export,
+    Html, Ipm, IpmConfig, IpmCuda,
 };
 use std::sync::Arc;
 
@@ -27,7 +27,7 @@ fn square_profile_survives_the_xml_roundtrip() {
     cuda.finalize();
 
     let profile = ipm.profile();
-    let direct_banner = render_banner(&profile, 0);
+    let direct_banner = Export::from(&ipm).max_rows(0).to(Banner).expect("profile");
     let xml = to_xml(&profile);
     let parsed = from_xml(&xml).expect("parse own XML");
     assert_eq!(parsed, profile);
@@ -67,7 +67,10 @@ fn cluster_run_feeds_every_report_format() {
     assert!(banner.contains("dgemm_nn_e_kernel") || banner.contains("@CUDA_EXEC_STRM"));
 
     let report = ClusterReport::from_profiles(run.profiles.clone(), 2);
-    let html = html_report(report.profiles(), 2);
+    let html = Export::from_profiles(report.profiles().to_vec())
+        .nodes(2)
+        .to(Html)
+        .expect("ranks present");
     assert!(html.contains("dgemm_nn_e_kernel"));
 
     let cube = ipm_repro::ipm::build_cube(&report);

@@ -1,9 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
 
 use ipm_repro::ipm::{
-    chrome_trace, from_xml, merge_runs, to_xml, validate_chrome_trace, CompactPolicy,
-    EventSignature, PerfTable, ProfileEntry, RankProfile, TraceKind, TraceRank, TraceRecord,
-    TraceRing,
+    from_xml, merge_runs, to_xml, validate_chrome_trace, ChromeTrace, CompactPolicy,
+    EventSignature, Export, PerfTable, ProfileEntry, RankProfile, TraceKind, TraceRank,
+    TraceRecord, TraceRing,
 };
 use ipm_repro::numlib::{blaskernels, fftkernels, Complex64, FftDirection, Transpose};
 use ipm_repro::sim::{RunningStats, SimClock, SimRng};
@@ -481,12 +481,14 @@ proptest! {
                 }
             })
             .collect();
-        let json = chrome_trace(&ranks);
+        let nranks = ranks.len();
+        let export = ranks.into_iter().fold(Export::new(), Export::with_trace_rank);
+        let json = export.to(ChromeTrace).expect("ranks present");
         let stats = match validate_chrome_trace(&json) {
             Ok(stats) => stats,
             Err(e) => return Err(TestCaseError::fail(format!("invalid trace: {e}"))),
         };
-        prop_assert_eq!(stats.processes, ranks.len());
+        prop_assert_eq!(stats.processes, nranks);
         prop_assert_eq!(stats.slices, total);
         prop_assert_eq!(stats.flow_pairs, launches);
         prop_assert_eq!(stats.lanes, lanes);
@@ -606,7 +608,10 @@ proptest! {
             records: ring.drain(),
             prof: Vec::new(),
         };
-        let json = chrome_trace(&[rank]);
+        let json = Export::new()
+            .with_trace_rank(rank)
+            .to(ChromeTrace)
+            .expect("rank present");
         if let Err(e) = validate_chrome_trace(&json) {
             return Err(TestCaseError::fail(format!("invalid compacted trace: {e}")));
         }
@@ -738,5 +743,84 @@ proptest! {
         let got = &outs[1];
         let want: Vec<u8> = (0..n as u8).collect();
         prop_assert_eq!(got, &want);
+    }
+}
+
+// ---------------------------------------------------------------------
+// OTLP export (feature-gated like the backend itself)
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "otlp")]
+mod otlp_props {
+    use super::*;
+    use ipm_repro::ipm::{validate_otlp, Otlp};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Whatever a trace ring hands back — compacted summaries, partial
+        /// launch/kernel pairs, dropped records, multiple stripes — the
+        /// OTLP backend renders a document [`validate_otlp`] accepts, and
+        /// the spans/links it reports never exceed what went in.
+        #[test]
+        fn arbitrary_ring_contents_export_to_valid_otlp(
+            capacity in 8usize..300,
+            shards in 1usize..9,
+            high_water in 2usize..24,
+            epoch in 0.0f64..4.0,
+            // (signature index, duration steps, gap steps, corr)
+            stream in prop::collection::vec(
+                (0usize..5, 1u32..64, 0u32..16, 0u64..6), 1..300,
+            ),
+        ) {
+            const Q: f64 = 1.0 / (1 << 20) as f64;
+            let names = [
+                "cudaLaunch",
+                "cudaMemcpy(H2D)",
+                "@CUDA_HOST_IDLE",
+                "@CUDA_EXEC_STRM00",
+                "odd \"name\" with \\escapes",
+            ];
+            let ring = TraceRing::with_policy(
+                capacity, shards, CompactPolicy::with_high_water(high_water),
+            );
+            let mut t = 0.0f64;
+            let mut launches = 0usize;
+            for &(sig, dur, gap, corr) in &stream {
+                let begin = t + gap as f64 * Q;
+                let end = begin + dur as f64 * Q;
+                t = end;
+                let (kind, stream_id) = match sig {
+                    2 => (TraceKind::HostIdle, None),
+                    3 => (TraceKind::KernelExec, Some(0)),
+                    _ => (TraceKind::Call, None),
+                };
+                // corr only on launches and kernels, so links can resolve
+                let corr = if sig == 0 || sig == 3 { corr } else { 0 };
+                if ring.push(trace_rec(kind, names[sig], begin, end, stream_id, corr))
+                    && sig == 0 && corr != 0
+                {
+                    launches += 1;
+                }
+            }
+            let json = Export::new()
+                .with_trace_rank(TraceRank {
+                    rank: 3,
+                    host: "dirac03".to_owned(),
+                    epoch,
+                    records: ring.drain(),
+                    prof: Vec::new(),
+                })
+                .to(Otlp)
+                .expect("rank present");
+            let stats = match validate_otlp(&json) {
+                Ok(stats) => stats,
+                Err(e) => return Err(TestCaseError::fail(format!("invalid OTLP: {e}"))),
+            };
+            prop_assert_eq!(stats.resources, 1);
+            // every span comes from a drained record; a link needs a live
+            // launch, so compaction can only shrink these
+            prop_assert!(stats.spans as u64 <= ring.captured());
+            prop_assert!(stats.links <= launches);
+        }
     }
 }
