@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ipm_core::{Ipm, IpmConfig, IpmCuda};
 use ipm_gpu_sim::{CudaApi, GpuConfig, GpuRuntime, StreamId};
-use ipm_interpose::{wrap_call, NullSink};
+use ipm_interpose::{site, wrap_call, NullSink};
 use ipm_sim_core::SimClock;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -36,7 +36,7 @@ fn bench_wrap_call(c: &mut Criterion) {
     let clock = SimClock::new();
     let sink = NullSink;
     c.bench_function("wrap_call_null_sink", |b| {
-        b.iter(|| wrap_call(&clock, &sink, "cudaLaunch", 0, 0.0, || black_box(42)))
+        b.iter(|| wrap_call(&clock, &sink, site!("cudaLaunch"), 0, 0.0, || black_box(42)))
     });
 }
 

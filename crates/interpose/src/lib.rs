@@ -8,7 +8,10 @@
 //!   paper), each tagged with its API family, its blocking class (the
 //!   *implicit blocking set* of §III-C), and whether it carries a byte
 //!   count.
-//! * [`registry`] — the unified table with interned [`registry::CallId`]s.
+//! * [`registry`] — the unified table with interned [`registry::CallId`]s,
+//!   plus the [`registry::NameTable`] interner and the [`site!`] per-site
+//!   resolution cache: the record path carries only ids; names come back
+//!   at report time.
 //! * [`wrap`] — the wrapper anatomy of Fig. 2: a higher-order `wrap_call`
 //!   plus the `wrap_method!` generator macro, reporting into a
 //!   [`wrap::MonitorSink`].
@@ -25,6 +28,6 @@ pub mod registry;
 pub mod spec;
 pub mod wrap;
 
-pub use registry::{CallId, Registry};
+pub use registry::{CallHandle, CallId, CallSite, NameTable, Registry};
 pub use spec::{ApiFamily, BlockingClass, CallSpec};
 pub use wrap::{wrap_call, wrap_call_sized, MonitorSink, NullSink};

@@ -23,6 +23,10 @@ pub enum ApiFamily {
     Cufft,
     /// `MPI_*`.
     Mpi,
+    /// Host filesystem I/O (`fopen`/`fread`/...). Not part of the paper's
+    /// interface inventory — a repo extension so the I/O facade gets the
+    /// same spec-driven wrapper treatment as the GPU and MPI families.
+    Io,
 }
 
 /// Host-blocking behavior of a call, as classified by the paper's
@@ -717,6 +721,16 @@ pub static MPI_CALLS: &[CallSpec] = &[
     call("MPI_Wtime", ApiFamily::Mpi, BlockingClass::Local, false),
 ];
 
+/// The host I/O calls the I/O facade times (repo extension; IPM proper
+/// monitors POSIX I/O the same way through its `libc` wrappers). None of
+/// these touch the device, so none participate in host-idle probing.
+pub static IO_CALLS: &[CallSpec] = &[
+    call("fopen", ApiFamily::Io, BlockingClass::Local, false),
+    call("fread", ApiFamily::Io, BlockingClass::Local, true),
+    call("fwrite", ApiFamily::Io, BlockingClass::Local, true),
+    call("fclose", ApiFamily::Io, BlockingClass::Local, false),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -740,6 +754,7 @@ mod tests {
             CUFFT_CALLS.to_vec(),
             cublas_calls(),
             MPI_CALLS.to_vec(),
+            IO_CALLS.to_vec(),
         ] {
             let set: HashSet<&str> = calls.iter().map(|c| c.name).collect();
             assert_eq!(set.len(), calls.len(), "duplicate names in a family");
@@ -757,6 +772,7 @@ mod tests {
             CUFFT_CALLS.to_vec(),
             cublas_calls(),
             MPI_CALLS.to_vec(),
+            IO_CALLS.to_vec(),
         ] {
             all.extend(calls.iter().map(|c| c.name.to_owned()));
         }
@@ -874,6 +890,23 @@ mod tests {
         assert!(CUFFT_CALLS.iter().all(|c| c.family == ApiFamily::Cufft));
         assert!(cublas_calls().iter().all(|c| c.family == ApiFamily::Cublas));
         assert!(MPI_CALLS.iter().all(|c| c.family == ApiFamily::Mpi));
+        assert!(IO_CALLS.iter().all(|c| c.family == ApiFamily::Io));
+    }
+
+    #[test]
+    fn io_rows_never_participate_in_host_idle_probing() {
+        // the I/O family is a repo extension: plain host calls, sized on
+        // fread/fwrite, and never in the implicit blocking set
+        assert_eq!(IO_CALLS.len(), 4);
+        for c in IO_CALLS {
+            assert_eq!(c.blocking, BlockingClass::Local, "{} misclassified", c.name);
+        }
+        let sized: Vec<&str> = IO_CALLS
+            .iter()
+            .filter(|c| c.has_bytes)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(sized, vec!["fread", "fwrite"]);
     }
 
     #[test]

@@ -14,25 +14,27 @@
 //!
 //! [`wrap_call`] is that anatomy as a reusable function: time the *real*
 //! call on the caller's virtual clock, report `(call, bytes, duration)` to
-//! a [`MonitorSink`], pass the return value through unchanged. The
-//! `wrap_api!` macro generates whole monitored facades from a method list,
-//! standing in for IPM's wrapper-generator script.
+//! a [`MonitorSink`], pass the return value through unchanged. The call is
+//! identified by a [`CallHandle`] — the interned `CALL_ID` of the C
+//! original, resolved once per site via the [`site!`](crate::site) macro —
+//! so the steady-state record path never touches the name string.
 
+use crate::registry::CallHandle;
 use ipm_sim_core::SimClock;
 
 /// Where wrappers deposit measurements. Implemented by `ipm-core`'s
 /// performance hash table; tests use simple recording sinks.
 pub trait MonitorSink: Send + Sync {
-    /// Record one completed call: `name` (a registry name), the byte count
+    /// Record one completed call: its interned handle, the byte count
     /// attribute (0 when the call has none), and the host-side duration.
-    fn update(&self, name: &'static str, bytes: u64, duration: f64);
+    fn update(&self, call: CallHandle, bytes: u64, duration: f64);
 
     /// Record one completed call with its begin/end timestamps. Sinks that
     /// keep an event stream (the trace ring) override this to capture the
     /// interval; the default forwards the duration to [`Self::update`], so
     /// aggregate-only sinks need not care.
-    fn span(&self, name: &'static str, bytes: u64, begin: f64, end: f64) {
-        self.update(name, bytes, end - begin);
+    fn span(&self, call: CallHandle, bytes: u64, begin: f64, end: f64) {
+        self.update(call, bytes, end - begin);
     }
 }
 
@@ -41,7 +43,7 @@ pub trait MonitorSink: Send + Sync {
 pub struct NullSink;
 
 impl MonitorSink for NullSink {
-    fn update(&self, _name: &'static str, _bytes: u64, _duration: f64) {}
+    fn update(&self, _call: CallHandle, _bytes: u64, _duration: f64) {}
 }
 
 /// Execute `real` bracketed by virtual-clock timestamps and report the
@@ -51,7 +53,7 @@ impl MonitorSink for NullSink {
 pub fn wrap_call<R>(
     clock: &SimClock,
     sink: &dyn MonitorSink,
-    name: &'static str,
+    call: CallHandle,
     bytes: u64,
     overhead: f64,
     real: impl FnOnce() -> R,
@@ -60,7 +62,7 @@ pub fn wrap_call<R>(
     let ret = real();
     clock.advance(overhead);
     let end = clock.now();
-    sink.span(name, bytes, begin, end);
+    sink.span(call, bytes, begin, end);
     ret
 }
 
@@ -72,7 +74,7 @@ pub fn wrap_call<R>(
 pub fn wrap_call_sized<R>(
     clock: &SimClock,
     sink: &dyn MonitorSink,
-    name: &'static str,
+    call: CallHandle,
     overhead: f64,
     real: impl FnOnce() -> R,
     bytes_of: impl FnOnce(&R) -> u64,
@@ -81,13 +83,13 @@ pub fn wrap_call_sized<R>(
     let ret = real();
     clock.advance(overhead);
     let end = clock.now();
-    sink.span(name, bytes_of(&ret), begin, end);
+    sink.span(call, bytes_of(&ret), begin, end);
     ret
 }
 
 /// Generate a monitored facade method: times the inner call on `$self`'s
-/// clock and reports to `$self`'s sink. Used by `ipm-core`'s monitors; kept
-/// here so the generation logic lives with the interposition machinery.
+/// clock and reports to `$self`'s sink. The name literal resolves through
+/// a per-site [`site!`](crate::site) cache.
 ///
 /// ```ignore
 /// wrap_method! { self, "cudaMalloc", bytes = size as u64,
@@ -99,7 +101,7 @@ macro_rules! wrap_method {
         $crate::wrap::wrap_call(
             $self.wrapper_clock(),
             $self.wrapper_sink(),
-            $name,
+            $crate::site!($name),
             $bytes,
             $self.wrapper_overhead(),
             || $call,
@@ -113,16 +115,17 @@ macro_rules! wrap_method {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::site;
     use parking_lot::Mutex;
 
     #[derive(Default)]
     struct RecordingSink {
-        events: Mutex<Vec<(&'static str, u64, f64)>>,
+        events: Mutex<Vec<(CallHandle, u64, f64)>>,
     }
 
     impl MonitorSink for RecordingSink {
-        fn update(&self, name: &'static str, bytes: u64, duration: f64) {
-            self.events.lock().push((name, bytes, duration));
+        fn update(&self, call: CallHandle, bytes: u64, duration: f64) {
+            self.events.lock().push((call, bytes, duration));
         }
     }
 
@@ -130,15 +133,15 @@ mod tests {
     fn wrap_call_times_the_inner_call() {
         let clock = SimClock::new();
         let sink = RecordingSink::default();
-        let out = wrap_call(&clock, &sink, "cudaMemcpy", 4096, 0.0, || {
+        let out = wrap_call(&clock, &sink, site!("cudaMemcpy"), 4096, 0.0, || {
             clock.advance(0.25); // the "real" call takes 0.25 virtual s
             42
         });
         assert_eq!(out, 42);
         let events = sink.events.lock();
         assert_eq!(events.len(), 1);
-        let (name, bytes, duration) = events[0];
-        assert_eq!(name, "cudaMemcpy");
+        let (call, bytes, duration) = events[0];
+        assert_eq!(&*call.name(), "cudaMemcpy");
         assert_eq!(bytes, 4096);
         assert!((duration - 0.25).abs() < 1e-12);
     }
@@ -147,7 +150,7 @@ mod tests {
     fn wrap_call_charges_monitoring_overhead() {
         let clock = SimClock::new();
         let sink = NullSink;
-        wrap_call(&clock, &sink, "cudaLaunch", 0, 1e-6, || {});
+        wrap_call(&clock, &sink, site!("cudaLaunch"), 0, 1e-6, || {});
         assert!((clock.now() - 1e-6).abs() < 1e-15);
     }
 
@@ -155,21 +158,21 @@ mod tests {
     fn return_values_and_errors_pass_through() {
         let clock = SimClock::new();
         let sink = NullSink;
-        let ok: Result<i32, &str> = wrap_call(&clock, &sink, "x", 0, 0.0, || Ok(7));
-        let err: Result<i32, &str> = wrap_call(&clock, &sink, "x", 0, 0.0, || Err("boom"));
+        let ok: Result<i32, &str> = wrap_call(&clock, &sink, site!("x"), 0, 0.0, || Ok(7));
+        let err: Result<i32, &str> = wrap_call(&clock, &sink, site!("x"), 0, 0.0, || Err("boom"));
         assert_eq!(ok, Ok(7));
         assert_eq!(err, Err("boom"));
     }
 
     #[derive(Default)]
     struct SpanSink {
-        spans: Mutex<Vec<(&'static str, f64, f64)>>,
+        spans: Mutex<Vec<(CallHandle, f64, f64)>>,
     }
 
     impl MonitorSink for SpanSink {
-        fn update(&self, _name: &'static str, _bytes: u64, _duration: f64) {}
-        fn span(&self, name: &'static str, _bytes: u64, begin: f64, end: f64) {
-            self.spans.lock().push((name, begin, end));
+        fn update(&self, _call: CallHandle, _bytes: u64, _duration: f64) {}
+        fn span(&self, call: CallHandle, _bytes: u64, begin: f64, end: f64) {
+            self.spans.lock().push((call, begin, end));
         }
     }
 
@@ -178,11 +181,13 @@ mod tests {
         let clock = SimClock::new();
         clock.advance(1.0);
         let sink = SpanSink::default();
-        wrap_call(&clock, &sink, "cudaLaunch", 0, 0.0, || clock.advance(0.5));
+        wrap_call(&clock, &sink, site!("cudaLaunch"), 0, 0.0, || {
+            clock.advance(0.5)
+        });
         let spans = sink.spans.lock();
         assert_eq!(spans.len(), 1);
-        let (name, begin, end) = spans[0];
-        assert_eq!(name, "cudaLaunch");
+        let (call, begin, end) = spans[0];
+        assert_eq!(&*call.name(), "cudaLaunch");
         assert!((begin - 1.0).abs() < 1e-12);
         assert!((end - 1.5).abs() < 1e-12);
     }
@@ -194,20 +199,21 @@ mod tests {
         let got: Result<Vec<u8>, &str> = wrap_call_sized(
             &clock,
             &sink,
-            "MPI_Recv",
+            site!("MPI_Recv"),
             0.0,
             || Ok(vec![0u8; 512]),
             |r| r.as_ref().map_or(0, |d: &Vec<u8>| d.len() as u64),
         );
         assert_eq!(got.unwrap().len(), 512);
         let events = sink.events.lock();
-        assert_eq!(events[0], ("MPI_Recv", 512, events[0].2));
+        assert_eq!(events[0].1, 512);
+        assert_eq!(&*events[0].0.name(), "MPI_Recv");
         // errors pass through and record zero bytes
         drop(events);
         let err: Result<Vec<u8>, &str> = wrap_call_sized(
             &clock,
             &sink,
-            "MPI_Recv",
+            site!("MPI_Recv"),
             0.0,
             || Err("truncated"),
             |r| r.as_ref().map_or(0, |d: &Vec<u8>| d.len() as u64),
@@ -223,13 +229,15 @@ mod tests {
         // the inner one, as it does for real IPM
         let clock = SimClock::new();
         let sink = RecordingSink::default();
-        wrap_call(&clock, &sink, "cublasDgemm", 0, 0.0, || {
-            wrap_call(&clock, &sink, "cudaLaunch", 0, 0.0, || clock.advance(0.1));
+        wrap_call(&clock, &sink, site!("cublasDgemm"), 0, 0.0, || {
+            wrap_call(&clock, &sink, site!("cudaLaunch"), 0, 0.0, || {
+                clock.advance(0.1)
+            });
             clock.advance(0.05);
         });
         let events = sink.events.lock();
-        assert_eq!(events[0].0, "cudaLaunch");
-        assert_eq!(events[1].0, "cublasDgemm");
+        assert_eq!(&*events[0].0.name(), "cudaLaunch");
+        assert_eq!(&*events[1].0.name(), "cublasDgemm");
         assert!(events[1].2 > events[0].2);
         assert!((events[1].2 - 0.15).abs() < 1e-12);
     }

@@ -177,7 +177,12 @@ pub(crate) fn render_region_report(profile: &RankProfile, max_rows: usize) -> St
             continue;
         }
         let mut rows: Vec<_> = map.into_iter().collect();
-        rows.sort_by(|a, b| b.1.total.partial_cmp(&a.1.total).expect("finite totals"));
+        rows.sort_by(|a, b| {
+            b.1.total
+                .partial_cmp(&a.1.total)
+                .expect("finite totals")
+                .then_with(|| a.0.cmp(b.0))
+        });
         let region_total: f64 = rows.iter().map(|(_, s)| s.total).sum();
         out.push_str(&format!(
             "# region {:<24} [events: {:.2} s]

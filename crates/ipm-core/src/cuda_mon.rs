@@ -15,141 +15,66 @@
 //!    implicit-blocking set, the wrapper synchronizes with the device and
 //!    books the wait separately as `@CUDA_HOST_IDLE`, leaving the call
 //!    itself with just its own transfer time.
+//!
+//! All of that plumbing lives in the shared [`FacadeCore`]; this facade is
+//! just the `CudaApi` surface naming each call via [`site!`] — the probe
+//! for implicit blocking is steered by the interned spec flags, so e.g.
+//! `cudaMemcpy(H2D)` probes while `cudaMemset` (the paper's noted
+//! exception) does not.
 
-use crate::ktt::KttCheckPolicy;
+use crate::facade::FacadeCore;
 use crate::monitor::Ipm;
-use crate::sig::EventSignature;
 use ipm_gpu_sim::{
     CudaApi, CudaResult, DeviceProperties, DevicePtr, EventId, Kernel, KernelArg, LaunchConfig,
     StreamId,
 };
-use ipm_interpose::{wrap_call, MonitorSink};
-use ipm_sim_core::SimClock;
+use ipm_interpose::{site, CallHandle};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// The monitored CUDA runtime facade.
 pub struct IpmCuda {
-    ipm: Arc<Ipm>,
+    core: FacadeCore,
     inner: Arc<dyn CudaApi>,
     /// Stream of the most recent `cudaConfigureCall`, needed by the
     /// `cudaLaunch` wrapper for KTT attribution (the launch itself does
     /// not carry the stream).
     pending_stream: Mutex<Vec<StreamId>>,
-    /// Interned `@CUDA_EXEC_STRMxx` names, one per stream seen.
-    exec_names: Mutex<std::collections::HashMap<u32, Arc<str>>>,
 }
 
 impl IpmCuda {
     /// Install monitoring around `inner`.
     pub fn new(ipm: Arc<Ipm>, inner: Arc<dyn CudaApi>) -> Self {
         Self {
-            ipm,
+            core: FacadeCore::new(ipm, Some(inner.clone())),
             inner,
             pending_stream: Mutex::new(Vec::new()),
-            exec_names: Mutex::new(std::collections::HashMap::new()),
         }
     }
 
-    fn wrapper_clock(&self) -> &SimClock {
-        self.ipm.clock()
+    fn wrapped_no_sweep<R>(&self, call: CallHandle, bytes: u64, real: impl FnOnce() -> R) -> R {
+        self.core.wrapped_no_sweep(call, bytes, real)
     }
 
-    fn wrapper_sink(&self) -> &dyn MonitorSink {
-        self.ipm.as_ref()
-    }
-
-    fn wrapper_overhead(&self) -> f64 {
-        self.ipm.config().wrapper_overhead
-    }
-
-    /// The Fig. 2 anatomy without any KTT sweep — safe to call while the
-    /// KTT lock is held (the `cudaLaunch` wrapper does exactly that).
-    fn wrapped_no_sweep<R>(&self, name: &'static str, bytes: u64, real: impl FnOnce() -> R) -> R {
-        wrap_call(
-            self.wrapper_clock(),
-            self.wrapper_sink(),
-            name,
-            bytes,
-            self.wrapper_overhead(),
-            real,
-        )
-    }
-
-    fn wrapped<R>(&self, name: &'static str, bytes: u64, real: impl FnOnce() -> R) -> R {
-        let out = self.wrapped_no_sweep(name, bytes, real);
-        if self.ipm.config().ktt_policy == KttCheckPolicy::EveryCall {
-            self.sweep_ktt();
-        }
-        out
-    }
-
-    /// Measure implicit host blocking before a call in the blocking set:
-    /// synchronize with all outstanding device work (through the *real*
-    /// API — IPM-internal calls are invisible to the profile) and book the
-    /// wait as `@CUDA_HOST_IDLE`.
-    fn absorb_host_idle(&self) {
-        if !self.ipm.config().host_idle {
-            return;
-        }
-        let before = self.ipm.clock().now();
-        let _ = self.inner.cuda_thread_synchronize();
-        let after = self.ipm.clock().now();
-        let idle = after - before;
-        if idle > 0.0 {
-            self.ipm
-                .update_pseudo(Arc::from(EventSignature::HOST_IDLE), None, idle);
-            self.ipm.trace_host_idle(before, after);
-        }
+    fn wrapped<R>(&self, call: CallHandle, bytes: u64, real: impl FnOnce() -> R) -> R {
+        self.core.wrapped(call, bytes, real)
     }
 
     /// Sweep the KTT for completed kernels and book `@CUDA_EXEC_STRMxx`
     /// entries (paper: done in D2H transfer wrappers).
     fn sweep_ktt(&self) {
-        if !self.ipm.config().gpu_timing {
-            return;
-        }
-        let completed = self.ipm.ktt().lock().collect_completed(self.inner.as_ref());
-        self.book_completed(completed);
-    }
-
-    fn book_completed(&self, completed: Vec<crate::ktt::CompletedKernel>) {
-        let correction = self.ipm.config().exec_time_correction.unwrap_or(0.0);
-        for c in completed {
-            let name = {
-                let mut names = self.exec_names.lock();
-                names
-                    .entry(c.stream.0)
-                    .or_insert_with(|| Arc::from(EventSignature::exec_stream_name(c.stream.0)))
-                    .clone()
-            };
-            let duration = (c.duration - correction).max(0.0);
-            if let Some(interval) = c.interval {
-                self.ipm.trace_kernel_exec(
-                    name.clone(),
-                    c.kernel.clone(),
-                    c.stream.0,
-                    interval,
-                    c.corr,
-                );
-            }
-            self.ipm.update_pseudo(name, Some(c.kernel), duration);
-        }
+        self.core.sweep_ktt()
     }
 
     /// Drain any in-flight kernel timings (call before producing the
     /// profile). Safe to call multiple times.
     pub fn finalize(&self) {
-        if !self.ipm.config().gpu_timing {
-            return;
-        }
-        let completed = self.ipm.ktt().lock().drain(self.inner.as_ref());
-        self.book_completed(completed);
+        self.core.finalize()
     }
 
     /// The monitoring context this facade reports into.
     pub fn ipm(&self) -> &Arc<Ipm> {
-        &self.ipm
+        self.core.ipm()
     }
 
     /// The wrapped (real) API.
@@ -160,23 +85,23 @@ impl IpmCuda {
 
 impl CudaApi for IpmCuda {
     fn cuda_malloc(&self, size: usize) -> CudaResult<DevicePtr> {
-        self.wrapped("cudaMalloc", size as u64, || self.inner.cuda_malloc(size))
+        self.wrapped(site!("cudaMalloc"), size as u64, || {
+            self.inner.cuda_malloc(size)
+        })
     }
 
     fn cuda_free(&self, ptr: DevicePtr) -> CudaResult<()> {
-        self.wrapped("cudaFree", 0, || self.inner.cuda_free(ptr))
+        self.wrapped(site!("cudaFree"), 0, || self.inner.cuda_free(ptr))
     }
 
     fn cuda_memcpy_h2d(&self, dst: DevicePtr, src: &[u8]) -> CudaResult<()> {
-        self.absorb_host_idle();
-        self.wrapped("cudaMemcpy(H2D)", src.len() as u64, || {
+        self.wrapped(site!("cudaMemcpy(H2D)"), src.len() as u64, || {
             self.inner.cuda_memcpy_h2d(dst, src)
         })
     }
 
     fn cuda_memcpy_d2h(&self, dst: &mut [u8], src: DevicePtr) -> CudaResult<()> {
-        self.absorb_host_idle();
-        let ret = self.wrapped("cudaMemcpy(D2H)", dst.len() as u64, || {
+        let ret = self.wrapped(site!("cudaMemcpy(D2H)"), dst.len() as u64, || {
             self.inner.cuda_memcpy_d2h(dst, src)
         });
         // the paper's lazy completion check: D2H transfers are the sweep point
@@ -190,8 +115,7 @@ impl CudaApi for IpmCuda {
         src: &[u8],
         total_bytes: u64,
     ) -> CudaResult<()> {
-        self.absorb_host_idle();
-        self.wrapped("cudaMemcpy(H2D)", total_bytes, || {
+        self.wrapped(site!("cudaMemcpy(H2D)"), total_bytes, || {
             self.inner.cuda_memcpy_h2d_sized(dst, src, total_bytes)
         })
     }
@@ -202,8 +126,7 @@ impl CudaApi for IpmCuda {
         src: DevicePtr,
         total_bytes: u64,
     ) -> CudaResult<()> {
-        self.absorb_host_idle();
-        let ret = self.wrapped("cudaMemcpy(D2H)", total_bytes, || {
+        let ret = self.wrapped(site!("cudaMemcpy(D2H)"), total_bytes, || {
             self.inner.cuda_memcpy_d2h_sized(dst, src, total_bytes)
         });
         self.sweep_ktt();
@@ -211,8 +134,7 @@ impl CudaApi for IpmCuda {
     }
 
     fn cuda_memcpy_d2d(&self, dst: DevicePtr, src: DevicePtr, len: usize) -> CudaResult<()> {
-        self.absorb_host_idle();
-        self.wrapped("cudaMemcpy(D2D)", len as u64, || {
+        self.wrapped(site!("cudaMemcpy(D2D)"), len as u64, || {
             self.inner.cuda_memcpy_d2d(dst, src, len)
         })
     }
@@ -223,7 +145,7 @@ impl CudaApi for IpmCuda {
         src: &[u8],
         stream: StreamId,
     ) -> CudaResult<()> {
-        self.wrapped("cudaMemcpyAsync(H2D)", src.len() as u64, || {
+        self.wrapped(site!("cudaMemcpyAsync(H2D)"), src.len() as u64, || {
             self.inner.cuda_memcpy_h2d_async(dst, src, stream)
         })
     }
@@ -234,7 +156,7 @@ impl CudaApi for IpmCuda {
         src: DevicePtr,
         stream: StreamId,
     ) -> CudaResult<()> {
-        let ret = self.wrapped("cudaMemcpyAsync(D2H)", dst.len() as u64, || {
+        let ret = self.wrapped(site!("cudaMemcpyAsync(D2H)"), dst.len() as u64, || {
             self.inner.cuda_memcpy_d2h_async(dst, src, stream)
         });
         // async D2H is also a reasonable sweep point (it signals the host
@@ -244,28 +166,27 @@ impl CudaApi for IpmCuda {
     }
 
     fn cuda_memcpy_to_symbol(&self, symbol: &str, src: &[u8]) -> CudaResult<()> {
-        self.absorb_host_idle();
-        self.wrapped("cudaMemcpyToSymbol", src.len() as u64, || {
+        self.wrapped(site!("cudaMemcpyToSymbol"), src.len() as u64, || {
             self.inner.cuda_memcpy_to_symbol(symbol, src)
         })
     }
 
     fn cuda_memset(&self, dst: DevicePtr, value: u8, len: usize) -> CudaResult<()> {
         // NOT in the implicit-blocking set (§III-C): no host-idle probe
-        self.wrapped("cudaMemset", len as u64, || {
+        self.wrapped(site!("cudaMemset"), len as u64, || {
             self.inner.cuda_memset(dst, value, len)
         })
     }
 
     fn cuda_configure_call(&self, config: LaunchConfig) -> CudaResult<()> {
         self.pending_stream.lock().push(config.stream);
-        self.wrapped("cudaConfigureCall", 0, || {
+        self.wrapped(site!("cudaConfigureCall"), 0, || {
             self.inner.cuda_configure_call(config)
         })
     }
 
     fn cuda_setup_argument(&self, arg: KernelArg) -> CudaResult<()> {
-        self.wrapped("cudaSetupArgument", arg.size() as u64, || {
+        self.wrapped(site!("cudaSetupArgument"), arg.size() as u64, || {
             self.inner.cuda_setup_argument(arg)
         })
     }
@@ -276,40 +197,40 @@ impl CudaApi for IpmCuda {
             .lock()
             .pop()
             .unwrap_or(StreamId::DEFAULT);
-        if self.ipm.config().gpu_timing {
+        if self.ipm().config().gpu_timing {
             let name: Arc<str> = Arc::from(kernel.name());
             // the KTT lock is held across the bracketed launch, so the
             // wrapper inside must not sweep (EveryCall would self-deadlock);
             // sweep after the lock is released instead
             // speccheck: allow(lock-across-call) — KTT bracketing requires it
             let ret = {
-                let mut ktt = self.ipm.ktt().lock();
+                let mut ktt = self.ipm().ktt().lock();
                 ktt.time_launch(self.inner.as_ref(), name, stream, || {
-                    self.wrapped_no_sweep("cudaLaunch", 0, || self.inner.cuda_launch(kernel))
+                    self.wrapped_no_sweep(site!("cudaLaunch"), 0, || self.inner.cuda_launch(kernel))
                 })
             };
-            if self.ipm.config().ktt_policy == KttCheckPolicy::EveryCall {
-                self.sweep_ktt();
-            }
+            self.core.sweep_if_every_call();
             ret
         } else {
             // speccheck: allow(wrap-once) — one site per mutually-exclusive branch
-            self.wrapped("cudaLaunch", 0, || self.inner.cuda_launch(kernel))
+            self.wrapped(site!("cudaLaunch"), 0, || self.inner.cuda_launch(kernel))
         }
     }
 
     fn cuda_stream_create(&self) -> CudaResult<StreamId> {
-        self.wrapped("cudaStreamCreate", 0, || self.inner.cuda_stream_create())
+        self.wrapped(site!("cudaStreamCreate"), 0, || {
+            self.inner.cuda_stream_create()
+        })
     }
 
     fn cuda_stream_destroy(&self, stream: StreamId) -> CudaResult<()> {
-        self.wrapped("cudaStreamDestroy", 0, || {
+        self.wrapped(site!("cudaStreamDestroy"), 0, || {
             self.inner.cuda_stream_destroy(stream)
         })
     }
 
     fn cuda_stream_synchronize(&self, stream: StreamId) -> CudaResult<()> {
-        let ret = self.wrapped("cudaStreamSynchronize", 0, || {
+        let ret = self.wrapped(site!("cudaStreamSynchronize"), 0, || {
             self.inner.cuda_stream_synchronize(stream)
         });
         self.sweep_ktt();
@@ -317,33 +238,37 @@ impl CudaApi for IpmCuda {
     }
 
     fn cuda_stream_query(&self, stream: StreamId) -> CudaResult<()> {
-        self.wrapped("cudaStreamQuery", 0, || {
+        self.wrapped(site!("cudaStreamQuery"), 0, || {
             self.inner.cuda_stream_query(stream)
         })
     }
 
     fn cuda_event_create(&self) -> CudaResult<EventId> {
-        self.wrapped("cudaEventCreate", 0, || self.inner.cuda_event_create())
+        self.wrapped(site!("cudaEventCreate"), 0, || {
+            self.inner.cuda_event_create()
+        })
     }
 
     fn cuda_event_destroy(&self, event: EventId) -> CudaResult<()> {
-        self.wrapped("cudaEventDestroy", 0, || {
+        self.wrapped(site!("cudaEventDestroy"), 0, || {
             self.inner.cuda_event_destroy(event)
         })
     }
 
     fn cuda_event_record(&self, event: EventId, stream: StreamId) -> CudaResult<()> {
-        self.wrapped("cudaEventRecord", 0, || {
+        self.wrapped(site!("cudaEventRecord"), 0, || {
             self.inner.cuda_event_record(event, stream)
         })
     }
 
     fn cuda_event_query(&self, event: EventId) -> CudaResult<()> {
-        self.wrapped("cudaEventQuery", 0, || self.inner.cuda_event_query(event))
+        self.wrapped(site!("cudaEventQuery"), 0, || {
+            self.inner.cuda_event_query(event)
+        })
     }
 
     fn cuda_event_synchronize(&self, event: EventId) -> CudaResult<()> {
-        let ret = self.wrapped("cudaEventSynchronize", 0, || {
+        let ret = self.wrapped(site!("cudaEventSynchronize"), 0, || {
             self.inner.cuda_event_synchronize(event)
         });
         self.sweep_ktt();
@@ -351,13 +276,13 @@ impl CudaApi for IpmCuda {
     }
 
     fn cuda_event_elapsed_time(&self, start: EventId, stop: EventId) -> CudaResult<f64> {
-        self.wrapped("cudaEventElapsedTime", 0, || {
+        self.wrapped(site!("cudaEventElapsedTime"), 0, || {
             self.inner.cuda_event_elapsed_time(start, stop)
         })
     }
 
     fn cuda_thread_synchronize(&self) -> CudaResult<()> {
-        let ret = self.wrapped("cudaThreadSynchronize", 0, || {
+        let ret = self.wrapped(site!("cudaThreadSynchronize"), 0, || {
             self.inner.cuda_thread_synchronize()
         });
         self.sweep_ktt();
@@ -365,23 +290,27 @@ impl CudaApi for IpmCuda {
     }
 
     fn cuda_get_device_count(&self) -> CudaResult<i32> {
-        self.wrapped("cudaGetDeviceCount", 0, || {
+        self.wrapped(site!("cudaGetDeviceCount"), 0, || {
             self.inner.cuda_get_device_count()
         })
     }
 
     fn cuda_set_device(&self, ordinal: i32) -> CudaResult<()> {
-        self.wrapped("cudaSetDevice", 0, || self.inner.cuda_set_device(ordinal))
+        self.wrapped(site!("cudaSetDevice"), 0, || {
+            self.inner.cuda_set_device(ordinal)
+        })
     }
 
     fn cuda_get_device_properties(&self) -> CudaResult<DeviceProperties> {
-        self.wrapped("cudaGetDeviceProperties", 0, || {
+        self.wrapped(site!("cudaGetDeviceProperties"), 0, || {
             self.inner.cuda_get_device_properties()
         })
     }
 
     fn cuda_get_last_error(&self) -> Option<ipm_gpu_sim::CudaError> {
-        self.wrapped("cudaGetLastError", 0, || self.inner.cuda_get_last_error())
+        self.wrapped(site!("cudaGetLastError"), 0, || {
+            self.inner.cuda_get_last_error()
+        })
     }
 
     // Introspection used by IPM itself (KTT correlation, trace placement):
@@ -399,6 +328,7 @@ impl CudaApi for IpmCuda {
 mod tests {
     use super::*;
     use crate::monitor::IpmConfig;
+    use crate::sig::EventSignature;
     use ipm_gpu_sim::{launch_kernel, GpuConfig, GpuRuntime, Kernel, KernelCost};
 
     /// The Fig. 3 `square` scenario under monitoring.

@@ -17,138 +17,58 @@
 //!    probe for accumulated device work first; `cuMemsetD8` is the paper's
 //!    noted exception and gets no probe.
 
-use crate::ktt::KttCheckPolicy;
+use crate::facade::FacadeCore;
 use crate::monitor::Ipm;
-use crate::sig::EventSignature;
 use ipm_gpu_sim::{
-    CudaResult, DevicePtr, DriverContext, EventId, Kernel, KernelArg, LaunchConfig, ModuleHandle,
-    StreamId,
+    CudaApi, CudaResult, DevicePtr, DriverContext, EventId, Kernel, KernelArg, LaunchConfig,
+    ModuleHandle, StreamId,
 };
-use ipm_interpose::{wrap_call, MonitorSink};
-use ipm_sim_core::SimClock;
-use parking_lot::Mutex;
+use ipm_interpose::{site, CallHandle};
 use std::sync::Arc;
 
 /// The monitored CUDA driver facade.
 pub struct IpmDriver {
-    ipm: Arc<Ipm>,
+    core: FacadeCore,
     inner: Arc<DriverContext>,
-    /// Interned `@CUDA_EXEC_STRMxx` names, one per stream seen.
-    exec_names: Mutex<std::collections::HashMap<u32, Arc<str>>>,
 }
 
 impl IpmDriver {
     /// Install monitoring around `inner`.
     pub fn new(ipm: Arc<Ipm>, inner: Arc<DriverContext>) -> Self {
+        // Probing synchronizes through the bare runtime underneath the
+        // driver context; pre-`cuInit` there are no pending kernels, so this
+        // is equivalent to `cu_ctx_synchronize` for idle accounting while
+        // staying invisible to the profile.
+        let device: Arc<dyn CudaApi> = inner.runtime().clone();
         Self {
-            ipm,
+            core: FacadeCore::new(ipm, Some(device)),
             inner,
-            exec_names: Mutex::new(std::collections::HashMap::new()),
         }
     }
 
-    fn wrapper_clock(&self) -> &SimClock {
-        self.ipm.clock()
+    fn wrapped_no_sweep<R>(&self, call: CallHandle, bytes: u64, real: impl FnOnce() -> R) -> R {
+        self.core.wrapped_no_sweep(call, bytes, real)
     }
 
-    fn wrapper_sink(&self) -> &dyn MonitorSink {
-        self.ipm.as_ref()
-    }
-
-    fn wrapper_overhead(&self) -> f64 {
-        self.ipm.config().wrapper_overhead
-    }
-
-    /// The Fig. 2 anatomy without any KTT sweep — safe to call while the
-    /// KTT lock is held (the `cuLaunchGrid` wrapper does exactly that).
-    fn wrapped_no_sweep<R>(&self, name: &'static str, bytes: u64, real: impl FnOnce() -> R) -> R {
-        wrap_call(
-            self.wrapper_clock(),
-            self.wrapper_sink(),
-            name,
-            bytes,
-            self.wrapper_overhead(),
-            real,
-        )
-    }
-
-    fn wrapped<R>(&self, name: &'static str, bytes: u64, real: impl FnOnce() -> R) -> R {
-        let out = self.wrapped_no_sweep(name, bytes, real);
-        if self.ipm.config().ktt_policy == KttCheckPolicy::EveryCall {
-            self.sweep_ktt();
-        }
-        out
-    }
-
-    /// Measure implicit host blocking before a call in the blocking set:
-    /// synchronize through the *real* driver API (IPM-internal calls are
-    /// invisible to the profile) and book the wait as `@CUDA_HOST_IDLE`.
-    fn absorb_host_idle(&self) {
-        if !self.ipm.config().host_idle {
-            return;
-        }
-        let before = self.ipm.clock().now();
-        let _ = self.inner.cu_ctx_synchronize();
-        let after = self.ipm.clock().now();
-        let idle = after - before;
-        if idle > 0.0 {
-            self.ipm
-                .update_pseudo(Arc::from(EventSignature::HOST_IDLE), None, idle);
-            self.ipm.trace_host_idle(before, after);
-        }
+    fn wrapped<R>(&self, call: CallHandle, bytes: u64, real: impl FnOnce() -> R) -> R {
+        self.core.wrapped(call, bytes, real)
     }
 
     /// Sweep the shared KTT for completed kernels — middleware-launched
     /// kernels are booked exactly like runtime-API ones.
     fn sweep_ktt(&self) {
-        if !self.ipm.config().gpu_timing {
-            return;
-        }
-        let completed = self
-            .ipm
-            .ktt()
-            .lock()
-            .collect_completed(self.inner.runtime().as_ref());
-        self.book_completed(completed);
-    }
-
-    fn book_completed(&self, completed: Vec<crate::ktt::CompletedKernel>) {
-        let correction = self.ipm.config().exec_time_correction.unwrap_or(0.0);
-        for c in completed {
-            let name = {
-                let mut names = self.exec_names.lock();
-                names
-                    .entry(c.stream.0)
-                    .or_insert_with(|| Arc::from(EventSignature::exec_stream_name(c.stream.0)))
-                    .clone()
-            };
-            let duration = (c.duration - correction).max(0.0);
-            if let Some(interval) = c.interval {
-                self.ipm.trace_kernel_exec(
-                    name.clone(),
-                    c.kernel.clone(),
-                    c.stream.0,
-                    interval,
-                    c.corr,
-                );
-            }
-            self.ipm.update_pseudo(name, Some(c.kernel), duration);
-        }
+        self.core.sweep_ktt()
     }
 
     /// Drain any in-flight kernel timings (call before producing the
     /// profile). Safe to call multiple times.
     pub fn finalize(&self) {
-        if !self.ipm.config().gpu_timing {
-            return;
-        }
-        let completed = self.ipm.ktt().lock().drain(self.inner.runtime().as_ref());
-        self.book_completed(completed);
+        self.core.finalize()
     }
 
     /// The monitoring context this facade reports into.
     pub fn ipm(&self) -> &Arc<Ipm> {
-        &self.ipm
+        self.core.ipm()
     }
 
     /// The wrapped (real) driver context.
@@ -158,47 +78,52 @@ impl IpmDriver {
 
     /// `cuInit`.
     pub fn cu_init(&self, flags: u32) -> CudaResult<()> {
-        self.wrapped("cuInit", 0, || self.inner.cu_init(flags))
+        self.wrapped(site!("cuInit"), 0, || self.inner.cu_init(flags))
     }
 
     /// `cuDeviceGetCount`.
     pub fn cu_device_get_count(&self) -> CudaResult<i32> {
-        self.wrapped("cuDeviceGetCount", 0, || self.inner.cu_device_get_count())
+        self.wrapped(site!("cuDeviceGetCount"), 0, || {
+            self.inner.cu_device_get_count()
+        })
     }
 
     /// `cuDeviceGet`.
     pub fn cu_device_get(&self, ordinal: i32) -> CudaResult<i32> {
-        self.wrapped("cuDeviceGet", 0, || self.inner.cu_device_get(ordinal))
+        self.wrapped(site!("cuDeviceGet"), 0, || {
+            self.inner.cu_device_get(ordinal)
+        })
     }
 
     /// `cuDeviceGetName`.
     pub fn cu_device_get_name(&self, device: i32) -> CudaResult<String> {
-        self.wrapped("cuDeviceGetName", 0, || {
+        self.wrapped(site!("cuDeviceGetName"), 0, || {
             self.inner.cu_device_get_name(device)
         })
     }
 
     /// `cuDeviceTotalMem`.
     pub fn cu_device_total_mem(&self, device: i32) -> CudaResult<u64> {
-        self.wrapped("cuDeviceTotalMem", 0, || {
+        self.wrapped(site!("cuDeviceTotalMem"), 0, || {
             self.inner.cu_device_total_mem(device)
         })
     }
 
     /// `cuMemAlloc` — the requested size is the bytes attribute.
     pub fn cu_mem_alloc(&self, size: usize) -> CudaResult<DevicePtr> {
-        self.wrapped("cuMemAlloc", size as u64, || self.inner.cu_mem_alloc(size))
+        self.wrapped(site!("cuMemAlloc"), size as u64, || {
+            self.inner.cu_mem_alloc(size)
+        })
     }
 
     /// `cuMemFree`.
     pub fn cu_mem_free(&self, ptr: DevicePtr) -> CudaResult<()> {
-        self.wrapped("cuMemFree", 0, || self.inner.cu_mem_free(ptr))
+        self.wrapped(site!("cuMemFree"), 0, || self.inner.cu_mem_free(ptr))
     }
 
     /// `cuMemcpyHtoD` — implicit-blocking set: probe for host idle first.
     pub fn cu_memcpy_htod(&self, dst: DevicePtr, src: &[u8]) -> CudaResult<()> {
-        self.absorb_host_idle();
-        self.wrapped("cuMemcpyHtoD", src.len() as u64, || {
+        self.wrapped(site!("cuMemcpyHtoD"), src.len() as u64, || {
             self.inner.cu_memcpy_htod(dst, src)
         })
     }
@@ -206,8 +131,7 @@ impl IpmDriver {
     /// `cuMemcpyDtoH` — implicit-blocking set, and the paper's lazy sweep
     /// point for completed kernels.
     pub fn cu_memcpy_dtoh(&self, dst: &mut [u8], src: DevicePtr) -> CudaResult<()> {
-        self.absorb_host_idle();
-        let ret = self.wrapped("cuMemcpyDtoH", dst.len() as u64, || {
+        let ret = self.wrapped(site!("cuMemcpyDtoH"), dst.len() as u64, || {
             self.inner.cu_memcpy_dtoh(dst, src)
         });
         self.sweep_ktt();
@@ -216,8 +140,7 @@ impl IpmDriver {
 
     /// `cuMemcpyDtoD` — implicit-blocking set.
     pub fn cu_memcpy_dtod(&self, dst: DevicePtr, src: DevicePtr, len: usize) -> CudaResult<()> {
-        self.absorb_host_idle();
-        self.wrapped("cuMemcpyDtoD", len as u64, || {
+        self.wrapped(site!("cuMemcpyDtoD"), len as u64, || {
             self.inner.cu_memcpy_dtod(dst, src, len)
         })
     }
@@ -225,7 +148,7 @@ impl IpmDriver {
     /// `cuMemsetD8` — NOT in the implicit-blocking set (§III-C): no
     /// host-idle probe.
     pub fn cu_memset_d8(&self, dst: DevicePtr, value: u8, len: usize) -> CudaResult<()> {
-        self.wrapped("cuMemsetD8", len as u64, || {
+        self.wrapped(site!("cuMemsetD8"), len as u64, || {
             self.inner.cu_memset_d8(dst, value, len)
         })
     }
@@ -239,19 +162,19 @@ impl IpmDriver {
         config: LaunchConfig,
         args: &[KernelArg],
     ) -> CudaResult<()> {
-        self.wrapped("cuLaunchKernel", 0, || {
+        self.wrapped(site!("cuLaunchKernel"), 0, || {
             self.inner.cu_launch_kernel(kernel, config, args)
         })
     }
 
     /// `cuStreamCreate`.
     pub fn cu_stream_create(&self) -> CudaResult<StreamId> {
-        self.wrapped("cuStreamCreate", 0, || self.inner.cu_stream_create())
+        self.wrapped(site!("cuStreamCreate"), 0, || self.inner.cu_stream_create())
     }
 
     /// `cuStreamSynchronize` — explicit sync: sweep afterwards.
     pub fn cu_stream_synchronize(&self, stream: StreamId) -> CudaResult<()> {
-        let ret = self.wrapped("cuStreamSynchronize", 0, || {
+        let ret = self.wrapped(site!("cuStreamSynchronize"), 0, || {
             self.inner.cu_stream_synchronize(stream)
         });
         self.sweep_ktt();
@@ -260,31 +183,33 @@ impl IpmDriver {
 
     /// `cuStreamDestroy`.
     pub fn cu_stream_destroy(&self, stream: StreamId) -> CudaResult<()> {
-        self.wrapped("cuStreamDestroy", 0, || {
+        self.wrapped(site!("cuStreamDestroy"), 0, || {
             self.inner.cu_stream_destroy(stream)
         })
     }
 
     /// `cuEventCreate`.
     pub fn cu_event_create(&self) -> CudaResult<EventId> {
-        self.wrapped("cuEventCreate", 0, || self.inner.cu_event_create())
+        self.wrapped(site!("cuEventCreate"), 0, || self.inner.cu_event_create())
     }
 
     /// `cuEventRecord`.
     pub fn cu_event_record(&self, event: EventId, stream: StreamId) -> CudaResult<()> {
-        self.wrapped("cuEventRecord", 0, || {
+        self.wrapped(site!("cuEventRecord"), 0, || {
             self.inner.cu_event_record(event, stream)
         })
     }
 
     /// `cuEventQuery`.
     pub fn cu_event_query(&self, event: EventId) -> CudaResult<()> {
-        self.wrapped("cuEventQuery", 0, || self.inner.cu_event_query(event))
+        self.wrapped(site!("cuEventQuery"), 0, || {
+            self.inner.cu_event_query(event)
+        })
     }
 
     /// `cuEventSynchronize` — explicit sync: sweep afterwards.
     pub fn cu_event_synchronize(&self, event: EventId) -> CudaResult<()> {
-        let ret = self.wrapped("cuEventSynchronize", 0, || {
+        let ret = self.wrapped(site!("cuEventSynchronize"), 0, || {
             self.inner.cu_event_synchronize(event)
         });
         self.sweep_ktt();
@@ -293,26 +218,30 @@ impl IpmDriver {
 
     /// `cuEventElapsedTime`.
     pub fn cu_event_elapsed_time(&self, start: EventId, stop: EventId) -> CudaResult<f64> {
-        self.wrapped("cuEventElapsedTime", 0, || {
+        self.wrapped(site!("cuEventElapsedTime"), 0, || {
             self.inner.cu_event_elapsed_time(start, stop)
         })
     }
 
     /// `cuEventDestroy`.
     pub fn cu_event_destroy(&self, event: EventId) -> CudaResult<()> {
-        self.wrapped("cuEventDestroy", 0, || self.inner.cu_event_destroy(event))
+        self.wrapped(site!("cuEventDestroy"), 0, || {
+            self.inner.cu_event_destroy(event)
+        })
     }
 
     /// `cuCtxSynchronize` — explicit sync: sweep afterwards.
     pub fn cu_ctx_synchronize(&self) -> CudaResult<()> {
-        let ret = self.wrapped("cuCtxSynchronize", 0, || self.inner.cu_ctx_synchronize());
+        let ret = self.wrapped(site!("cuCtxSynchronize"), 0, || {
+            self.inner.cu_ctx_synchronize()
+        });
         self.sweep_ktt();
         ret
     }
 
     /// `cuModuleLoad`.
     pub fn cu_module_load(&self, name: &str) -> CudaResult<ModuleHandle> {
-        self.wrapped("cuModuleLoad", 0, || self.inner.cu_module_load(name))
+        self.wrapped(site!("cuModuleLoad"), 0, || self.inner.cu_module_load(name))
     }
 
     /// Register a kernel in a module (test scaffolding, not an entry
@@ -323,14 +252,14 @@ impl IpmDriver {
 
     /// `cuModuleGetFunction`.
     pub fn cu_module_get_function(&self, module: ModuleHandle, name: &str) -> CudaResult<Kernel> {
-        self.wrapped("cuModuleGetFunction", 0, || {
+        self.wrapped(site!("cuModuleGetFunction"), 0, || {
             self.inner.cu_module_get_function(module, name)
         })
     }
 
     /// `cuFuncSetBlockShape`.
     pub fn cu_func_set_block_shape(&self, x: u32, y: u32, z: u32) -> CudaResult<()> {
-        self.wrapped("cuFuncSetBlockShape", 0, || {
+        self.wrapped(site!("cuFuncSetBlockShape"), 0, || {
             self.inner.cu_func_set_block_shape(x, y, z)
         })
     }
@@ -338,7 +267,7 @@ impl IpmDriver {
     /// `cuParamSetv` — the staged argument's size is the bytes attribute
     /// (mirrors `cudaSetupArgument`).
     pub fn cu_param_set(&self, arg: KernelArg) -> CudaResult<()> {
-        self.wrapped("cuParamSetv", arg.size() as u64, || {
+        self.wrapped(site!("cuParamSetv"), arg.size() as u64, || {
             self.inner.cu_param_set(arg)
         })
     }
@@ -347,32 +276,30 @@ impl IpmDriver {
     /// middleware kernels get `@CUDA_EXEC_STRMxx` attribution (always on
     /// the default stream: that is all `cuLaunchGrid` can target).
     pub fn cu_launch_grid(&self, kernel: &Kernel, grid_x: u32, grid_y: u32) -> CudaResult<()> {
-        if self.ipm.config().gpu_timing {
+        if self.ipm().config().gpu_timing {
             let name: Arc<str> = Arc::from(kernel.name());
             // the KTT lock is held across the bracketed launch, so the
             // wrapper inside must not sweep (EveryCall would self-deadlock);
             // sweep after the lock is released instead
             // speccheck: allow(lock-across-call) — KTT bracketing requires it
             let ret = {
-                let mut ktt = self.ipm.ktt().lock();
+                let mut ktt = self.ipm().ktt().lock();
                 ktt.time_launch(
                     self.inner.runtime().as_ref(),
                     name,
                     StreamId::DEFAULT,
                     || {
-                        self.wrapped_no_sweep("cuLaunchGrid", 0, || {
+                        self.wrapped_no_sweep(site!("cuLaunchGrid"), 0, || {
                             self.inner.cu_launch_grid(kernel, grid_x, grid_y)
                         })
                     },
                 )
             };
-            if self.ipm.config().ktt_policy == KttCheckPolicy::EveryCall {
-                self.sweep_ktt();
-            }
+            self.core.sweep_if_every_call();
             ret
         } else {
             // speccheck: allow(wrap-once) — one site per mutually-exclusive branch
-            self.wrapped("cuLaunchGrid", 0, || {
+            self.wrapped(site!("cuLaunchGrid"), 0, || {
                 self.inner.cu_launch_grid(kernel, grid_x, grid_y)
             })
         }
@@ -382,6 +309,7 @@ impl IpmDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ktt::KttCheckPolicy;
     use crate::monitor::IpmConfig;
     use ipm_gpu_sim::{GpuConfig, GpuRuntime, KernelCost};
 

@@ -6,21 +6,25 @@
 //! count recorded — completing the "whole event inventory" picture next to
 //! the CUDA and MPI monitors.
 
+use crate::facade::FacadeCore;
 use crate::monitor::Ipm;
-use ipm_interpose::{wrap_call, MonitorSink};
+use ipm_interpose::{site, CallHandle};
 use ipm_sim_core::fsio::{FileHandle, FsResult, IoApi, OpenMode};
 use std::sync::Arc;
 
 /// The monitored file-I/O facade.
 pub struct IpmIo<F: IoApi> {
-    ipm: Arc<Ipm>,
+    core: FacadeCore,
     inner: F,
 }
 
 impl<F: IoApi> IpmIo<F> {
     /// Install monitoring around `inner`.
     pub fn new(ipm: Arc<Ipm>, inner: F) -> Self {
-        Self { ipm, inner }
+        Self {
+            core: FacadeCore::new(ipm, None),
+            inner,
+        }
     }
 
     /// The wrapped API.
@@ -28,34 +32,34 @@ impl<F: IoApi> IpmIo<F> {
         &self.inner
     }
 
-    fn wrapped<R>(&self, name: &'static str, bytes: u64, real: impl FnOnce() -> R) -> R {
-        wrap_call(
-            self.ipm.clock(),
-            self.ipm.as_ref() as &dyn MonitorSink,
-            name,
-            bytes,
-            self.ipm.config().wrapper_overhead,
-            real,
-        )
+    /// The monitoring context.
+    pub fn ipm(&self) -> &Arc<Ipm> {
+        self.core.ipm()
+    }
+
+    fn wrapped<R>(&self, call: CallHandle, bytes: u64, real: impl FnOnce() -> R) -> R {
+        self.core.wrapped(call, bytes, real)
     }
 }
 
 impl<F: IoApi> IoApi for IpmIo<F> {
     fn fopen(&self, path: &str, mode: OpenMode) -> FsResult<FileHandle> {
-        self.wrapped("fopen", 0, || self.inner.fopen(path, mode))
+        self.wrapped(site!("fopen"), 0, || self.inner.fopen(path, mode))
     }
 
     fn fread(&self, h: FileHandle, buf: &mut [u8]) -> FsResult<usize> {
         let cap = buf.len() as u64;
-        self.wrapped("fread", cap, || self.inner.fread(h, buf))
+        self.wrapped(site!("fread"), cap, || self.inner.fread(h, buf))
     }
 
     fn fwrite(&self, h: FileHandle, data: &[u8]) -> FsResult<usize> {
-        self.wrapped("fwrite", data.len() as u64, || self.inner.fwrite(h, data))
+        self.wrapped(site!("fwrite"), data.len() as u64, || {
+            self.inner.fwrite(h, data)
+        })
     }
 
     fn fclose(&self, h: FileHandle) -> FsResult<()> {
-        self.wrapped("fclose", 0, || self.inner.fclose(h))
+        self.wrapped(site!("fclose"), 0, || self.inner.fclose(h))
     }
 }
 

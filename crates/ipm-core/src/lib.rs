@@ -49,6 +49,7 @@ pub mod cube;
 pub mod cuda_mon;
 pub mod driver_mon;
 pub mod export;
+pub(crate) mod facade;
 pub mod hostidle;
 pub mod io_mon;
 pub mod jsonw;
@@ -67,6 +68,7 @@ pub mod xml;
 
 pub use aggregate::{ClusterReport, ClusterSnapshot, RankSpread};
 pub use compact::{compact_records, merge_runs, same_signature, CompactPolicy, TraceAgg};
+pub use compat::LegacyMirror;
 pub use cube::{build_cube, cube_to_xml, render_cube_text, CubeMetric};
 pub use cuda_mon::IpmCuda;
 pub use driver_mon::IpmDriver;
@@ -87,7 +89,7 @@ pub use papi::{BoundResource, CounterRow, GpuCounterReport};
 pub use parse::otlp_from_xml;
 pub use parse::{banner_from_xml, chrome_trace_from_xml, cluster_banner_from_xml};
 pub use profile::{classify, EventFamily, MonitorInfo, ProfileEntry, RankProfile};
-pub use sig::EventSignature;
+pub use sig::{EventSignature, SigKey};
 pub use table::PerfTable;
 pub use timeline::render_timeline;
 pub use trace::{TraceCounters, TraceKind, TraceRank, TraceRecord, TraceRing};

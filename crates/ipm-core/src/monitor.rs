@@ -7,18 +7,31 @@
 //! ([`crate::cuda_mon::IpmCuda`] and friends) share it via `Arc`.
 
 use crate::compact::CompactPolicy;
+use crate::compat::LegacyMirror;
 use crate::ktt::{Ktt, KttCheckPolicy};
 use crate::profile::{classify, EventFamily, MonitorInfo, ProfileEntry, RankProfile};
-use crate::sig::EventSignature;
+use crate::sig::SigKey;
 use crate::table::PerfTable;
 use crate::trace::{TraceCounters, TraceKind, TraceRecord, TraceRing};
-use ipm_interpose::MonitorSink;
+use ipm_interpose::{site, CallHandle, CallId, MonitorSink, NameTable};
 use ipm_sim_core::SimClock;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Self-accounting sampling period: one recorded event in this many gets
+/// a real `Instant` bracket around its bookkeeping, booked at `×SELF_SAMPLE`
+/// weight. See [`Ipm::self_begin`].
+const SELF_SAMPLE: u64 = 64;
+
+/// Ceiling on a single sampled bookkeeping measurement. The bracket meters
+/// monitor code that costs well under a microsecond; a reading beyond this
+/// caught a scheduler preemption, not bookkeeping, and scaling it by
+/// [`SELF_SAMPLE`] would let one descheduled sample dominate the reported
+/// self cost.
+const SELF_CLAMP_NS: u64 = 10_000;
 
 /// Monitoring configuration (what the paper toggles between Figs. 4/5/6).
 #[derive(Clone, Copy, Debug)]
@@ -221,7 +234,17 @@ pub struct Ipm {
     /// Wall-clock (real, not virtual) nanoseconds of IPM's own bookkeeping
     /// — the "monitor the monitor" counter.
     self_ns: AtomicU64,
+    /// Recorded events since start, driving the sampled self-accounting:
+    /// timing every event's bookkeeping costs two clock reads — several
+    /// times the delta-cell deposit being metered — so one event in
+    /// [`SELF_SAMPLE`] is timed and its cost scaled up. Unbiased, and
+    /// ~2 ns amortized instead of ~85 ns exact.
+    self_events: AtomicU64,
     snap: Mutex<SnapState>,
+    /// Differential-test hook: a secondary recorder fed the same events as
+    /// the primary table through the *legacy string-keyed* path. Costs one
+    /// uncontended atomic load per record when absent (the normal case).
+    mirror: OnceLock<Arc<LegacyMirror>>,
 }
 
 #[derive(Clone, Debug)]
@@ -252,7 +275,9 @@ impl Ipm {
                 TraceRing::with_policy(cfg.trace_capacity, cfg.trace_shards, cfg.trace_compaction)
             }),
             self_ns: AtomicU64::new(0),
+            self_events: AtomicU64::new(0),
             snap: Mutex::new(SnapState::default()),
+            mirror: OnceLock::new(),
             cfg,
             clock,
             start,
@@ -288,18 +313,57 @@ impl Ipm {
         &self.table
     }
 
-    /// Record a pseudo-event (`@CUDA_EXEC_*`, `@CUDA_HOST_IDLE`).
-    pub fn update_pseudo(&self, name: Arc<str>, detail: Option<Arc<str>>, duration: f64) {
-        let t = Instant::now();
-        let sig = EventSignature {
-            name,
-            bytes: 0,
+    /// The one signature-construction site of the record path: every
+    /// table update — wrapped call, pseudo-event, mirror — keys through
+    /// here, so the attributes can never diverge between paths.
+    #[inline]
+    fn sig_key(&self, id: CallId, bytes: u64, detail: Option<CallId>) -> SigKey {
+        SigKey {
+            id,
+            bytes,
             region: self.region.load(Ordering::Relaxed),
             detail,
-        };
-        self.table.update(&sig, duration);
-        self.self_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Start self-accounting for one recorded event: every
+    /// [`SELF_SAMPLE`]th event gets a real timestamp (the first always
+    /// does, so any monitored run accounts a nonzero cost).
+    #[inline]
+    fn self_begin(&self) -> Option<Instant> {
+        let n = self.self_events.fetch_add(1, Ordering::Relaxed);
+        n.is_multiple_of(SELF_SAMPLE).then(Instant::now)
+    }
+
+    /// Close a [`Self::self_begin`] bracket: a sampled event books its
+    /// measured cost on behalf of the `SELF_SAMPLE - 1` unmeasured events
+    /// around it, clamped to [`SELF_CLAMP_NS`] so a preempted sample can't
+    /// be amplified into the dominant term.
+    #[inline]
+    fn self_end(&self, t: Option<Instant>) {
+        if let Some(t) = t {
+            let ns = (t.elapsed().as_nanos() as u64).min(SELF_CLAMP_NS);
+            self.self_ns.fetch_add(ns * SELF_SAMPLE, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a pseudo-event (`@CUDA_EXEC_*`, `@CUDA_HOST_IDLE`) by its
+    /// interned id; `detail` carries the interned kernel symbol for
+    /// `@CUDA_EXEC_*` entries.
+    pub fn update_pseudo(&self, name: CallId, detail: Option<CallId>, duration: f64) {
+        let t = self.self_begin();
+        let key = self.sig_key(name, 0, detail);
+        self.table.update_key(key, duration);
+        if let Some(m) = self.mirror.get() {
+            m.pseudo(name, detail, key.region, duration);
+        }
+        self.self_end(t);
+    }
+
+    /// Install the legacy string-keyed mirror (differential testing only).
+    /// First call wins; returns false if a mirror was already installed.
+    pub fn install_mirror(&self, mirror: Arc<LegacyMirror>) -> bool {
+        self.mirror.set(mirror).is_ok()
     }
 
     /// Whether the trace ring is active.
@@ -359,9 +423,15 @@ impl Ipm {
     pub fn trace_host_idle(&self, begin: f64, end: f64) {
         let Some(ring) = &self.trace else { return };
         let t = Instant::now();
+        // resolved once per process: cloning the interner's Arc, not
+        // re-allocating the pseudo-event name per idle interval
+        static IDLE_NAME: OnceLock<Arc<str>> = OnceLock::new();
+        let name = IDLE_NAME
+            .get_or_init(|| CallHandle::of(crate::sig::EventSignature::HOST_IDLE).name())
+            .clone();
         ring.push(TraceRecord {
             kind: TraceKind::HostIdle,
-            name: Arc::from("@CUDA_HOST_IDLE"),
+            name,
             detail: None,
             begin,
             end,
@@ -539,52 +609,47 @@ impl Ipm {
 }
 
 impl MonitorSink for Ipm {
-    fn update(&self, name: &'static str, bytes: u64, duration: f64) {
-        let t = Instant::now();
-        let sig = EventSignature {
-            name: Arc::from(name),
-            bytes,
-            region: self.region.load(Ordering::Relaxed),
-            detail: None,
-        };
-        self.table.update(&sig, duration);
-        self.self_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    fn update(&self, call: CallHandle, bytes: u64, duration: f64) {
+        let t = self.self_begin();
+        let key = self.sig_key(call.id, bytes, None);
+        self.table.update_key(key, duration);
+        if let Some(m) = self.mirror.get() {
+            m.update(call, bytes, key.region, duration);
+        }
+        self.self_end(t);
     }
 
-    fn span(&self, name: &'static str, bytes: u64, begin: f64, end: f64) {
-        let t = Instant::now();
-        let region = self.region.load(Ordering::Relaxed);
-        let sig = EventSignature {
-            name: Arc::from(name),
-            bytes,
-            region,
-            detail: None,
-        };
-        self.table.update(&sig, end - begin);
+    fn span(&self, call: CallHandle, bytes: u64, begin: f64, end: f64) {
+        let t = self.self_begin();
+        let key = self.sig_key(call.id, bytes, None);
+        self.table.update_key(key, end - begin);
+        if let Some(m) = self.mirror.get() {
+            m.update(call, bytes, key.region, end - begin);
+        }
         if let Some(ring) = &self.trace {
             // a launch wrapper just ran the real call on this thread, so the
             // runtime's thread-local correlation id belongs to this record
-            let corr = if name == "cudaLaunch" || name == "cuLaunchGrid" {
+            let corr = if call.id == site!("cudaLaunch").id || call.id == site!("cuLaunchGrid").id {
                 ipm_gpu_sim::last_launch_correlation_id()
             } else {
                 0
             };
             ring.push(TraceRecord {
                 kind: TraceKind::Call,
-                name: sig.name, // sig is done with it — move, don't clone
+                // O(1) interner lookup cloning the shared Arc — the record
+                // path still performs no allocation
+                name: NameTable::global().name(call.id),
                 detail: None,
                 begin,
                 end,
                 bytes,
-                region,
+                region: key.region,
                 stream: None,
                 corr,
                 agg: None,
             });
         }
-        self.self_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.self_end(t);
     }
 }
 
@@ -599,8 +664,8 @@ mod tests {
     #[test]
     fn sink_updates_land_in_table() {
         let m = ipm();
-        m.update("cudaMalloc", 0, 2.43);
-        m.update("cudaMalloc", 0, 0.01);
+        m.update(CallHandle::of("cudaMalloc"), 0, 2.43);
+        m.update(CallHandle::of("cudaMalloc"), 0, 0.01);
         let p = m.profile();
         assert_eq!(p.count_of("cudaMalloc"), 2);
         assert!((p.time_of("cudaMalloc") - 2.44).abs() < 1e-12);
@@ -609,10 +674,10 @@ mod tests {
     #[test]
     fn regions_partition_events() {
         let m = ipm();
-        m.update("MPI_Send", 8, 1.0);
+        m.update(CallHandle::of("MPI_Send"), 8, 1.0);
         let r = m.region_enter("solver");
         assert_eq!(r, 1);
-        m.update("MPI_Send", 8, 2.0);
+        m.update(CallHandle::of("MPI_Send"), 8, 2.0);
         m.region_exit();
         assert_eq!(m.current_region(), 0);
         let p = m.profile();
@@ -660,8 +725,8 @@ mod tests {
     fn pseudo_events_carry_detail() {
         let m = ipm();
         m.update_pseudo(
-            Arc::from("@CUDA_EXEC_STRM00"),
-            Some(Arc::from("square")),
+            CallHandle::of("@CUDA_EXEC_STRM00").id,
+            Some(CallHandle::of("square").id),
             1.16,
         );
         let p = m.profile();
@@ -708,7 +773,7 @@ mod tests {
         .with_trace_compaction(8);
         let m = Ipm::new(clock.clone(), cfg);
         for i in 0..6 {
-            m.span("cudaMalloc", 0, i as f64, i as f64 + 0.1);
+            m.span(CallHandle::of("cudaMalloc"), 0, i as f64, i as f64 + 0.1);
         }
         let s = m.snapshot();
         assert_eq!(s.trace.emitted, 6);
@@ -719,7 +784,7 @@ mod tests {
         // interval's captured delta goes negative while emitted stays
         // exactly the number of new offers
         for i in 6..40 {
-            m.span("cudaMalloc", 0, i as f64, i as f64 + 0.1);
+            m.span(CallHandle::of("cudaMalloc"), 0, i as f64, i as f64 + 0.1);
         }
         let s = m.snapshot();
         assert_eq!(s.trace.emitted, 34);

@@ -4,14 +4,15 @@
 //! plugs into the same hash table. [`IpmMpi`] wraps a bare [`Rank`] (or any
 //! other [`MpiApi`]) so each call is timed and its message size recorded.
 
+use crate::facade::FacadeCore;
 use crate::monitor::Ipm;
-use ipm_interpose::{wrap_call, wrap_call_sized, MonitorSink};
+use ipm_interpose::{site, CallHandle};
 use ipm_mpi_sim::{MpiApi, MpiResult, ReduceOp, Request};
 use std::sync::Arc;
 
 /// The monitored MPI facade.
 pub struct IpmMpi<M: MpiApi> {
-    ipm: Arc<Ipm>,
+    core: FacadeCore,
     inner: M,
 }
 
@@ -23,7 +24,10 @@ impl<M: MpiApi> IpmMpi<M> {
     /// shared by several facades).
     pub fn new(ipm: Arc<Ipm>, inner: M) -> Self {
         ipm.mark_epoch();
-        Self { ipm, inner }
+        Self {
+            core: FacadeCore::new(ipm, None),
+            inner,
+        }
     }
 
     /// The wrapped API.
@@ -33,18 +37,11 @@ impl<M: MpiApi> IpmMpi<M> {
 
     /// The monitoring context.
     pub fn ipm(&self) -> &Arc<Ipm> {
-        &self.ipm
+        self.core.ipm()
     }
 
-    fn wrapped<R>(&self, name: &'static str, bytes: u64, real: impl FnOnce() -> R) -> R {
-        wrap_call(
-            self.ipm.clock(),
-            self.ipm.as_ref() as &dyn MonitorSink,
-            name,
-            bytes,
-            self.ipm.config().wrapper_overhead,
-            real,
-        )
+    fn wrapped<R>(&self, call: CallHandle, bytes: u64, real: impl FnOnce() -> R) -> R {
+        self.core.wrapped(call, bytes, real)
     }
 
     /// Variant for calls sized by their *result* (`MPI_Recv`: the payload
@@ -52,18 +49,11 @@ impl<M: MpiApi> IpmMpi<M> {
     /// the real call completes).
     fn wrapped_sized<R>(
         &self,
-        name: &'static str,
+        call: CallHandle,
         real: impl FnOnce() -> R,
         bytes_of: impl FnOnce(&R) -> u64,
     ) -> R {
-        wrap_call_sized(
-            self.ipm.clock(),
-            self.ipm.as_ref() as &dyn MonitorSink,
-            name,
-            self.ipm.config().wrapper_overhead,
-            real,
-            bytes_of,
-        )
+        self.core.wrapped_sized(call, real, bytes_of)
     }
 }
 
@@ -78,34 +68,34 @@ impl<M: MpiApi> MpiApi for IpmMpi<M> {
     }
 
     fn mpi_send(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<()> {
-        self.wrapped("MPI_Send", data.len() as u64, || {
+        self.wrapped(site!("MPI_Send"), data.len() as u64, || {
             self.inner.mpi_send(dest, tag, data)
         })
     }
 
     fn mpi_recv(&self, src: Option<usize>, tag: i32) -> MpiResult<(usize, Vec<u8>)> {
         self.wrapped_sized(
-            "MPI_Recv",
+            site!("MPI_Recv"),
             || self.inner.mpi_recv(src, tag),
             |r| r.as_ref().map_or(0, |(_, data)| data.len() as u64),
         )
     }
 
     fn mpi_isend(&self, dest: usize, tag: i32, data: &[u8]) -> MpiResult<Request> {
-        self.wrapped("MPI_Isend", data.len() as u64, || {
+        self.wrapped(site!("MPI_Isend"), data.len() as u64, || {
             self.inner.mpi_isend(dest, tag, data)
         })
     }
 
     fn mpi_irecv(&self, src: Option<usize>, tag: i32) -> MpiResult<Request> {
-        self.wrapped("MPI_Irecv", 0, || self.inner.mpi_irecv(src, tag))
+        self.wrapped(site!("MPI_Irecv"), 0, || self.inner.mpi_irecv(src, tag))
     }
 
     fn mpi_wait(&self, req: &mut Request) -> MpiResult<Option<(usize, Vec<u8>)>> {
         // completing a posted receive delivers the payload here, so this is
         // where the bytes MPI_Irecv could not know get attributed
         self.wrapped_sized(
-            "MPI_Wait",
+            site!("MPI_Wait"),
             || self.inner.mpi_wait(req),
             |r| match r {
                 Ok(Some((_, data))) => data.len() as u64,
@@ -115,12 +105,14 @@ impl<M: MpiApi> MpiApi for IpmMpi<M> {
     }
 
     fn mpi_barrier(&self) -> MpiResult<()> {
-        self.wrapped("MPI_Barrier", 0, || self.inner.mpi_barrier())
+        self.wrapped(site!("MPI_Barrier"), 0, || self.inner.mpi_barrier())
     }
 
     fn mpi_bcast(&self, root: usize, data: Vec<u8>) -> MpiResult<Vec<u8>> {
         let bytes = data.len() as u64;
-        self.wrapped("MPI_Bcast", bytes, || self.inner.mpi_bcast(root, data))
+        self.wrapped(site!("MPI_Bcast"), bytes, || {
+            self.inner.mpi_bcast(root, data)
+        })
     }
 
     fn mpi_reduce_f64(
@@ -129,31 +121,31 @@ impl<M: MpiApi> MpiApi for IpmMpi<M> {
         data: &[f64],
         op: ReduceOp,
     ) -> MpiResult<Option<Vec<f64>>> {
-        self.wrapped("MPI_Reduce", 8 * data.len() as u64, || {
+        self.wrapped(site!("MPI_Reduce"), 8 * data.len() as u64, || {
             self.inner.mpi_reduce_f64(root, data, op)
         })
     }
 
     fn mpi_allreduce_f64(&self, data: &[f64], op: ReduceOp) -> MpiResult<Vec<f64>> {
-        self.wrapped("MPI_Allreduce", 8 * data.len() as u64, || {
+        self.wrapped(site!("MPI_Allreduce"), 8 * data.len() as u64, || {
             self.inner.mpi_allreduce_f64(data, op)
         })
     }
 
     fn mpi_gather(&self, root: usize, data: &[u8]) -> MpiResult<Option<Vec<Vec<u8>>>> {
-        self.wrapped("MPI_Gather", data.len() as u64, || {
+        self.wrapped(site!("MPI_Gather"), data.len() as u64, || {
             self.inner.mpi_gather(root, data)
         })
     }
 
     fn mpi_allgather(&self, data: &[u8]) -> MpiResult<Vec<Vec<u8>>> {
-        self.wrapped("MPI_Allgather", data.len() as u64, || {
+        self.wrapped(site!("MPI_Allgather"), data.len() as u64, || {
             self.inner.mpi_allgather(data)
         })
     }
 
     fn mpi_alltoall(&self, data: &[u8]) -> MpiResult<Vec<u8>> {
-        self.wrapped("MPI_Alltoall", data.len() as u64, || {
+        self.wrapped(site!("MPI_Alltoall"), data.len() as u64, || {
             self.inner.mpi_alltoall(data)
         })
     }

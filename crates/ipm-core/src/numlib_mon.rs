@@ -9,22 +9,26 @@
 //! and transfers are intercepted too — exactly how `LD_PRELOAD` composes in
 //! the real tool.
 
+use crate::facade::FacadeCore;
 use crate::monitor::Ipm;
 use ipm_gpu_sim::{CudaResult, DevicePtr, StreamId};
-use ipm_interpose::{wrap_call, MonitorSink};
+use ipm_interpose::{site, CallHandle};
 use ipm_numlib::{BlasApi, Complex64, FftApi, FftDirection, FftType, PlanId, Transpose};
 use std::sync::Arc;
 
 /// The monitored CUBLAS facade.
 pub struct IpmBlas<B: BlasApi> {
-    ipm: Arc<Ipm>,
+    core: FacadeCore,
     inner: B,
 }
 
 impl<B: BlasApi> IpmBlas<B> {
     /// Install monitoring around `inner`.
     pub fn new(ipm: Arc<Ipm>, inner: B) -> Self {
-        Self { ipm, inner }
+        Self {
+            core: FacadeCore::new(ipm, None),
+            inner,
+        }
     }
 
     /// The wrapped library.
@@ -32,27 +36,25 @@ impl<B: BlasApi> IpmBlas<B> {
         &self.inner
     }
 
-    fn wrapped<R>(&self, name: &'static str, bytes: u64, real: impl FnOnce() -> R) -> R {
-        wrap_call(
-            self.ipm.clock(),
-            self.ipm.as_ref() as &dyn MonitorSink,
-            name,
-            bytes,
-            self.ipm.config().wrapper_overhead,
-            real,
-        )
+    /// The monitoring context.
+    pub fn ipm(&self) -> &Arc<Ipm> {
+        self.core.ipm()
+    }
+
+    fn wrapped<R>(&self, call: CallHandle, bytes: u64, real: impl FnOnce() -> R) -> R {
+        self.core.wrapped(call, bytes, real)
     }
 }
 
 impl<B: BlasApi> BlasApi for IpmBlas<B> {
     fn cublas_alloc(&self, n: usize, elem_size: usize) -> CudaResult<DevicePtr> {
-        self.wrapped("cublasAlloc", (n * elem_size) as u64, || {
+        self.wrapped(site!("cublasAlloc"), (n * elem_size) as u64, || {
             self.inner.cublas_alloc(n, elem_size)
         })
     }
 
     fn cublas_free(&self, ptr: DevicePtr) -> CudaResult<()> {
-        self.wrapped("cublasFree", 0, || self.inner.cublas_free(ptr))
+        self.wrapped(site!("cublasFree"), 0, || self.inner.cublas_free(ptr))
     }
 
     fn cublas_set_matrix(
@@ -63,10 +65,14 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         host: &[u8],
         dev: DevicePtr,
     ) -> CudaResult<()> {
-        self.wrapped("cublasSetMatrix", (rows * cols * elem_size) as u64, || {
-            self.inner
-                .cublas_set_matrix(rows, cols, elem_size, host, dev)
-        })
+        self.wrapped(
+            site!("cublasSetMatrix"),
+            (rows * cols * elem_size) as u64,
+            || {
+                self.inner
+                    .cublas_set_matrix(rows, cols, elem_size, host, dev)
+            },
+        )
     }
 
     fn cublas_get_matrix(
@@ -77,10 +83,14 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         dev: DevicePtr,
         host: &mut [u8],
     ) -> CudaResult<()> {
-        self.wrapped("cublasGetMatrix", (rows * cols * elem_size) as u64, || {
-            self.inner
-                .cublas_get_matrix(rows, cols, elem_size, dev, host)
-        })
+        self.wrapped(
+            site!("cublasGetMatrix"),
+            (rows * cols * elem_size) as u64,
+            || {
+                self.inner
+                    .cublas_get_matrix(rows, cols, elem_size, dev, host)
+            },
+        )
     }
 
     fn cublas_set_matrix_modeled(
@@ -91,10 +101,14 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         host_prefix: &[u8],
         dev: DevicePtr,
     ) -> CudaResult<()> {
-        self.wrapped("cublasSetMatrix", (rows * cols * elem_size) as u64, || {
-            self.inner
-                .cublas_set_matrix_modeled(rows, cols, elem_size, host_prefix, dev)
-        })
+        self.wrapped(
+            site!("cublasSetMatrix"),
+            (rows * cols * elem_size) as u64,
+            || {
+                self.inner
+                    .cublas_set_matrix_modeled(rows, cols, elem_size, host_prefix, dev)
+            },
+        )
     }
 
     fn cublas_get_matrix_modeled(
@@ -105,10 +119,14 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         dev: DevicePtr,
         host_prefix: &mut [u8],
     ) -> CudaResult<()> {
-        self.wrapped("cublasGetMatrix", (rows * cols * elem_size) as u64, || {
-            self.inner
-                .cublas_get_matrix_modeled(rows, cols, elem_size, dev, host_prefix)
-        })
+        self.wrapped(
+            site!("cublasGetMatrix"),
+            (rows * cols * elem_size) as u64,
+            || {
+                self.inner
+                    .cublas_get_matrix_modeled(rows, cols, elem_size, dev, host_prefix)
+            },
+        )
     }
 
     fn cublas_set_vector(
@@ -118,7 +136,7 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         host: &[u8],
         dev: DevicePtr,
     ) -> CudaResult<()> {
-        self.wrapped("cublasSetVector", (n * elem_size) as u64, || {
+        self.wrapped(site!("cublasSetVector"), (n * elem_size) as u64, || {
             self.inner.cublas_set_vector(n, elem_size, host, dev)
         })
     }
@@ -130,7 +148,7 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         dev: DevicePtr,
         host: &mut [u8],
     ) -> CudaResult<()> {
-        self.wrapped("cublasGetVector", (n * elem_size) as u64, || {
+        self.wrapped(site!("cublasGetVector"), (n * elem_size) as u64, || {
             self.inner.cublas_get_vector(n, elem_size, dev, host)
         })
     }
@@ -153,7 +171,7 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
     ) -> CudaResult<()> {
         // operand footprint: A(mk) + B(kn) + C(mn) doubles
         let bytes = 8 * (m * k + k * n + m * n) as u64;
-        self.wrapped("cublasDgemm", bytes, || {
+        self.wrapped(site!("cublasDgemm"), bytes, || {
             self.inner
                 .cublas_dgemm(ta, tb, m, n, k, alpha, da, lda, db, ldb, beta, dc, ldc)
         })
@@ -176,20 +194,20 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
         ldc: usize,
     ) -> CudaResult<()> {
         let bytes = 16 * (m * k + k * n + m * n) as u64;
-        self.wrapped("cublasZgemm", bytes, || {
+        self.wrapped(site!("cublasZgemm"), bytes, || {
             self.inner
                 .cublas_zgemm(ta, tb, m, n, k, alpha, da, lda, db, ldb, beta, dc, ldc)
         })
     }
 
     fn cublas_daxpy(&self, n: usize, alpha: f64, dx: DevicePtr, dy: DevicePtr) -> CudaResult<()> {
-        self.wrapped("cublasDaxpy", 16 * n as u64, || {
+        self.wrapped(site!("cublasDaxpy"), 16 * n as u64, || {
             self.inner.cublas_daxpy(n, alpha, dx, dy)
         })
     }
 
     fn cublas_ddot(&self, n: usize, dx: DevicePtr, dy: DevicePtr) -> CudaResult<f64> {
-        self.wrapped("cublasDdot", 16 * n as u64, || {
+        self.wrapped(site!("cublasDdot"), 16 * n as u64, || {
             self.inner.cublas_ddot(n, dx, dy)
         })
     }
@@ -198,14 +216,17 @@ impl<B: BlasApi> BlasApi for IpmBlas<B> {
 /// The monitored CUFFT facade. Wraps the concrete context (it needs plan
 /// metadata to derive operand sizes).
 pub struct IpmFft {
-    ipm: Arc<Ipm>,
+    core: FacadeCore,
     inner: Arc<ipm_numlib::CufftContext>,
 }
 
 impl IpmFft {
     /// Install monitoring around `inner`.
     pub fn new(ipm: Arc<Ipm>, inner: Arc<ipm_numlib::CufftContext>) -> Self {
-        Self { ipm, inner }
+        Self {
+            core: FacadeCore::new(ipm, None),
+            inner,
+        }
     }
 
     /// The wrapped library.
@@ -213,27 +234,27 @@ impl IpmFft {
         &self.inner
     }
 
-    fn wrapped<R>(&self, name: &'static str, bytes: u64, real: impl FnOnce() -> R) -> R {
-        wrap_call(
-            self.ipm.clock(),
-            self.ipm.as_ref() as &dyn MonitorSink,
-            name,
-            bytes,
-            self.ipm.config().wrapper_overhead,
-            real,
-        )
+    /// The monitoring context.
+    pub fn ipm(&self) -> &Arc<Ipm> {
+        self.core.ipm()
+    }
+
+    fn wrapped<R>(&self, call: CallHandle, bytes: u64, real: impl FnOnce() -> R) -> R {
+        self.core.wrapped(call, bytes, real)
     }
 }
 
 impl FftApi for IpmFft {
     fn cufft_plan_1d(&self, n: usize, ty: FftType, batch: usize) -> CudaResult<PlanId> {
-        self.wrapped("cufftPlan1d", (16 * n * batch) as u64, || {
+        self.wrapped(site!("cufftPlan1d"), (16 * n * batch) as u64, || {
             self.inner.plan_1d(n, ty, batch)
         })
     }
 
     fn cufft_set_stream(&self, plan: PlanId, stream: StreamId) -> CudaResult<()> {
-        self.wrapped("cufftSetStream", 0, || self.inner.set_stream(plan, stream))
+        self.wrapped(site!("cufftSetStream"), 0, || {
+            self.inner.set_stream(plan, stream)
+        })
     }
 
     fn cufft_exec_z2z(
@@ -248,13 +269,13 @@ impl FftApi for IpmFft {
             .plan_info(plan)
             .map(|(n, b)| (16 * n * b) as u64)
             .unwrap_or(0);
-        self.wrapped("cufftExecZ2Z", bytes, || {
+        self.wrapped(site!("cufftExecZ2Z"), bytes, || {
             self.inner.exec_z2z(plan, idata, odata, dir)
         })
     }
 
     fn cufft_destroy(&self, plan: PlanId) -> CudaResult<()> {
-        self.wrapped("cufftDestroy", 0, || self.inner.destroy(plan))
+        self.wrapped(site!("cufftDestroy"), 0, || self.inner.destroy(plan))
     }
 }
 

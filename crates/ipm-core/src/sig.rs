@@ -7,6 +7,7 @@
 //! **detail** string (the kernel symbol for GPU-execution entries, so the
 //! XML log can break kernel time down per kernel and per stream).
 
+use ipm_interpose::{CallHandle, CallId, NameTable};
 use std::fmt;
 use std::sync::Arc;
 
@@ -63,6 +64,56 @@ impl EventSignature {
 
     /// The `@CUDA_HOST_IDLE` pseudo-event (paper §III-C).
     pub const HOST_IDLE: &'static str = "@CUDA_HOST_IDLE";
+
+    /// Intern this signature into its hot-path [`SigKey`] form.
+    pub fn key(&self) -> SigKey {
+        SigKey {
+            id: CallHandle::of(&self.name).id,
+            bytes: self.bytes,
+            region: self.region,
+            detail: self.detail.as_deref().map(|d| CallHandle::of(d).id),
+        }
+    }
+}
+
+/// The hot-path form of an event signature: the interned name id plus the
+/// value attributes, all `Copy`. This is what the performance table hashes
+/// on the record path — no string hashing, no `Arc` traffic. The string
+/// form comes back at report time via [`SigKey::resolve`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SigKey {
+    /// Interned call or pseudo-event name.
+    pub id: CallId,
+    /// Byte-count attribute (0 when the event carries none).
+    pub bytes: u64,
+    /// User region id (0 = whole program).
+    pub region: u16,
+    /// Interned detail attribute (kernel symbol for `@CUDA_EXEC_*`).
+    pub detail: Option<CallId>,
+}
+
+impl SigKey {
+    /// Key for a plain call in the global region.
+    pub fn call(id: CallId, bytes: u64) -> Self {
+        Self {
+            id,
+            bytes,
+            region: 0,
+            detail: None,
+        }
+    }
+
+    /// Resolve back to the string-keyed form through the global interner
+    /// (report/export time only).
+    pub fn resolve(&self) -> EventSignature {
+        let names = NameTable::global();
+        EventSignature {
+            name: names.name(self.id),
+            bytes: self.bytes,
+            region: self.region,
+            detail: self.detail.map(|d| names.name(d)),
+        }
+    }
 }
 
 impl fmt::Debug for EventSignature {
@@ -141,6 +192,27 @@ mod tests {
         assert_eq!(reg.family(ApiFamily::Cublas).count(), 167);
         assert_eq!(reg.family(ApiFamily::Cufft).count(), 13);
         assert_eq!(reg.family(ApiFamily::Mpi).count(), 17);
+        assert_eq!(reg.family(ApiFamily::Io).count(), 4);
+    }
+
+    #[test]
+    fn keys_roundtrip_through_the_interner() {
+        let sig = EventSignature::call("cudaMemcpy(D2H)", 800_000)
+            .in_region(3)
+            .with_detail("square");
+        let key = sig.key();
+        assert_eq!(key.resolve(), sig);
+        // interning is stable, so equal signatures make equal keys
+        assert_eq!(sig.key(), key);
+        // and distinct attributes stay distinct in key space
+        assert_ne!(
+            EventSignature::call("cudaMemcpy(D2H)", 1).key(),
+            EventSignature::call("cudaMemcpy(D2H)", 2).key()
+        );
+        assert_ne!(
+            EventSignature::call("cudaMemcpy(D2H)", 1).key(),
+            EventSignature::call("cudaMemcpy(H2D)", 1).key()
+        );
     }
 
     #[test]

@@ -156,6 +156,50 @@ fn trace_ring_compaction_races_writers_without_losing_accounting() {
     });
 }
 
+/// The thread-local delta-cell flush: recorders deposit into private cells
+/// (`update_key`) while a drainer races them with flushing reads
+/// (`snapshot`/`get`). Whatever the interleaving, no delta may be lost
+/// (every completed update is eventually visible) and none may be counted
+/// twice (flushing drains a cell, it does not copy it).
+#[test]
+fn delta_cell_flush_races_recorders_without_losing_or_doubling() {
+    loom::model(|| {
+        let table = Arc::new(PerfTable::new());
+        let hot = EventSignature::call("cudaLaunch", 0);
+        let recorders: Vec<_> = (0..2)
+            .map(|t| {
+                let table = Arc::clone(&table);
+                thread::spawn(move || {
+                    // two updates per thread: the second lands on a key the
+                    // cell has already seen *unless* a racing flush drained
+                    // it in between — both shapes are explored
+                    table.update(&EventSignature::call("cudaLaunch", 0), 1e-6);
+                    table.update(&EventSignature::call("cudaMemcpy(H2D)", 64 * t), 2e-6);
+                })
+            })
+            .collect();
+
+        // mid-flight flushing read, racing both recorders: it may observe
+        // any prefix of the updates, but never a torn or doubled one
+        let mid: u64 = table.snapshot().iter().map(|(_, stats)| stats.count).sum();
+        assert!(mid <= 4, "mid-flight snapshot invented {mid} observations");
+
+        for h in recorders {
+            h.join().unwrap();
+        }
+
+        // after the recorders retire, a flushing read recovers every
+        // completed update exactly once — across cells *and* across the
+        // earlier drain (flushed deltas merged into shards stay there)
+        let hot_stats = table.get(&hot).unwrap();
+        assert_eq!(hot_stats.count, 2, "hot-key delta lost or doubled");
+        assert_eq!(hot_stats.total, 2e-6);
+        let total: u64 = table.snapshot().iter().map(|(_, stats)| stats.count).sum();
+        assert_eq!(total, 4, "flush lost or double-counted a delta cell");
+        assert_eq!(table.overflow(), 0);
+    });
+}
+
 /// The stripe update path: concurrent updates to one hot signature must
 /// merge (no lost counts), and the capacity-cap accounting must never store
 /// more than `capacity` entries no matter how len-check/insert interleave.

@@ -2,8 +2,8 @@
 
 use crate::diag::Diagnostic;
 use crate::extract::{
-    absorb_calls, defines_absorb, facade_names, lock_call_lines, lock_holds, waivers, wrap_sites,
-    BytesArg, SourceFile, WrapSite,
+    absorb_calls, anatomy_uses, defines_absorb, facade_names, lock_call_lines, lock_holds, waivers,
+    wrap_sites, BytesArg, SourceFile, WrapSite,
 };
 use ipm_interpose::{ApiFamily, BlockingClass};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -53,11 +53,14 @@ pub const SCANNED_FILES: &[(&str, Role)] = &[
     ("crates/mpi-sim/src/api.rs", Role::Facade),
     ("crates/numlib/src/cublas.rs", Role::Facade),
     ("crates/numlib/src/cufft.rs", Role::Facade),
+    ("crates/sim-core/src/fsio.rs", Role::Facade),
     ("crates/ipm-core/src/cuda_mon.rs", Role::Monitor),
     ("crates/ipm-core/src/driver_mon.rs", Role::Monitor),
     ("crates/ipm-core/src/mpi_mon.rs", Role::Monitor),
     ("crates/ipm-core/src/numlib_mon.rs", Role::Monitor),
+    ("crates/ipm-core/src/io_mon.rs", Role::Monitor),
     ("crates/ipm-core/src/table.rs", Role::LockDiscipline),
+    ("crates/ipm-core/src/facade.rs", Role::LockDiscipline),
     ("crates/ipm-core/src/trace.rs", Role::LockDiscipline),
     // The export pipeline: lock-free rendering code, scanned so the
     // lock-order discipline keeps holding as backends grow.
@@ -74,6 +77,7 @@ pub const EXPECTED_COUNTS: &[(ApiFamily, usize)] = &[
     (ApiFamily::Cublas, 167),
     (ApiFamily::Cufft, 13),
     (ApiFamily::Mpi, 17),
+    (ApiFamily::Io, 4),
 ];
 
 fn family_name(f: ApiFamily) -> &'static str {
@@ -83,6 +87,7 @@ fn family_name(f: ApiFamily) -> &'static str {
         ApiFamily::Cublas => "cublas",
         ApiFamily::Cufft => "cufft",
         ApiFamily::Mpi => "mpi",
+        ApiFamily::Io => "io",
     }
 }
 
@@ -108,6 +113,23 @@ pub fn run(spec: &[SpecRow], files: &[(Role, SourceFile)]) -> Vec<Diagnostic> {
                 message: format!(
                     "{} family has {got} spec rows, the paper's interface inventory requires {want}",
                     family_name(fam)
+                ),
+            });
+        }
+    }
+    // the probe is driven by the spec's blocking class now (the facades
+    // carry no routing of their own), so §III-C's memset exception must
+    // hold at the spec level: a misclassified row would probe everywhere
+    for r in spec {
+        if r.name.contains("emset") && r.blocking == BlockingClass::ImplicitSync {
+            diags.push(Diagnostic {
+                code: "host-idle",
+                target: r.name.clone(),
+                file: "crates/interpose/src/spec.rs".to_owned(),
+                line: 0,
+                message: format!(
+                    "`{}` is a memset — excluded from the implicit-blocking set (paper §III-C) — yet its spec row is ImplicitSync, which would probe it on every call",
+                    r.name
                 ),
             });
         }
@@ -232,8 +254,34 @@ pub fn run(spec: &[SpecRow], files: &[(Role, SourceFile)]) -> Vec<Diagnostic> {
         }
     }
 
-    // host-idle routing: in monitors implementing the probe, every
-    // implicit-sync wrapper must probe first, and memsets must not
+    // unified anatomy: a monitor facade may only delegate to the shared
+    // core — re-growing timing/probing plumbing of its own is the drift
+    // this refactor removed
+    for (role, f) in files {
+        if *role != Role::Monitor {
+            continue;
+        }
+        for u in anatomy_uses(f) {
+            if waived("anatomy", &u.file, &u.fn_name) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                code: "anatomy",
+                target: u.what.trim_end_matches('(').to_owned(),
+                file: u.file.clone(),
+                line: u.line,
+                message: format!(
+                    "`{}` uses `{}` directly; wrapper anatomy (timing, probing, overhead, booking) lives only in FacadeCore — delegate through `self.core` (waive with `speccheck: allow(anatomy)`)",
+                    u.fn_name,
+                    u.what.trim_end_matches('(')
+                ),
+            });
+        }
+    }
+
+    // host-idle routing: in monitors implementing the probe (the legacy
+    // per-facade anatomy), every implicit-sync wrapper must probe first,
+    // and memsets must not
     for (role, f) in files {
         if *role != Role::Monitor || !defines_absorb(f) {
             continue;

@@ -10,7 +10,9 @@
 //!   ``/// `cudaMalloc` — ...``. Continuation lines mentioning other names
 //!   in prose do not count.
 //! - **Wrapper sites**: monitors report through the `wrapped*` helpers with
-//!   a string-literal call name: `self.wrapped("cudaMalloc", size, ...)`.
+//!   an interned call-site literal: `self.wrapped(site!("cudaMalloc"), size,
+//!   ...)`. The pre-interning idiom (`self.wrapped("cudaMalloc", size, ...)`)
+//!   is still recognized so doctored-source tests keep working.
 //!
 //! Everything after the first `#[cfg(test)]` in a file is ignored.
 
@@ -43,7 +45,8 @@ impl SourceFile {
 }
 
 /// True for names the spec families could own (`cuda*`, `cu*`, `cublas*`,
-/// `cufft*`, `MPI_*`). Anything else in a doc position is prose.
+/// `cufft*`, `MPI_*`, and the stdio quartet of the I/O family). Anything
+/// else in a doc position is prose.
 pub fn is_entry_point_name(name: &str) -> bool {
     !name.is_empty()
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
@@ -51,6 +54,7 @@ pub fn is_entry_point_name(name: &str) -> bool {
             || name.starts_with("cublas")
             || name.starts_with("cufft")
             || name.starts_with("MPI_")
+            || matches!(name, "fopen" | "fread" | "fwrite" | "fclose")
             || (name.starts_with("cu") && name.chars().nth(2).is_some_and(|c| c.is_uppercase())))
 }
 
@@ -194,9 +198,12 @@ pub fn wrap_sites(file: &SourceFile) -> Vec<WrapSite> {
                 .collect::<Vec<_>>()
                 .join(" ");
             let Some(q0) = joined.find('"') else { continue };
-            // only whitespace may precede the literal (otherwise the first
-            // argument is not a name literal and this is not a site)
-            if !joined[..q0].trim().is_empty() {
+            // the literal is either the bare first argument or wrapped in
+            // the `site!(...)` interning macro; anything else preceding it
+            // means the first argument is not a name literal (not a site)
+            let prefix = joined[..q0].trim();
+            let interned = prefix == "site!(";
+            if !prefix.is_empty() && !interned {
                 continue;
             }
             let Some(q1) = joined[q0 + 1..].find('"') else {
@@ -217,7 +224,12 @@ pub fn wrap_sites(file: &SourceFile) -> Vec<WrapSite> {
             let bytes = if sized {
                 BytesArg::ResultSized
             } else {
-                match parse_bytes_expr(&joined[q0 + 2 + q1..]) {
+                let mut after = &joined[q0 + 2 + q1..];
+                if interned {
+                    // consume the `site!(...)` closing paren before the comma
+                    after = after.trim_start().strip_prefix(')').unwrap_or(after);
+                }
+                match parse_bytes_expr(after) {
                     Some(b) => b,
                     None => BytesArg::Expr("<unparsed>".to_owned()),
                 }
@@ -335,6 +347,50 @@ pub fn defines_absorb(file: &SourceFile) -> bool {
         .any(|l| l.contains("fn absorb_host_idle"))
 }
 
+/// A wrapper-anatomy primitive used outside the shared core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnatomyUse {
+    /// The primitive spotted (e.g. `wrap_call(`).
+    pub what: &'static str,
+    pub fn_name: String,
+    pub file: String,
+    pub line: usize,
+}
+
+/// The anatomy primitives only `FacadeCore` may touch. A monitor facade
+/// using any of these has re-grown its own copy of the Fig. 2 plumbing.
+const ANATOMY_PRIMITIVES: &[&str] = &[
+    "wrap_call(",
+    "wrap_call_sized(",
+    "fn absorb_host_idle",
+    "update_pseudo(",
+    "Instant::now",
+    "clock().now",
+];
+
+/// Spot anatomy primitives in a monitor file (the unified-anatomy lint).
+pub fn anatomy_uses(file: &SourceFile) -> Vec<AnatomyUse> {
+    let lines = file.scanned_lines();
+    let mut out = Vec::new();
+    let mut fn_name = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(f) = current_fn(line) {
+            fn_name = f;
+        }
+        for &what in ANATOMY_PRIMITIVES {
+            if line.contains(what) {
+                out.push(AnatomyUse {
+                    what,
+                    fn_name: fn_name.clone(),
+                    file: file.rel.clone(),
+                    line: i + 1,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// `(fn_name, line)` of every `absorb_host_idle()` *call* site.
 pub fn absorb_calls(file: &SourceFile) -> Vec<(String, usize)> {
     let lines = file.scanned_lines();
@@ -424,8 +480,67 @@ mod tests {
 
     #[test]
     fn non_spec_names_are_not_sites() {
-        let f = file("    fn m(&self) { self.wrapped(\"fopen\", 0, || x()) }\n");
+        let f = file("    fn m(&self) { self.wrapped(\"snprintf\", 0, || x()) }\n");
         assert!(wrap_sites(&f).is_empty());
+    }
+
+    #[test]
+    fn io_names_are_spec_sites() {
+        let f = file(
+            "    fn m(&self) {\n\
+             \x20       self.wrapped(site!(\"fread\"), cap, || x())\n\
+             \x20   }\n",
+        );
+        let sites = wrap_sites(&f);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].name, "fread");
+        assert_eq!(sites[0].bytes, BytesArg::Expr("cap".to_owned()));
+    }
+
+    #[test]
+    fn interned_sites_parse_like_bare_literals() {
+        let f = file(
+            "    pub fn cuda_malloc(&self, size: usize) -> R {\n\
+             \x20       self.wrapped(site!(\"cudaMalloc\"), size as u64, || self.inner.m(size))\n\
+             \x20   }\n\
+             \x20   fn cuda_free(&self) -> R {\n\
+             \x20       self.wrapped(site!(\"cudaFree\"), 0, || self.inner.f())\n\
+             \x20   }\n\
+             \x20   fn mpi_recv(&self) -> R {\n\
+             \x20       self.wrapped_sized(\n\
+             \x20           site!(\"MPI_Recv\"),\n\
+             \x20           || self.inner.r(),\n\
+             \x20           |r| 0,\n\
+             \x20       )\n\
+             \x20   }\n",
+        );
+        let sites = wrap_sites(&f);
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].name, "cudaMalloc");
+        assert_eq!(sites[0].bytes, BytesArg::Expr("size as u64".to_owned()));
+        assert_eq!(sites[1].bytes, BytesArg::Zero);
+        assert_eq!(sites[2].bytes, BytesArg::ResultSized);
+    }
+
+    #[test]
+    fn anatomy_primitives_are_spotted_per_fn() {
+        let f = file(
+            "    fn wrapped<R>(&self) -> R {\n\
+             \x20       wrap_call(self.clock(), self.sink(), call, bytes, ov, real)\n\
+             \x20   }\n\
+             \x20   fn absorb_host_idle(&self) {\n\
+             \x20       let before = self.ipm.clock().now();\n\
+             \x20   }\n",
+        );
+        let uses = anatomy_uses(&f);
+        let whats: Vec<&str> = uses.iter().map(|u| u.what).collect();
+        assert!(whats.contains(&"wrap_call("), "{whats:?}");
+        assert!(whats.contains(&"fn absorb_host_idle"), "{whats:?}");
+        assert!(whats.contains(&"clock().now"), "{whats:?}");
+        assert!(anatomy_uses(&file(
+            "    fn w(&self) { self.core.wrapped(call, 0, || x()) }\n"
+        ))
+        .is_empty());
     }
 
     #[test]

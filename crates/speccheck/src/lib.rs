@@ -10,10 +10,12 @@
 //!
 //! - **Spec coverage** — missing wrappers, orphan wrappers, orphan facade
 //!   entry points, per-family counts, cross-family name injectivity.
-//! - **Wrapper anatomy** — one sink report per call, host-idle routing for
-//!   the implicit-blocking set (memsets excluded), byte attribution
-//!   matching the spec, no guard held across the real call, and no nested
-//!   stripe locks in the hash table / trace ring.
+//! - **Wrapper anatomy** — one sink report per call, the §III-C memset
+//!   exclusion held at the spec level (the blocking class drives the probe
+//!   now), byte attribution matching the spec, no guard held across the
+//!   real call, no nested stripe locks in the hash table / trace ring, and
+//!   *one* anatomy: monitor facades must delegate timing/probing/booking
+//!   to `FacadeCore` rather than re-grow their own copies of the plumbing.
 //!
 //! Findings render rustc-style (`error[code]: ... --> file:line`) or as
 //! JSON; a committed baseline allowlists the justified set so CI fails
@@ -157,6 +159,78 @@ mod tests {
             &mon(body("        // speccheck: allow(wrap-once)\n")),
         );
         assert!(waived.iter().all(|d| d.code != "wrap-once"), "{waived:?}");
+    }
+
+    #[test]
+    fn anatomy_lint_catches_regrown_plumbing() {
+        let spec = spec_from_registry();
+        let text = "    fn wrapped<R>(&self, call: CallHandle, bytes: u64) -> R {\n\
+                    \x20       wrap_call(self.ipm.clock(), self.ipm.as_ref(), call, bytes, ov, real)\n\
+                    \x20   }\n\
+                    \x20   fn probe(&self) {\n\
+                    \x20       let before = self.ipm.clock().now();\n\
+                    \x20   }\n";
+        let files = vec![(
+            Role::Monitor,
+            SourceFile::new("crates/ipm-core/src/cuda_mon.rs", text),
+        )];
+        let diags = run(&spec, &files);
+        let targets: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.code == "anatomy")
+            .map(|d| d.target.as_str())
+            .collect();
+        assert!(targets.contains(&"wrap_call"), "{targets:?}");
+        assert!(targets.contains(&"clock().now"), "{targets:?}");
+
+        // the real workspace carries no anatomy findings at all: every
+        // facade delegates to the shared core
+        let real = real_run();
+        assert!(
+            real.iter().all(|d| d.code != "anatomy"),
+            "{:?}",
+            real.iter()
+                .filter(|d| d.code == "anatomy")
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn misclassifying_a_memset_as_blocking_is_detected() {
+        let mut spec = spec_from_registry();
+        for r in &mut spec {
+            if r.name == "cudaMemset" {
+                r.blocking = ipm_interpose::BlockingClass::ImplicitSync;
+            }
+        }
+        let files = load_sources(&workspace_root()).unwrap();
+        let diags = run(&spec, &files);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "host-idle" && d.target == "cudaMemset"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn io_family_is_reconciled_like_the_paper_families() {
+        // dropping the fread wrapper must be caught, proving the I/O
+        // facade participates in the same coverage checks
+        let mut files = load_sources(&workspace_root()).unwrap();
+        for (_, f) in &mut files {
+            if f.rel.ends_with("io_mon.rs") {
+                f.text = f
+                    .text
+                    .replace("site!(\"fread\")", "site!(\"freadSkipped\")");
+            }
+        }
+        let diags = run(&spec_from_registry(), &files);
+        let keys: Vec<String> = diags.iter().map(|d| d.key()).collect();
+        assert!(
+            keys.contains(&"missing-wrapper:fread".to_owned()),
+            "{keys:?}"
+        );
     }
 
     #[test]

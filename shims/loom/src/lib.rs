@@ -409,6 +409,12 @@ pub mod sync {
         mid: usize,
     }
 
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
     impl<T> Mutex<T> {
         pub fn new(value: T) -> Self {
             Mutex {
